@@ -1,0 +1,477 @@
+// Benchmarks regenerating every table and figure of the GRAFICS paper
+// (run `go test -bench=. -benchmem`), plus ablation benches for the design
+// choices called out in DESIGN.md §5 and micro-benchmarks of the hot
+// paths. Figure benches run at a reduced scale so the full suite stays in
+// the minutes range; cmd/experiments reproduces them at any scale.
+// Quality metrics (micro-F etc.) are attached via b.ReportMetric, so each
+// bench reports both cost and the reproduced result.
+package grafics
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/experiment"
+	"repro/internal/rfgraph"
+	"repro/internal/sampling"
+	"repro/internal/simulate"
+)
+
+// benchScale is the corpus scale used by the figure benches.
+func benchScale() experiment.Scale {
+	return experiment.Scale{MicrosoftBuildings: 2, RecordsPerFloor: 30, SamplesPerEdge: 120, Repetitions: 1}
+}
+
+func BenchmarkFig01DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Fig01(150, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.FracPairsBelowHalf, "fracOverlap<0.5")
+		b.ReportMetric(float64(r.DistinctMACs), "distinctMACs")
+	}
+}
+
+func BenchmarkFig06EmbeddingQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig06(30, 60, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Method {
+			case "E-LINE":
+				b.ReportMetric(r.Purity, "purity/e-line")
+			case "MDS":
+				b.ReportMetric(r.Purity, "purity/mds")
+			case "Autoencoder":
+				b.ReportMetric(r.Purity, "purity/autoenc")
+			}
+		}
+	}
+}
+
+func BenchmarkFig08ClusterProgress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig08(30, 60, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final := rows[len(rows)-1]
+		b.ReportMetric(final.Purity, "finalPurity")
+		b.ReportMetric(float64(final.Clusters), "finalClusters")
+	}
+}
+
+func BenchmarkFig09DatasetSummary(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		summaries, err := experiment.Fig09(s, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(summaries["Microsoft"])+len(summaries["HongKong"])), "buildings")
+	}
+}
+
+func BenchmarkFig11LabelSweep(b *testing.B) {
+	s := experiment.Scale{MicrosoftBuildings: 1, RecordsPerFloor: 25, SamplesPerEdge: 120, Repetitions: 1}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig11(s, []int{4, 40}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Dataset == "Microsoft" && r.LabelsPerFloor == 4 && r.Method == "GRAFICS" {
+				b.ReportMetric(r.MicroF, "microF/grafics@4")
+			}
+			if r.Dataset == "Microsoft" && r.LabelsPerFloor == 4 && r.Method == "Scalable-DNN" {
+				b.ReportMetric(r.MicroF, "microF/sdnn@4")
+			}
+		}
+	}
+}
+
+func BenchmarkFig12TrainRatio(b *testing.B) {
+	s := experiment.Scale{MicrosoftBuildings: 1, RecordsPerFloor: 25, SamplesPerEdge: 120, Repetitions: 1}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig12(s, []float64{0.3, 0.7}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Dataset == "Microsoft" {
+				b.ReportMetric(r.MicroF, fmt.Sprintf("microF@%d%%", r.TrainPct))
+			}
+		}
+	}
+}
+
+func BenchmarkFig13ELINEvsLINE(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig13(s, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Dataset == "Microsoft" && r.Labels == 4 {
+				if r.Variant == "E-LINE" {
+					b.ReportMetric(r.MicroF, "microF/e-line@4")
+				} else {
+					b.ReportMetric(r.MicroF, "microF/line@4")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig14GraphVsMatrix(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig14(s, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Dataset == "Microsoft" {
+				if r.Representation == "Graph" {
+					b.ReportMetric(r.MicroF, "microF/graph")
+				} else {
+					b.ReportMetric(r.MicroF, "microF/matrix")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig15DimSweep(b *testing.B) {
+	s := experiment.Scale{MicrosoftBuildings: 1, RecordsPerFloor: 25, SamplesPerEdge: 120, Repetitions: 1}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig15(s, []int{4, 8, 64}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Dataset == "Microsoft" {
+				b.ReportMetric(r.MicroF, fmt.Sprintf("microF/d%d", r.Dim))
+			}
+		}
+	}
+}
+
+func BenchmarkFig16WeightFn(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig16(s, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Dataset == "Microsoft" {
+				if r.WeightFn == "f=RSS+120" {
+					b.ReportMetric(r.MicroF, "microF/offset")
+				} else {
+					b.ReportMetric(r.MicroF, "microF/power")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig17MACFraction(b *testing.B) {
+	s := experiment.Scale{MicrosoftBuildings: 1, RecordsPerFloor: 25, SamplesPerEdge: 120, Repetitions: 1}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Fig17(s, []float64{0.1, 0.4, 1.0}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Dataset == "Microsoft" {
+				b.ReportMetric(r.MicroF, fmt.Sprintf("microF@%d%%MACs", r.MACPercent))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches (DESIGN.md §5).
+
+// benchCampusGraph builds a campus graph once for the ablation benches.
+func benchCampusGraph(b *testing.B, recordsPerFloor int) *rfgraph.Graph {
+	b.Helper()
+	corpus, err := simulate.Generate(simulate.Campus3F(recordsPerFloor, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := rfgraph.New(nil)
+	if _, err := g.AddRecords(corpus.Buildings[0].Records); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkAblationSymmetricTerm times E-LINE (two-sided objective)
+// against plain second-order LINE on the same graph, exposing the cost of
+// the symmetric term the paper adds.
+func BenchmarkAblationSymmetricTerm(b *testing.B) {
+	for _, mode := range []embed.Mode{embed.ModeELINE, embed.ModeLINESecond} {
+		b.Run(mode.String(), func(b *testing.B) {
+			g := benchCampusGraph(b, 40)
+			cfg := embed.DefaultConfig()
+			cfg.Mode = mode
+			cfg.SamplesPerEdge = 60
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := embed.Train(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNegativeSamples sweeps K, the negative-sample count.
+func BenchmarkAblationNegativeSamples(b *testing.B) {
+	for _, k := range []int{1, 5, 10} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			g := benchCampusGraph(b, 40)
+			cfg := embed.DefaultConfig()
+			cfg.NegativeSamples = k
+			cfg.SamplesPerEdge = 60
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := embed.Train(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOffsetValue verifies the paper's observation that the
+// offset value barely matters by scoring GRAFICS at several α.
+func BenchmarkAblationOffsetValue(b *testing.B) {
+	corpus, err := simulate.Generate(simulate.Campus3F(40, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alpha := range []float64{100, 120, 150} {
+		b.Run(fmt.Sprintf("alpha=%.0f", alpha), func(b *testing.B) {
+			m := experiment.GraficsWithWeight(
+				core.WeightSpec{Kind: core.WeightOffset, Alpha: alpha},
+				fmt.Sprintf("offset-%.0f", alpha), 120)
+			for i := 0; i < b.N; i++ {
+				cell, err := experiment.EvalCorpus(corpus, m, experiment.EvalOptions{LabelsPerFloor: 4, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cell.MicroF, "microF")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelSGD compares serial and Hogwild training.
+func BenchmarkAblationParallelSGD(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			g := benchCampusGraph(b, 60)
+			cfg := embed.DefaultConfig()
+			cfg.Workers = workers
+			cfg.SamplesPerEdge = 60
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := embed.Train(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationClusterConstraint compares the paper's constrained
+// clustering (≤1 labeled sample per cluster) against plain agglomeration
+// to the same cluster count, on overlapping blobs where the constraint
+// earns its keep. Each run reports the virtual-label accuracy.
+func BenchmarkAblationClusterConstraint(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const blobs, per, labelsPer = 3, 120, 4
+	var items []cluster.Item
+	truth := make([]int, 0, blobs*per)
+	for f := 0; f < blobs; f++ {
+		for i := 0; i < per; i++ {
+			label := cluster.Unlabeled
+			if i < labelsPer {
+				label = f
+			}
+			items = append(items, cluster.Item{
+				Index: f*per + i,
+				Vec:   []float64{float64(f)*4 + rng.NormFloat64()*1.4, rng.NormFloat64() * 1.4},
+				Label: label,
+			})
+			truth = append(truth, f)
+		}
+	}
+	accuracy := func(m *cluster.Model) float64 {
+		labels := m.MemberLabels()
+		ok := 0
+		for i, l := range labels {
+			if l == truth[i] {
+				ok++
+			}
+		}
+		return float64(ok) / float64(len(labels))
+	}
+	b.Run("constrained", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := cluster.Train(items)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(accuracy(m), "virtAcc")
+		}
+	})
+	b.Run("unconstrained", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := cluster.TrainUnconstrained(items, blobs*labelsPer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(accuracy(m), "virtAcc")
+		}
+	})
+}
+
+// BenchmarkAblationAPChurn scores GRAFICS as a growing share of APs are
+// installed/removed mid-campaign — the temporal heterogeneity of §III-A.
+// The metric shows the graceful degradation (and is the knob DESIGN.md
+// documents as available but off by default in the corpus profiles).
+func BenchmarkAblationAPChurn(b *testing.B) {
+	for _, churn := range []float64{0, 0.3, 0.6} {
+		b.Run(fmt.Sprintf("churn=%.1f", churn), func(b *testing.B) {
+			params := simulate.Campus3F(60, 1)
+			params.APChurnFraction = churn
+			corpus, err := simulate.Generate(params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := experiment.Grafics{SamplesPerEdge: 120}
+			for i := 0; i < b.N; i++ {
+				cell, err := experiment.EvalCorpus(corpus, m, experiment.EvalOptions{LabelsPerFloor: 4, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cell.MicroF, "microF")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the hot paths.
+
+func BenchmarkGraphAddRecord(b *testing.B) {
+	corpus, err := simulate.Generate(simulate.Campus3F(100, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := corpus.Buildings[0].Records
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := rfgraph.New(nil)
+		for j := range records {
+			if _, err := g.AddRecord(&records[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkELINETrainPerSample(b *testing.B) {
+	g := benchCampusGraph(b, 60)
+	cfg := embed.DefaultConfig()
+	cfg.SamplesPerEdge = 10
+	edges := len(g.DirectedEdges())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := embed.Train(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(edges*cfg.SamplesPerEdge), "sgdSamples/op")
+}
+
+// BenchmarkOnlinePredict measures the paper's real-time inference claim:
+// one online scan embedded and classified against a trained system.
+func BenchmarkOnlinePredict(b *testing.B) {
+	corpus, err := simulate.Generate(simulate.Campus3F(60, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := dataset.Split(&corpus.Buildings[0], 0.7, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dataset.SelectLabels(train, 4, rng)
+	sys := core.New(core.Config{})
+	if err := sys.AddTraining(train); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Fit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Predict(&test[i%len(test)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterTrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var items []cluster.Item
+	for f := 0; f < 5; f++ {
+		for i := 0; i < 100; i++ {
+			label := cluster.Unlabeled
+			if i < 4 {
+				label = f
+			}
+			items = append(items, cluster.Item{
+				Index: f*100 + i,
+				Vec:   []float64{float64(f)*8 + rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()},
+				Label: label,
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Train(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	weights := make([]float64, 10000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range weights {
+		weights[i] = rng.Float64() * 100
+	}
+	a, err := sampling.NewAlias(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Draw(rng)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunWritesCorpus(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.json")
+	err := run([]string{"-profile", "campus3f", "-records", "10", "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	c, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if len(c.Buildings) != 1 || c.Buildings[0].Floors != 3 {
+		t.Errorf("corpus shape wrong: %d buildings", len(c.Buildings))
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	for _, profile := range []string{"microsoft", "hongkong"} {
+		out := filepath.Join(t.TempDir(), profile+".json")
+		err := run([]string{"-profile", profile, "-buildings", "1", "-records", "5", "-out", out})
+		if err != nil {
+			t.Fatalf("run(%s): %v", profile, err)
+		}
+		if _, err := os.Stat(out); err != nil {
+			t.Errorf("output missing: %v", err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-profile", "bogus"}); err == nil {
+		t.Error("unknown profile should error")
+	}
+	if err := run([]string{"-profile", "campus3f", "-records", "0", "-out", "/tmp/x.json"}); err == nil {
+		t.Error("zero records should error")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/simulate"
+)
+
+func writeCorpus(t *testing.T) string {
+	t.Helper()
+	corpus, err := simulate.Generate(simulate.Campus3F(30, 1))
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "c.json")
+	if err := corpus.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	return path
+}
+
+func TestTrainEvalPredictFlow(t *testing.T) {
+	corpus := writeCorpus(t)
+	model := filepath.Join(t.TempDir(), "m.gob")
+	if err := run([]string{"train", "-corpus", corpus, "-labels", "4", "-model", model, "-samples-per-edge", "30"}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if err := run([]string{"eval", "-corpus", corpus, "-labels", "4", "-samples-per-edge", "30"}); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	// Build a scan file from the corpus.
+	c, err := dataset.LoadFile(corpus)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	scan := filepath.Join(t.TempDir(), "scan.json")
+	if err := writeRecordJSON(scan, c.Buildings[0].Records[0]); err != nil {
+		t.Fatalf("write scan: %v", err)
+	}
+	if err := run([]string{"predict", "-model", model, "-scan", scan}); err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand should error")
+	}
+	if err := run([]string{"train"}); err == nil {
+		t.Error("train without corpus should error")
+	}
+	if err := run([]string{"eval"}); err == nil {
+		t.Error("eval without corpus should error")
+	}
+	if err := run([]string{"predict", "-model", "/nonexistent.gob", "-scan", "/nonexistent.json"}); err == nil {
+		t.Error("missing model should error")
+	}
+}
+
+func TestLoadBuildingRange(t *testing.T) {
+	corpus := writeCorpus(t)
+	if _, err := loadBuilding(corpus, 5); err == nil {
+		t.Error("out-of-range building should error")
+	}
+	if _, err := loadBuilding(corpus, -1); err == nil {
+		t.Error("negative building should error")
+	}
+}
+
+func TestDecodeRecords(t *testing.T) {
+	one := []byte(`{"id":"r","readings":[{"mac":"m","rss":-50}]}`)
+	recs, err := decodeRecords(one)
+	if err != nil || len(recs) != 1 {
+		t.Errorf("single decode: %v, %d records", err, len(recs))
+	}
+	many := []byte(`[{"id":"a","readings":[]},{"id":"b","readings":[]}]`)
+	recs, err = decodeRecords(many)
+	if err != nil || len(recs) != 2 {
+		t.Errorf("array decode: %v, %d records", err, len(recs))
+	}
+	if _, err := decodeRecords([]byte("nonsense")); err == nil {
+		t.Error("garbage should error")
+	}
+}

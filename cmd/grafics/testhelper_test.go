@@ -1,0 +1,19 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+// writeRecordJSON dumps a single record as JSON for the predict
+// subcommand's -scan flag.
+func writeRecordJSON(path string, rec dataset.Record) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("marshal record: %w", err)
+	}
+	return os.WriteFile(path, raw, 0o644)
+}

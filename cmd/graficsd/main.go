@@ -1,0 +1,79 @@
+// Command graficsd serves floor identification over HTTP for a fleet of
+// buildings. It loads a corpus JSON (from datagen or a real collection),
+// trains one GRAFICS system per building, and exposes the prediction API
+// of internal/server:
+//
+//	graficsd -corpus corpus.json -labels 4 -addr :8080
+//
+//	curl localhost:8080/v1/buildings
+//	curl -X POST localhost:8080/v1/predict -d @scan.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/portfolio"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "graficsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("graficsd", flag.ContinueOnError)
+	corpusPath := fs.String("corpus", "", "corpus JSON path (required)")
+	labels := fs.Int("labels", 4, "labeled records per floor used for training")
+	seed := fs.Int64("seed", 1, "label-selection seed")
+	addr := fs.String("addr", ":8080", "listen address")
+	samples := fs.Int("samples-per-edge", 0, "E-LINE sample budget override")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *corpusPath == "" {
+		return fmt.Errorf("-corpus is required")
+	}
+	corpus, err := dataset.LoadFile(*corpusPath)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{}
+	cfg.Embed = embed.DefaultConfig()
+	if *samples > 0 {
+		cfg.Embed.SamplesPerEdge = *samples
+	}
+	p := portfolio.New(cfg)
+	for i := range corpus.Buildings {
+		b := &corpus.Buildings[i]
+		records := append([]dataset.Record(nil), b.Records...)
+		rng := rand.New(rand.NewSource(*seed + int64(i)))
+		granted := dataset.SelectLabels(records, *labels, rng)
+		start := time.Now()
+		if err := p.AddBuilding(b.Name, records); err != nil {
+			return fmt.Errorf("train %s: %w", b.Name, err)
+		}
+		log.Printf("trained %s: %d records, %d labels, %v", b.Name, len(records), granted, time.Since(start).Round(time.Millisecond))
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.Handler(p),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving %d buildings on %s", len(corpus.Buildings), *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+// Package grafics is a Go implementation of GRAFICS — Graph
+// Embedding-based Floor Identification using Crowdsourced RF Signals
+// (Zhuo et al., ICDCS 2022).
+//
+// GRAFICS identifies which floor of a building an RF (WiFi) scan was taken
+// on, using a crowdsourced corpus of scans of which only a handful carry
+// floor labels. It works in three stages:
+//
+//  1. A weighted bipartite graph is built with scan records on one side and
+//     sensed MAC addresses on the other; an edge weighted by f(RSS) = RSS+α
+//     connects a record to every MAC it observed. Variable-length scans are
+//     represented without the "missing value" imputation that matrix
+//     representations require.
+//  2. E-LINE — an extension of the LINE graph-embedding algorithm with a
+//     symmetric ego/context objective — embeds every node into a common
+//     low-dimensional space, placing records with overlapping local (even
+//     multi-hop) neighborhoods close together.
+//  3. Proximity-based hierarchical clustering groups record embeddings
+//     under the constraint that each cluster contains exactly one labeled
+//     record; the cluster's label classifies its members, and new scans are
+//     classified online by the nearest cluster centroid after a fast
+//     frozen-model embedding step.
+//
+// # Quick start
+//
+//	sys := grafics.New(grafics.Config{})
+//	if err := sys.AddTraining(trainRecords); err != nil { ... }
+//	if err := sys.Fit(); err != nil { ... }
+//	pred, err := sys.Predict(&scan)   // pred.Floor is the answer
+//
+// Training records are [Record] values; set Labeled on the few records
+// whose Floor is known. See the examples directory for end-to-end
+// programs, including a synthetic-corpus generator for experimentation.
+package grafics
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/rfgraph"
+	"repro/internal/simulate"
+)
+
+// Reading is one sensed access point in a scan: MAC address and RSS (dBm).
+type Reading = dataset.Reading
+
+// Record is one RF scan: a variable-length list of readings plus an
+// optional floor label (set Labeled to expose Floor to training).
+type Record = dataset.Record
+
+// Building is a collection of records from one multi-floor building.
+type Building = dataset.Building
+
+// Corpus is a named set of buildings.
+type Corpus = dataset.Corpus
+
+// Config configures a System. The zero value reproduces the paper's
+// setup: weight function f(RSS) = RSS + 120, 8-dimensional E-LINE
+// embeddings, and fast online inference.
+type Config = core.Config
+
+// EmbedConfig holds E-LINE/LINE training hyperparameters.
+type EmbedConfig = embed.Config
+
+// IncrementalConfig holds online-inference embedding hyperparameters.
+type IncrementalConfig = embed.IncrementalConfig
+
+// WeightSpec selects the RSS-to-edge-weight function.
+type WeightSpec = core.WeightSpec
+
+// Weight kinds for WeightSpec.
+const (
+	// WeightOffset selects f(RSS) = RSS + Alpha (the paper's choice).
+	WeightOffset = core.WeightOffset
+	// WeightPower selects g(RSS) = 10^{RSS/10} (evaluated in Fig. 16 and
+	// shown to be much worse).
+	WeightPower = core.WeightPower
+)
+
+// DefaultOffset is the paper's α in f(RSS) = RSS + α.
+const DefaultOffset = rfgraph.DefaultOffset
+
+// Embedding modes for EmbedConfig.Mode.
+const (
+	// ModeELINE is the paper's embedding objective (default).
+	ModeELINE = embed.ModeELINE
+	// ModeLINESecond is classic second-order LINE (ablation baseline).
+	ModeLINESecond = embed.ModeLINESecond
+	// ModeLINEFirst is classic first-order LINE.
+	ModeLINEFirst = embed.ModeLINEFirst
+)
+
+// System is a GRAFICS floor-identification model; see the package
+// documentation for the lifecycle.
+type System = core.System
+
+// Prediction is the outcome of classifying one record.
+type Prediction = core.Prediction
+
+// GraphStats summarizes the system's bipartite graph.
+type GraphStats = core.GraphStats
+
+// Errors returned by the System lifecycle.
+var (
+	// ErrNotTrained is returned by inference methods before Fit.
+	ErrNotTrained = core.ErrNotTrained
+	// ErrAlreadyFit is returned when mutating a trained system.
+	ErrAlreadyFit = core.ErrAlreadyFit
+	// ErrNoTraining is returned by Fit without training data.
+	ErrNoTraining = core.ErrNoTraining
+	// ErrOutOfBuilding marks scans sharing no MAC with the corpus.
+	ErrOutOfBuilding = core.ErrOutOfBuilding
+)
+
+// New returns an untrained System.
+func New(cfg Config) *System { return core.New(cfg) }
+
+// DefaultEmbedConfig returns the paper's E-LINE hyperparameters.
+func DefaultEmbedConfig() EmbedConfig { return embed.DefaultConfig() }
+
+// DefaultIncrementalConfig returns the online-inference defaults.
+func DefaultIncrementalConfig() IncrementalConfig { return embed.DefaultIncrementalConfig() }
+
+// Load reads a trained System previously written with System.Save.
+func Load(r io.Reader) (*System, error) { return core.Load(r) }
+
+// LoadFile reads a trained System from a file.
+func LoadFile(path string) (*System, error) { return core.LoadFile(path) }
+
+// SimulateParams configures the synthetic crowdsourced-corpus generator
+// that stands in for the paper's proprietary datasets (see DESIGN.md §2).
+type SimulateParams = simulate.Params
+
+// MicrosoftLikeParams mimics the Kaggle corpus: many 2-12 floor buildings.
+func MicrosoftLikeParams(numBuildings, recordsPerFloor int, seed int64) SimulateParams {
+	return simulate.MicrosoftLike(numBuildings, recordsPerFloor, seed)
+}
+
+// HongKongLikeParams mimics the authors' five large Hong Kong facilities.
+func HongKongLikeParams(recordsPerFloor int, seed int64) SimulateParams {
+	return simulate.HongKongLike(recordsPerFloor, seed)
+}
+
+// Campus3FParams mimics the three-story campus building of Fig. 6-8.
+func Campus3FParams(recordsPerFloor int, seed int64) SimulateParams {
+	return simulate.Campus3F(recordsPerFloor, seed)
+}
+
+// GenerateCorpus produces a synthetic corpus under params.
+func GenerateCorpus(params SimulateParams) (*Corpus, error) {
+	return simulate.Generate(params)
+}
+
+// SplitRecords partitions a building's records into train/test subsets
+// (stratified by floor) with the given training fraction.
+func SplitRecords(b *Building, trainFraction float64, seed int64) (train, test []Record, err error) {
+	rng := newRand(seed)
+	return dataset.Split(b, trainFraction, rng)
+}
+
+// SelectLabels marks perFloor randomly chosen records per floor as labeled
+// and unlabels the rest, returning the number of labels granted.
+func SelectLabels(records []Record, perFloor int, seed int64) int {
+	return dataset.SelectLabels(records, perFloor, newRand(seed))
+}

@@ -1,0 +1,217 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/simulate"
+)
+
+// campusSplit generates a 3-floor building and returns labeled train and
+// test records.
+func campusSplit(t *testing.T, recordsPerFloor, labelsPerFloor int, seed int64) (train, test []dataset.Record) {
+	t.Helper()
+	corpus, err := simulate.Generate(simulate.Campus3F(recordsPerFloor, seed))
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	train, test, err = dataset.Split(&corpus.Buildings[0], 0.7, rng)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	dataset.SelectLabels(train, labelsPerFloor, rng)
+	return train, test
+}
+
+func microF(t *testing.T, test []dataset.Record, pred []int) float64 {
+	t.Helper()
+	trueL := make([]int, len(test))
+	for i := range test {
+		trueL[i] = test[i].Floor
+	}
+	rep, err := metrics.Evaluate(trueL, pred)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	return rep.MicroF
+}
+
+func TestVocabulary(t *testing.T) {
+	records := []dataset.Record{
+		{ID: "a", Readings: []dataset.Reading{{MAC: "m2", RSS: -60}, {MAC: "m1", RSS: -70}}},
+		{ID: "b", Readings: []dataset.Reading{{MAC: "m3", RSS: -50}}},
+	}
+	v := NewVocabulary(records)
+	if v.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", v.Size())
+	}
+	row := v.Row(&records[0])
+	// Sorted vocab: m1, m2, m3. m1 at -70 -> 0.5; m2 at -60 -> 0.6; m3 absent -> 0.
+	if row[0] != 0.5 || row[1] != 0.6 || row[2] != 0 {
+		t.Errorf("Row = %v, want [0.5 0.6 0]", row)
+	}
+	// Unknown MAC at test time is dropped.
+	alien := dataset.Record{ID: "x", Readings: []dataset.Reading{{MAC: "zz", RSS: -40}}}
+	row = v.Row(&alien)
+	for _, x := range row {
+		if x != 0 {
+			t.Error("unknown MAC leaked into row")
+		}
+	}
+}
+
+func TestVocabularyDuplicateKeepsStrongest(t *testing.T) {
+	rec := dataset.Record{ID: "a", Readings: []dataset.Reading{
+		{MAC: "m1", RSS: -90}, {MAC: "m1", RSS: -40},
+	}}
+	v := NewVocabulary([]dataset.Record{rec})
+	row := v.Row(&rec)
+	if row[0] != 0.8 {
+		t.Errorf("Row = %v, want 0.8 (strongest)", row[0])
+	}
+}
+
+func TestPseudoLabels(t *testing.T) {
+	train := []dataset.Record{
+		{Floor: 0, Labeled: true},
+		{Floor: 5, Labeled: true},
+		{Floor: 9}, // unlabeled, true floor irrelevant
+		{Floor: 9},
+	}
+	vecs := [][]float64{{0, 0}, {10, 0}, {1, 0}, {9, 0}}
+	labels, err := pseudoLabels(vecs, train)
+	if err != nil {
+		t.Fatalf("pseudoLabels: %v", err)
+	}
+	want := []int{0, 5, 0, 5}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("labels[%d] = %d, want %d", i, labels[i], want[i])
+		}
+	}
+	if _, err := pseudoLabels(vecs, make([]dataset.Record, 4)); !errors.Is(err, ErrNoLabeledTraining) {
+		t.Errorf("unlabeled error = %v, want ErrNoLabeledTraining", err)
+	}
+}
+
+func TestMatrixProx(t *testing.T) {
+	train, test := campusSplit(t, 40, 4, 1)
+	pred, err := (MatrixProx{}).FitPredict(train, test, 1)
+	if err != nil {
+		t.Fatalf("FitPredict: %v", err)
+	}
+	if len(pred) != len(test) {
+		t.Fatalf("pred = %d, want %d", len(pred), len(test))
+	}
+	// Must do better than chance on 3 floors but the paper expects it to
+	// be clearly imperfect.
+	if f := microF(t, test, pred); f < 0.34 {
+		t.Errorf("matrix micro-F %v below chance", f)
+	}
+}
+
+func TestMDSProx(t *testing.T) {
+	train, test := campusSplit(t, 30, 4, 2)
+	pred, err := (MDSProx{Dim: 8}).FitPredict(train, test, 2)
+	if err != nil {
+		t.Fatalf("FitPredict: %v", err)
+	}
+	if len(pred) != len(test) {
+		t.Fatalf("pred = %d, want %d", len(pred), len(test))
+	}
+	if f := microF(t, test, pred); f < 0.3 {
+		t.Errorf("MDS micro-F %v below chance", f)
+	}
+}
+
+func TestAutoencoderProx(t *testing.T) {
+	train, test := campusSplit(t, 25, 4, 3)
+	pred, err := (AutoencoderProx{Dim: 8, Epochs: 5}).FitPredict(train, test, 3)
+	if err != nil {
+		t.Fatalf("FitPredict: %v", err)
+	}
+	if len(pred) != len(test) {
+		t.Fatalf("pred = %d, want %d", len(pred), len(test))
+	}
+	if f := microF(t, test, pred); f < 0.3 {
+		t.Errorf("autoencoder micro-F %v below chance", f)
+	}
+}
+
+func TestScalableDNN(t *testing.T) {
+	train, test := campusSplit(t, 25, 4, 4)
+	pred, err := (ScalableDNN{Dim: 8, PretrainEpochs: 5, ClassifierEpochs: 15}).FitPredict(train, test, 4)
+	if err != nil {
+		t.Fatalf("FitPredict: %v", err)
+	}
+	if len(pred) != len(test) {
+		t.Fatalf("pred = %d, want %d", len(pred), len(test))
+	}
+	if f := microF(t, test, pred); f < 0.3 {
+		t.Errorf("scalable-dnn micro-F %v below chance", f)
+	}
+}
+
+func TestSAE(t *testing.T) {
+	train, test := campusSplit(t, 25, 4, 5)
+	pred, err := (SAE{PretrainEpochs: 5, FineTuneEpochs: 15}).FitPredict(train, test, 5)
+	if err != nil {
+		t.Fatalf("FitPredict: %v", err)
+	}
+	if len(pred) != len(test) {
+		t.Fatalf("pred = %d, want %d", len(pred), len(test))
+	}
+	if f := microF(t, test, pred); f < 0.3 {
+		t.Errorf("sae micro-F %v below chance", f)
+	}
+}
+
+func TestSupervisedImproveWithMoreLabels(t *testing.T) {
+	// The paper's core claim about the supervised baselines: their
+	// accuracy climbs steeply with label count.
+	trainFew, testFew := campusSplit(t, 30, 1, 6)
+	trainMany, testMany := campusSplit(t, 30, 20, 6)
+	m := ScalableDNN{Dim: 8, PretrainEpochs: 5, ClassifierEpochs: 15}
+	predFew, err := m.FitPredict(trainFew, testFew, 6)
+	if err != nil {
+		t.Fatalf("few labels: %v", err)
+	}
+	predMany, err := m.FitPredict(trainMany, testMany, 6)
+	if err != nil {
+		t.Fatalf("many labels: %v", err)
+	}
+	fFew := microF(t, testFew, predFew)
+	fMany := microF(t, testMany, predMany)
+	if fMany < fFew-0.05 {
+		t.Errorf("more labels did not help: %v (1/floor) vs %v (20/floor)", fFew, fMany)
+	}
+}
+
+func TestNoLabeledRecords(t *testing.T) {
+	train, test := campusSplit(t, 10, 4, 7)
+	for i := range train {
+		train[i].Labeled = false
+	}
+	if _, err := (MatrixProx{}).FitPredict(train, test, 7); !errors.Is(err, ErrNoLabeledTraining) {
+		t.Errorf("error = %v, want ErrNoLabeledTraining", err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := map[string]FitPredictor{
+		"MDS":          MDSProx{},
+		"Autoencoder":  AutoencoderProx{},
+		"Matrix":       MatrixProx{},
+		"Scalable-DNN": ScalableDNN{},
+		"SAE":          SAE{},
+	}
+	for want, m := range names {
+		if m.Name() != want {
+			t.Errorf("Name = %q, want %q", m.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package cluster implements GRAFICS' proximity-based hierarchical
+// clustering (§IV-C): agglomerative average-linkage clustering over node
+// embeddings under the constraint that a cluster may contain at most one
+// floor-labeled sample. Merging stops when every cluster holds exactly one
+// labeled sample; each cluster's label then classifies its members, and new
+// samples are classified by the nearest cluster centroid (§V-B).
+package cluster
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Unlabeled marks an item without a floor label.
+const Unlabeled = -1
+
+// Item is one sample to cluster: an embedding vector, an opaque index
+// (typically the graph NodeID or the position in the training set), and a
+// label (floor number, or Unlabeled).
+type Item struct {
+	Index int
+	Vec   []float64
+	Label int
+}
+
+// Errors returned by Train.
+var (
+	ErrNoItems     = errors.New("cluster: no items to cluster")
+	ErrNoLabels    = errors.New("cluster: no labeled items; clustering needs at least one label")
+	ErrDimMismatch = errors.New("cluster: items have differing vector dimensions")
+)
+
+// Merge records one agglomeration step for the Fig. 8 progression: the two
+// cluster roots merged and the linkage distance at which it happened.
+type Merge struct {
+	A, B     int
+	Distance float64
+}
+
+// Cluster is one final cluster: its floor label, centroid in embedding
+// space, and member item indices.
+type Cluster struct {
+	Label    int
+	Centroid []float64
+	Members  []int
+}
+
+// Model is the trained classifier.
+type Model struct {
+	Clusters []Cluster
+	// Trace is the full merge sequence, usable to reconstruct the
+	// clustering at any intermediate point (Fig. 8).
+	Trace []Merge
+
+	// NumItems is the number of items Train clustered (retained so the
+	// model can be serialized and traces replayed).
+	NumItems int
+}
+
+// pair is a candidate merge in the lazy priority queue. Fields are int32 to
+// keep the O(n²) initial heap compact.
+type pair struct {
+	dist    float64 // linkage distance at push time
+	a, b    int32   // cluster roots at push time
+	version int32   // sum of cluster versions at push time, for invalidation
+}
+
+type pairHeap []pair
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pair)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Train builds the proximity-based hierarchical clustering of items.
+// Average linkage is maintained exactly via the Lance–Williams recurrence,
+// which for group-average linkage is
+//
+//	d(k, i∪j) = (|i| d(k,i) + |j| d(k,j)) / (|i| + |j|),
+//
+// matching the paper's cluster distance (Eq. 11): the mean pairwise
+// Euclidean distance between members.
+func Train(items []Item) (*Model, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, ErrNoItems
+	}
+	dim := len(items[0].Vec)
+	labeled := 0
+	for i := range items {
+		if len(items[i].Vec) != dim {
+			return nil, fmt.Errorf("%w: item %d has dim %d, want %d", ErrDimMismatch, i, len(items[i].Vec), dim)
+		}
+		if items[i].Label != Unlabeled {
+			labeled++
+		}
+	}
+	if labeled == 0 {
+		return nil, ErrNoLabels
+	}
+
+	// Active cluster state. Clusters are identified by their root index.
+	active := make([]bool, n)
+	size := make([]int, n)
+	hasLabel := make([]bool, n)
+	label := make([]int, n)
+	version := make([]int32, n)
+	members := make([][]int, n)
+	for i := range items {
+		active[i] = true
+		size[i] = 1
+		hasLabel[i] = items[i].Label != Unlabeled
+		label[i] = items[i].Label
+		members[i] = []int{i}
+	}
+
+	// Pairwise distance matrix (flat, row-major). For the corpus sizes in
+	// this repository (a few thousand records per building) the O(n²)
+	// memory is the pragmatic choice and matches the reference
+	// implementation's complexity.
+	dist := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := linalg.Distance(items[i].Vec, items[j].Vec)
+			dist[i*n+j] = d
+			dist[j*n+i] = d
+		}
+	}
+
+	h := make(pairHeap, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			h = append(h, pair{a: int32(i), b: int32(j), dist: dist[i*n+j]})
+		}
+	}
+	heap.Init(&h)
+
+	model := &Model{NumItems: n}
+	remaining := n
+	for remaining > labeled && h.Len() > 0 {
+		p := heap.Pop(&h).(pair)
+		if !active[p.a] || !active[p.b] {
+			continue
+		}
+		if p.version != version[p.a]+version[p.b] {
+			continue // stale: one side merged since push
+		}
+		if hasLabel[p.a] && hasLabel[p.b] {
+			// Constraint: never merge two labeled clusters. This pair can
+			// never become mergeable, so drop it.
+			continue
+		}
+		a, b := int(p.a), int(p.b)
+		model.Trace = append(model.Trace, Merge{A: a, B: b, Distance: p.dist})
+		// Merge b into a.
+		active[b] = false
+		version[a]++
+		na, nb := float64(size[a]), float64(size[b])
+		for k := 0; k < n; k++ {
+			if !active[k] || k == a {
+				continue
+			}
+			nd := (na*dist[a*n+k] + nb*dist[b*n+k]) / (na + nb)
+			dist[a*n+k] = nd
+			dist[k*n+a] = nd
+			if hasLabel[a] || hasLabel[b] {
+				if hasLabel[k] {
+					continue // will remain forbidden
+				}
+			}
+			heap.Push(&h, pair{a: int32(a), b: int32(k), dist: nd, version: version[a] + version[k]})
+		}
+		size[a] += size[b]
+		members[a] = append(members[a], members[b]...)
+		members[b] = nil
+		if hasLabel[b] {
+			hasLabel[a] = true
+			label[a] = label[b]
+		}
+		remaining--
+	}
+
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			continue
+		}
+		c := Cluster{Label: Unlabeled, Members: members[i]}
+		if hasLabel[i] {
+			c.Label = label[i]
+		}
+		vecs := make([][]float64, 0, len(members[i]))
+		for _, m := range members[i] {
+			vecs = append(vecs, items[m].Vec)
+		}
+		c.Centroid = linalg.Mean(vecs)
+		model.Clusters = append(model.Clusters, c)
+	}
+	return model, nil
+}
+
+// Predict returns the label of the cluster whose centroid is nearest to
+// vec, along with the cluster index and the distance. Clusters that ended
+// up unlabeled (possible only when merging was cut short) are skipped.
+func (m *Model) Predict(vec []float64) (label, clusterIdx int, distance float64) {
+	label = Unlabeled
+	clusterIdx = -1
+	distance = math.Inf(1)
+	for i := range m.Clusters {
+		c := &m.Clusters[i]
+		if c.Label == Unlabeled {
+			continue
+		}
+		if d := linalg.Distance(vec, c.Centroid); d < distance {
+			distance = d
+			clusterIdx = i
+			label = c.Label
+		}
+	}
+	return label, clusterIdx, distance
+}
+
+// MemberLabels returns the virtual label assigned to every item by its
+// final cluster (the paper's "labels are virtually predicted" step for the
+// unlabeled training samples). The result is indexed like the items slice
+// given to Train.
+func (m *Model) MemberLabels() []int {
+	out := make([]int, m.NumItems)
+	for i := range out {
+		out[i] = Unlabeled
+	}
+	for _, c := range m.Clusters {
+		for _, idx := range c.Members {
+			out[idx] = c.Label
+		}
+	}
+	return out
+}
+
+// AssignmentsAfter replays the merge trace through the first k merges and
+// returns, for each item, a representative root index identifying its
+// cluster at that point. It reconstructs the Fig. 8 progression without
+// retraining.
+func (m *Model) AssignmentsAfter(k int) []int {
+	if k > len(m.Trace) {
+		k = len(m.Trace)
+	}
+	parent := make([]int, m.NumItems)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < k; i++ {
+		a, b := find(m.Trace[i].A), find(m.Trace[i].B)
+		if a != b {
+			parent[b] = a
+		}
+	}
+	out := make([]int, m.NumItems)
+	for i := range out {
+		out[i] = find(i)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// TrainUnconstrained runs plain average-linkage agglomerative clustering
+// down to k clusters, ignoring labels during merging; each final cluster
+// is then labeled by the labeled item it contains (or by majority of
+// labeled items when it swallowed several, or left Unlabeled). It exists
+// as the ablation partner of Train: comparing the two isolates the value
+// of GRAFICS' ≤1-labeled-sample merge constraint.
+func TrainUnconstrained(items []Item, k int) (*Model, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, ErrNoItems
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: k=%d outside [1,%d]", k, n)
+	}
+	dim := len(items[0].Vec)
+	for i := range items {
+		if len(items[i].Vec) != dim {
+			return nil, fmt.Errorf("%w: item %d has dim %d, want %d", ErrDimMismatch, i, len(items[i].Vec), dim)
+		}
+	}
+
+	active := make([]bool, n)
+	size := make([]int, n)
+	version := make([]int32, n)
+	members := make([][]int, n)
+	for i := range items {
+		active[i] = true
+		size[i] = 1
+		members[i] = []int{i}
+	}
+	dist := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := linalg.Distance(items[i].Vec, items[j].Vec)
+			dist[i*n+j] = d
+			dist[j*n+i] = d
+		}
+	}
+	h := make(pairHeap, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			h = append(h, pair{a: int32(i), b: int32(j), dist: dist[i*n+j]})
+		}
+	}
+	heap.Init(&h)
+
+	model := &Model{NumItems: n}
+	remaining := n
+	for remaining > k && h.Len() > 0 {
+		p := heap.Pop(&h).(pair)
+		if !active[p.a] || !active[p.b] {
+			continue
+		}
+		if p.version != version[p.a]+version[p.b] {
+			continue
+		}
+		a, b := int(p.a), int(p.b)
+		model.Trace = append(model.Trace, Merge{A: a, B: b, Distance: p.dist})
+		active[b] = false
+		version[a]++
+		na, nb := float64(size[a]), float64(size[b])
+		for q := 0; q < n; q++ {
+			if !active[q] || q == a {
+				continue
+			}
+			nd := (na*dist[a*n+q] + nb*dist[b*n+q]) / (na + nb)
+			dist[a*n+q] = nd
+			dist[q*n+a] = nd
+			heap.Push(&h, pair{a: int32(a), b: int32(q), dist: nd, version: version[a] + version[q]})
+		}
+		size[a] += size[b]
+		members[a] = append(members[a], members[b]...)
+		members[b] = nil
+		remaining--
+	}
+
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			continue
+		}
+		c := Cluster{Label: Unlabeled, Members: members[i]}
+		votes := map[int]int{}
+		for _, m := range members[i] {
+			if items[m].Label != Unlabeled {
+				votes[items[m].Label]++
+			}
+		}
+		best := 0
+		for label, count := range votes {
+			if count > best {
+				best = count
+				c.Label = label
+			}
+		}
+		vecs := make([][]float64, 0, len(members[i]))
+		for _, m := range members[i] {
+			vecs = append(vecs, items[m].Vec)
+		}
+		c.Centroid = linalg.Mean(vecs)
+		model.Clusters = append(model.Clusters, c)
+	}
+	return model, nil
+}

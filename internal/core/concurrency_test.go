@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPredictAndAbsorb hammers a trained system from multiple
+// goroutines mixing read-only predictions, graph-mutating absorbs, and MAC
+// removals; run under -race this validates the locking discipline.
+func TestConcurrentPredictAndAbsorb(t *testing.T) {
+	train, test := campusSplit(t, 40, 4, 21)
+	s := New(fastConfig())
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(test); i += workers {
+				rec := test[i]
+				var err error
+				switch i % 3 {
+				case 0:
+					_, err = s.Predict(&rec)
+				case 1:
+					rec.ID = rec.ID + "-absorb"
+					_, err = s.Absorb(&rec)
+				default:
+					_, err = s.TrainingAssignments()
+					s.Stats()
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent op: %v", err)
+	}
+	// System still functional afterwards.
+	if _, err := s.Predict(&test[0]); err != nil {
+		t.Errorf("post-stress Predict: %v", err)
+	}
+}

@@ -1,0 +1,358 @@
+// Package core assembles the full GRAFICS system from its components:
+// bipartite-graph construction (rfgraph), E-LINE graph embedding (embed),
+// and proximity-based hierarchical clustering (cluster). It exposes the
+// offline-training / online-inference lifecycle of §III-B of the paper and
+// model persistence. The exported facade for library users lives in the
+// repository root package; this package holds the mechanics.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/rfgraph"
+)
+
+// WeightKind selects the RSS-to-weight mapping for graph edges.
+type WeightKind int
+
+// Weight kinds (Fig. 16 compares these).
+const (
+	// WeightOffset is the paper's f(RSS) = RSS + Alpha.
+	WeightOffset WeightKind = iota + 1
+	// WeightPower is the dBm-to-milliwatt mapping g(RSS) = 10^{RSS/10}.
+	WeightPower
+)
+
+// WeightSpec is a serializable description of a weight function.
+type WeightSpec struct {
+	Kind  WeightKind
+	Alpha float64
+}
+
+// Func materializes the weight function.
+func (w WeightSpec) Func() rfgraph.WeightFunc {
+	switch w.Kind {
+	case WeightPower:
+		return rfgraph.PowerWeight()
+	default:
+		alpha := w.Alpha
+		if alpha == 0 {
+			alpha = rfgraph.DefaultOffset
+		}
+		return rfgraph.OffsetWeight(alpha)
+	}
+}
+
+// Config configures a System.
+type Config struct {
+	// Weight selects the edge weight function; the zero value means
+	// f(RSS) = RSS + 120 as in the paper.
+	Weight WeightSpec
+	// Embed holds E-LINE hyperparameters; zero value means
+	// embed.DefaultConfig().
+	Embed embed.Config
+	// Incremental holds online-inference hyperparameters; zero value
+	// means embed.DefaultIncrementalConfig().
+	Incremental embed.IncrementalConfig
+}
+
+// normalized fills zero-valued sections with defaults.
+func (c Config) normalized() Config {
+	if c.Embed == (embed.Config{}) {
+		c.Embed = embed.DefaultConfig()
+	}
+	if c.Incremental == (embed.IncrementalConfig{}) {
+		c.Incremental = embed.DefaultIncrementalConfig()
+	}
+	if c.Weight.Kind == 0 {
+		c.Weight = WeightSpec{Kind: WeightOffset, Alpha: rfgraph.DefaultOffset}
+	}
+	return c
+}
+
+// Errors returned by the system lifecycle.
+var (
+	ErrNotTrained    = errors.New("core: system is not trained; call Fit first")
+	ErrAlreadyFit    = errors.New("core: system already trained")
+	ErrNoTraining    = errors.New("core: no training records added")
+	ErrOutOfBuilding = errors.New("core: record shares no MAC with the training data; likely collected outside the building")
+)
+
+// System is a GRAFICS floor-identification model. Create with New, feed
+// training records with AddTraining, train with Fit, then classify online
+// records with Predict or Absorb. A System is safe for concurrent use.
+type System struct {
+	mu sync.Mutex
+
+	cfg     Config
+	graph   *rfgraph.Graph
+	emb     *embed.Embedding
+	model   *cluster.Model
+	trained bool
+
+	// trainRecords holds training records in insertion order; trainNodes
+	// holds their graph node IDs at the same indices.
+	trainRecords []dataset.Record
+	trainNodes   []rfgraph.NodeID
+
+	// predictSeq names synthetic nodes for repeated predictions.
+	predictSeq int
+}
+
+// New returns an untrained System.
+func New(cfg Config) *System {
+	cfg = cfg.normalized()
+	return &System{
+		cfg:   cfg,
+		graph: rfgraph.New(cfg.Weight.Func()),
+	}
+}
+
+// Config returns the (normalized) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// AddTraining inserts training records into the bipartite graph. Records
+// whose Labeled flag is set anchor clusters during Fit. Each record is
+// inserted atomically; on error, earlier records of the batch remain.
+func (s *System) AddTraining(records []dataset.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.trained {
+		return ErrAlreadyFit
+	}
+	for i := range records {
+		id, err := s.graph.AddRecord(&records[i])
+		if err != nil {
+			return fmt.Errorf("core: training record %d (%s): %w", i, records[i].ID, err)
+		}
+		s.trainRecords = append(s.trainRecords, records[i])
+		s.trainNodes = append(s.trainNodes, id)
+	}
+	return nil
+}
+
+// Fit runs offline training: E-LINE over the bipartite graph, then
+// proximity-based hierarchical clustering of the record-node ego
+// embeddings anchored at the labeled records.
+func (s *System) Fit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.trained {
+		return ErrAlreadyFit
+	}
+	if len(s.trainRecords) == 0 {
+		return ErrNoTraining
+	}
+	emb, err := embed.Train(s.graph, s.cfg.Embed)
+	if err != nil {
+		return fmt.Errorf("core: embedding: %w", err)
+	}
+	items := make([]cluster.Item, len(s.trainRecords))
+	for i := range s.trainRecords {
+		label := cluster.Unlabeled
+		if s.trainRecords[i].Labeled {
+			label = s.trainRecords[i].Floor
+		}
+		items[i] = cluster.Item{
+			Index: i,
+			Vec:   emb.EgoOf(s.trainNodes[i]),
+			Label: label,
+		}
+	}
+	model, err := cluster.Train(items)
+	if err != nil {
+		return fmt.Errorf("core: clustering: %w", err)
+	}
+	s.emb = emb
+	s.model = model
+	s.trained = true
+	return nil
+}
+
+// Trained reports whether Fit has completed.
+func (s *System) Trained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trained
+}
+
+// Prediction is the outcome of classifying one record.
+type Prediction struct {
+	// Floor is the predicted floor label.
+	Floor int
+	// ClusterIndex identifies the winning cluster.
+	ClusterIndex int
+	// Distance is the embedding-space distance to the winning centroid.
+	Distance float64
+	// Embedding is the record's learned ego embedding.
+	Embedding []float64
+}
+
+// knownMACs counts the record's readings whose MAC already has a node.
+func (s *System) knownMACs(rec *dataset.Record) int {
+	n := 0
+	for _, rd := range rec.Readings {
+		if _, ok := s.graph.MACNode(rd.MAC); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// predictLocked runs the §V online-inference pipeline. The caller holds
+// s.mu. When retain is false, the record (and any MAC nodes it introduced)
+// are removed again afterwards, leaving the graph unchanged.
+func (s *System) predictLocked(rec *dataset.Record, retain bool) (Prediction, error) {
+	if !s.trained {
+		return Prediction{}, ErrNotTrained
+	}
+	if s.knownMACs(rec) == 0 {
+		// Footnote 1 of the paper: a sample containing only never-seen
+		// MACs was likely collected outside the building.
+		return Prediction{}, fmt.Errorf("%w: record %q", ErrOutOfBuilding, rec.ID)
+	}
+	// Give the node a unique internal name so repeated predictions of the
+	// same scan do not collide.
+	insert := *rec
+	insert.ID = fmt.Sprintf("online-%d-%s", s.predictSeq, rec.ID)
+	s.predictSeq++
+	var newMACs []string
+	if !retain {
+		for _, rd := range insert.Readings {
+			if _, ok := s.graph.MACNode(rd.MAC); !ok {
+				newMACs = append(newMACs, rd.MAC)
+			}
+		}
+	}
+	id, err := s.graph.AddRecord(&insert)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("core: online insert: %w", err)
+	}
+	inc := s.cfg.Incremental
+	inc.Seed += int64(s.predictSeq) // decorrelate successive predictions
+	if err := embed.EmbedNewNode(s.graph, s.emb, id, inc); err != nil {
+		return Prediction{}, fmt.Errorf("core: online embedding: %w", err)
+	}
+	ego := s.emb.EgoOf(id)
+	floor, clusterIdx, dist := s.model.Predict(ego)
+	pred := Prediction{
+		Floor:        floor,
+		ClusterIndex: clusterIdx,
+		Distance:     dist,
+		Embedding:    append([]float64(nil), ego...),
+	}
+	if !retain {
+		if err := s.graph.RemoveRecord(insert.ID); err != nil {
+			return pred, fmt.Errorf("core: online cleanup: %w", err)
+		}
+		for _, mac := range newMACs {
+			if err := s.graph.RemoveMAC(mac); err != nil {
+				return pred, fmt.Errorf("core: online cleanup of MAC %q: %w", mac, err)
+			}
+		}
+	}
+	return pred, nil
+}
+
+// Predict classifies an online record without permanently modifying the
+// system: the record is inserted, embedded against the frozen model,
+// classified, and removed again.
+func (s *System) Predict(rec *dataset.Record) (Prediction, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.predictLocked(rec, false)
+}
+
+// Absorb classifies an online record and keeps it (and any new MACs it
+// introduced) in the bipartite graph — the paper's long-running deployment
+// mode where the graph grows with the crowd.
+func (s *System) Absorb(rec *dataset.Record) (Prediction, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.predictLocked(rec, true)
+}
+
+// PredictBatch classifies each record, returning per-record predictions
+// and a parallel slice of errors (nil entries on success).
+func (s *System) PredictBatch(records []dataset.Record) ([]Prediction, []error) {
+	preds := make([]Prediction, len(records))
+	errs := make([]error, len(records))
+	for i := range records {
+		preds[i], errs[i] = s.Predict(&records[i])
+	}
+	return preds, errs
+}
+
+// RemoveMAC retires an access point from the graph (environment churn).
+// The embeddings and clusters are not retrained.
+func (s *System) RemoveMAC(mac string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.graph.RemoveMAC(mac)
+}
+
+// TrainingAssignments returns the virtual floor label that clustering gave
+// every training record, in insertion order.
+func (s *System) TrainingAssignments() ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.trained {
+		return nil, ErrNotTrained
+	}
+	return s.model.MemberLabels(), nil
+}
+
+// TrainingEmbedding returns the learned ego embedding of the i-th training
+// record.
+func (s *System) TrainingEmbedding(i int) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.trained {
+		return nil, ErrNotTrained
+	}
+	if i < 0 || i >= len(s.trainNodes) {
+		return nil, fmt.Errorf("core: training index %d out of range [0,%d)", i, len(s.trainNodes))
+	}
+	return append([]float64(nil), s.emb.EgoOf(s.trainNodes[i])...), nil
+}
+
+// TrainingRecords returns the number of training records.
+func (s *System) TrainingRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.trainRecords)
+}
+
+// ClusterModel exposes the trained clustering (read-only) for diagnostics
+// and the Fig. 8 progression.
+func (s *System) ClusterModel() (*cluster.Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.trained {
+		return nil, ErrNotTrained
+	}
+	return s.model, nil
+}
+
+// GraphStats summarizes the bipartite graph.
+type GraphStats struct {
+	Records int
+	MACs    int
+	Edges   int
+}
+
+// Stats returns current graph statistics.
+func (s *System) Stats() GraphStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return GraphStats{
+		Records: s.graph.NumRecords(),
+		MACs:    s.graph.NumMACs(),
+		Edges:   s.graph.NumEdges(),
+	}
+}

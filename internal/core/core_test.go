@@ -1,0 +1,300 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/metrics"
+	"repro/internal/simulate"
+)
+
+// campusSplit generates the 3-floor campus corpus and returns a labeled
+// training split plus a test split.
+func campusSplit(t *testing.T, recordsPerFloor, labelsPerFloor int, seed int64) (train, test []dataset.Record) {
+	t.Helper()
+	corpus, err := simulate.Generate(simulate.Campus3F(recordsPerFloor, seed))
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	train, test, err = dataset.Split(&corpus.Buildings[0], 0.7, rng)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	dataset.SelectLabels(train, labelsPerFloor, rng)
+	return train, test
+}
+
+func fastConfig() Config {
+	cfg := Config{}
+	cfg.Embed = embed.DefaultConfig()
+	cfg.Embed.SamplesPerEdge = 40
+	return cfg
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	s := New(Config{})
+	if err := s.Fit(); !errors.Is(err, ErrNoTraining) {
+		t.Errorf("Fit on empty = %v, want ErrNoTraining", err)
+	}
+	rec := dataset.Record{ID: "x", Readings: []dataset.Reading{{MAC: "m", RSS: -50}}}
+	if _, err := s.Predict(&rec); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Predict untrained = %v, want ErrNotTrained", err)
+	}
+	if _, err := s.TrainingAssignments(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("TrainingAssignments untrained = %v, want ErrNotTrained", err)
+	}
+	if _, err := s.ClusterModel(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("ClusterModel untrained = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestEndToEndAccuracy(t *testing.T) {
+	train, test := campusSplit(t, 60, 4, 1)
+	s := New(fastConfig())
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if err := s.Fit(); !errors.Is(err, ErrAlreadyFit) {
+		t.Errorf("second Fit = %v, want ErrAlreadyFit", err)
+	}
+	if err := s.AddTraining(train[:1]); !errors.Is(err, ErrAlreadyFit) {
+		t.Errorf("AddTraining after Fit = %v, want ErrAlreadyFit", err)
+	}
+	var trueL, predL []int
+	for i := range test {
+		pred, err := s.Predict(&test[i])
+		if err != nil {
+			t.Fatalf("Predict(%s): %v", test[i].ID, err)
+		}
+		trueL = append(trueL, test[i].Floor)
+		predL = append(predL, pred.Floor)
+	}
+	rep, err := metrics.Evaluate(trueL, predL)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if rep.MicroF < 0.85 {
+		t.Errorf("micro-F = %v, want >= 0.85 on easy 3-floor campus", rep.MicroF)
+	}
+}
+
+func TestPredictLeavesGraphUnchanged(t *testing.T) {
+	train, test := campusSplit(t, 30, 4, 2)
+	s := New(fastConfig())
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	before := s.Stats()
+	for i := range test[:10] {
+		if _, err := s.Predict(&test[i]); err != nil {
+			t.Fatalf("Predict: %v", err)
+		}
+	}
+	if after := s.Stats(); after != before {
+		t.Errorf("Predict mutated graph: %+v -> %+v", before, after)
+	}
+}
+
+func TestAbsorbGrowsGraph(t *testing.T) {
+	train, test := campusSplit(t, 30, 4, 3)
+	s := New(fastConfig())
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	before := s.Stats()
+	if _, err := s.Absorb(&test[0]); err != nil {
+		t.Fatalf("Absorb: %v", err)
+	}
+	after := s.Stats()
+	if after.Records != before.Records+1 {
+		t.Errorf("Absorb did not grow records: %+v -> %+v", before, after)
+	}
+}
+
+func TestOutOfBuilding(t *testing.T) {
+	train, _ := campusSplit(t, 30, 4, 4)
+	s := New(fastConfig())
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	alien := dataset.Record{ID: "alien", Readings: []dataset.Reading{
+		{MAC: "never-seen-1", RSS: -50},
+		{MAC: "never-seen-2", RSS: -60},
+	}}
+	if _, err := s.Predict(&alien); !errors.Is(err, ErrOutOfBuilding) {
+		t.Errorf("alien Predict = %v, want ErrOutOfBuilding", err)
+	}
+}
+
+func TestTrainingAssignmentsQuality(t *testing.T) {
+	train, _ := campusSplit(t, 50, 4, 5)
+	s := New(fastConfig())
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	labels, err := s.TrainingAssignments()
+	if err != nil {
+		t.Fatalf("TrainingAssignments: %v", err)
+	}
+	if len(labels) != len(train) {
+		t.Fatalf("assignments = %d, want %d", len(labels), len(train))
+	}
+	correct := 0
+	for i := range train {
+		if labels[i] == train[i].Floor {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(train)); frac < 0.85 {
+		t.Errorf("virtual label accuracy %v, want >= 0.85", frac)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	train, test := campusSplit(t, 30, 4, 6)
+	s := New(fastConfig())
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !loaded.Trained() {
+		t.Fatal("loaded system not trained")
+	}
+	if loaded.Stats() != s.Stats() {
+		t.Errorf("stats differ after round trip: %+v vs %+v", loaded.Stats(), s.Stats())
+	}
+	// Predictions agree (same embeddings, same clusters, same seeds).
+	for i := range test[:5] {
+		a, err := s.Predict(&test[i])
+		if err != nil {
+			t.Fatalf("Predict original: %v", err)
+		}
+		b, err := loaded.Predict(&test[i])
+		if err != nil {
+			t.Fatalf("Predict loaded: %v", err)
+		}
+		if a.Floor != b.Floor {
+			t.Errorf("record %d: original floor %d, loaded floor %d", i, a.Floor, b.Floor)
+		}
+	}
+}
+
+func TestSaveUntrained(t *testing.T) {
+	s := New(Config{})
+	var buf bytes.Buffer
+	if err := s.Save(&buf); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Save untrained = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	train, _ := campusSplit(t, 20, 4, 7)
+	s := New(fastConfig())
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	path := t.TempDir() + "/model.gob"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if !loaded.Trained() {
+		t.Error("loaded system not trained")
+	}
+	if _, err := LoadFile(t.TempDir() + "/missing.gob"); err == nil {
+		t.Error("expected error loading missing file")
+	}
+}
+
+func TestWeightSpecFunc(t *testing.T) {
+	offset := WeightSpec{Kind: WeightOffset, Alpha: 100}
+	if got := offset.Func()(-60); got != 40 {
+		t.Errorf("offset weight = %v, want 40", got)
+	}
+	zero := WeightSpec{}
+	if got := zero.Func()(-60); got != 60 {
+		t.Errorf("default weight = %v, want 60 (alpha 120)", got)
+	}
+	power := WeightSpec{Kind: WeightPower}
+	if got := power.Func()(-10); got != 0.1 {
+		t.Errorf("power weight = %v, want 0.1", got)
+	}
+}
+
+func TestRemoveMAC(t *testing.T) {
+	train, _ := campusSplit(t, 20, 4, 8)
+	s := New(fastConfig())
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	mac := train[0].Readings[0].MAC
+	before := s.Stats()
+	if err := s.RemoveMAC(mac); err != nil {
+		t.Fatalf("RemoveMAC: %v", err)
+	}
+	if after := s.Stats(); after.MACs != before.MACs-1 {
+		t.Errorf("MAC count %d -> %d, want -1", before.MACs, after.MACs)
+	}
+	if err := s.RemoveMAC("bogus"); err == nil {
+		t.Error("expected error removing unknown MAC")
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	train, test := campusSplit(t, 30, 4, 9)
+	s := New(fastConfig())
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	preds, errs := s.PredictBatch(test[:8])
+	if len(preds) != 8 || len(errs) != 8 {
+		t.Fatalf("batch sizes %d/%d, want 8/8", len(preds), len(errs))
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("batch item %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+)
+
+// snapshot is the serialized form of a trained System. The bipartite graph
+// is not stored directly: re-inserting the training records in order
+// reproduces the exact node numbering, so only the records, the learned
+// vectors, and the cluster model are needed.
+type snapshot struct {
+	Config       Config
+	TrainRecords []dataset.Record
+	Dim          int
+	Ego          [][]float64
+	Ctx          [][]float64
+	Model        cluster.Model
+	PredictSeq   int
+}
+
+// Save serializes a trained system to w with encoding/gob.
+func (s *System) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.trained {
+		return ErrNotTrained
+	}
+	snap := snapshot{
+		Config:       s.cfg,
+		TrainRecords: s.trainRecords,
+		Dim:          s.emb.Dim,
+		Ego:          s.emb.Ego,
+		Ctx:          s.emb.Ctx,
+		Model:        *s.model,
+		PredictSeq:   s.predictSeq,
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a trained system previously written by Save.
+func Load(r io.Reader) (*System, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	s := New(snap.Config)
+	if err := s.AddTraining(snap.TrainRecords); err != nil {
+		return nil, fmt.Errorf("core: rebuild graph: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(snap.Ego) < s.graph.NumNodes() {
+		return nil, fmt.Errorf("core: snapshot has %d embeddings for %d nodes", len(snap.Ego), s.graph.NumNodes())
+	}
+	s.emb = &embed.Embedding{Dim: snap.Dim, Ego: snap.Ego, Ctx: snap.Ctx}
+	model := snap.Model
+	s.model = &model
+	s.predictSeq = snap.PredictSeq
+	s.trained = true
+	return s, nil
+}
+
+// SaveFile writes the trained system to path.
+func (s *System) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("core: close %s: %w", path, cerr)
+		}
+	}()
+	return s.Save(f)
+}
+
+// LoadFile reads a trained system from path.
+func LoadFile(path string) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV interop uses a long format with one row per reading:
+//
+//	record_id,floor,labeled,mac,rss
+//
+// Floor may be -1 for unknown. Rows of the same record must be contiguous;
+// this matches how scan logs are exported by most collection apps.
+
+// csvHeader is the expected/emitted column set.
+var csvHeader = []string{"record_id", "floor", "labeled", "mac", "rss"}
+
+// WriteCSV emits records in long CSV form.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	for i := range records {
+		r := &records[i]
+		for _, rd := range r.Readings {
+			row := []string{
+				r.ID,
+				strconv.Itoa(r.Floor),
+				strconv.FormatBool(r.Labeled),
+				rd.MAC,
+				strconv.FormatFloat(rd.RSS, 'f', -1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("dataset: write csv row for %s: %w", r.ID, err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses records from long CSV form. Rows belonging to one record
+// must be contiguous (grouped by record_id).
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("dataset: csv column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var out []Record
+	var cur *Record
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv line %d: %w", line, err)
+		}
+		floor, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: bad floor %q: %w", line, row[1], err)
+		}
+		labeled, err := strconv.ParseBool(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: bad labeled %q: %w", line, row[2], err)
+		}
+		rss, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: bad rss %q: %w", line, row[4], err)
+		}
+		if cur == nil || cur.ID != row[0] {
+			out = append(out, Record{ID: row[0], Floor: floor, Labeled: labeled})
+			cur = &out[len(out)-1]
+		} else if cur.Floor != floor || cur.Labeled != labeled {
+			return nil, fmt.Errorf("dataset: csv line %d: record %q has inconsistent floor/labeled", line, row[0])
+		}
+		cur.Readings = append(cur.Readings, Reading{MAC: row[3], RSS: rss})
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	records := []Record{
+		{ID: "r1", Floor: 0, Labeled: true, Readings: []Reading{
+			{MAC: "aa:bb", RSS: -61.5}, {MAC: "cc:dd", RSS: -70},
+		}},
+		{ID: "r2", Floor: 2, Readings: []Reading{
+			{MAC: "aa:bb", RSS: -55},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, records); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d, want 2", len(got))
+	}
+	if got[0].ID != "r1" || !got[0].Labeled || got[0].Floor != 0 {
+		t.Errorf("r1 metadata wrong: %+v", got[0])
+	}
+	if got[0].Readings[0].RSS != -61.5 {
+		t.Errorf("rss = %v, want -61.5", got[0].Readings[0].RSS)
+	}
+	if got[1].ID != "r2" || got[1].Labeled || len(got[1].Readings) != 1 {
+		t.Errorf("r2 wrong: %+v", got[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		csv  string
+	}{
+		{"bad header", "nope,floor,labeled,mac,rss\n"},
+		{"bad floor", "record_id,floor,labeled,mac,rss\nr1,x,true,m,-50\n"},
+		{"bad labeled", "record_id,floor,labeled,mac,rss\nr1,0,maybe,m,-50\n"},
+		{"bad rss", "record_id,floor,labeled,mac,rss\nr1,0,true,m,weak\n"},
+		{"wrong column count", "record_id,floor,labeled,mac,rss\nr1,0,true,m\n"},
+		{"inconsistent record", "record_id,floor,labeled,mac,rss\nr1,0,true,m,-50\nr1,1,true,n,-60\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.csv)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("record_id,floor,labeled,mac,rss\n"))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("records = %d, want 0", len(got))
+	}
+}

@@ -1,0 +1,237 @@
+// Package dataset defines the RF-fingerprint data model shared by every
+// component of the GRAFICS reproduction: variable-length scan records,
+// buildings, train/test splitting, per-floor label budgeting, and the
+// corpus statistics reported in Fig. 1 and Fig. 9 of the paper.
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+)
+
+// Reading is one sensed access point in a scan: a MAC address and its
+// received signal strength in dBm.
+type Reading struct {
+	MAC string  `json:"mac"`
+	RSS float64 `json:"rss"`
+}
+
+// Record is one crowdsourced WiFi scan. Floor is the ground-truth floor
+// index (0-based) used for evaluation; Labeled marks whether the floor
+// label is visible to training (the crowdsourcing setting makes this true
+// for only a handful of records).
+type Record struct {
+	ID       string    `json:"id"`
+	Readings []Reading `json:"readings"`
+	Floor    int       `json:"floor"`
+	Labeled  bool      `json:"labeled,omitempty"`
+}
+
+// MACs returns the set of MAC addresses in the record, in scan order.
+func (r *Record) MACs() []string {
+	out := make([]string, len(r.Readings))
+	for i, rd := range r.Readings {
+		out[i] = rd.MAC
+	}
+	return out
+}
+
+// Building is one multi-floor building's worth of records.
+type Building struct {
+	Name    string   `json:"name"`
+	Floors  int      `json:"floors"`
+	AreaM2  float64  `json:"area_m2"`
+	Records []Record `json:"records"`
+}
+
+// DistinctMACs returns the number of distinct MAC addresses across all
+// records in the building.
+func (b *Building) DistinctMACs() int {
+	seen := make(map[string]struct{})
+	for i := range b.Records {
+		for _, rd := range b.Records[i].Readings {
+			seen[rd.MAC] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// FloorCounts returns the number of records observed per ground-truth
+// floor.
+func (b *Building) FloorCounts() map[int]int {
+	out := make(map[int]int)
+	for i := range b.Records {
+		out[b.Records[i].Floor]++
+	}
+	return out
+}
+
+// Corpus is a named collection of buildings (e.g. the Microsoft-like or the
+// Hong Kong-like synthetic corpus).
+type Corpus struct {
+	Name      string     `json:"name"`
+	Buildings []Building `json:"buildings"`
+}
+
+// Split partitions a building's records into train and test subsets with
+// the given training fraction, shuffled by rng. The split is stratified by
+// floor so every floor appears in both subsets whenever it has at least two
+// records.
+func Split(b *Building, trainFraction float64, rng *rand.Rand) (train, test []Record, err error) {
+	if trainFraction <= 0 || trainFraction >= 1 {
+		return nil, nil, fmt.Errorf("dataset: train fraction %v outside (0,1)", trainFraction)
+	}
+	byFloor := make(map[int][]int)
+	for i := range b.Records {
+		f := b.Records[i].Floor
+		byFloor[f] = append(byFloor[f], i)
+	}
+	floors := make([]int, 0, len(byFloor))
+	for f := range byFloor {
+		floors = append(floors, f)
+	}
+	sort.Ints(floors)
+	for _, f := range floors {
+		idx := byFloor[f]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		cut := int(float64(len(idx)) * trainFraction)
+		if cut == 0 && len(idx) > 1 {
+			cut = 1
+		}
+		if cut == len(idx) && len(idx) > 1 {
+			cut = len(idx) - 1
+		}
+		for _, i := range idx[:cut] {
+			train = append(train, b.Records[i])
+		}
+		for _, i := range idx[cut:] {
+			test = append(test, b.Records[i])
+		}
+	}
+	return train, test, nil
+}
+
+// SelectLabels marks exactly perFloor randomly chosen records per floor as
+// labeled (fewer if a floor has fewer records) and clears the Labeled flag
+// everywhere else. It returns the number of labels granted.
+func SelectLabels(records []Record, perFloor int, rng *rand.Rand) int {
+	byFloor := make(map[int][]int)
+	for i := range records {
+		records[i].Labeled = false
+		byFloor[records[i].Floor] = append(byFloor[records[i].Floor], i)
+	}
+	floors := make([]int, 0, len(byFloor))
+	for f := range byFloor {
+		floors = append(floors, f)
+	}
+	sort.Ints(floors)
+	granted := 0
+	for _, f := range floors {
+		idx := byFloor[f]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		n := perFloor
+		if n > len(idx) {
+			n = len(idx)
+		}
+		for _, i := range idx[:n] {
+			records[i].Labeled = true
+		}
+		granted += n
+	}
+	return granted
+}
+
+// SubsampleMACs keeps only the given fraction of the building's distinct
+// MAC addresses (chosen uniformly by rng) and drops all readings from the
+// removed MACs. Records that end up with zero readings are dropped. This
+// implements the sparse-environment sweep of Fig. 17.
+func SubsampleMACs(records []Record, fraction float64, rng *rand.Rand) ([]Record, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("dataset: MAC fraction %v outside (0,1]", fraction)
+	}
+	if fraction == 1 {
+		return records, nil
+	}
+	seen := make(map[string]struct{})
+	for i := range records {
+		for _, rd := range records[i].Readings {
+			seen[rd.MAC] = struct{}{}
+		}
+	}
+	macs := make([]string, 0, len(seen))
+	for m := range seen {
+		macs = append(macs, m)
+	}
+	sort.Strings(macs)
+	rng.Shuffle(len(macs), func(i, j int) { macs[i], macs[j] = macs[j], macs[i] })
+	keepN := int(float64(len(macs)) * fraction)
+	if keepN == 0 {
+		keepN = 1
+	}
+	keep := make(map[string]struct{}, keepN)
+	for _, m := range macs[:keepN] {
+		keep[m] = struct{}{}
+	}
+	out := make([]Record, 0, len(records))
+	for i := range records {
+		var kept []Reading
+		for _, rd := range records[i].Readings {
+			if _, ok := keep[rd.MAC]; ok {
+				kept = append(kept, rd)
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		rec := records[i]
+		rec.Readings = kept
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// WriteJSON serializes the corpus to w.
+func (c *Corpus) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("dataset: encode corpus: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a corpus from r.
+func ReadJSON(r io.Reader) (*Corpus, error) {
+	var c Corpus
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("dataset: decode corpus: %w", err)
+	}
+	return &c, nil
+}
+
+// SaveFile writes the corpus to path as JSON.
+func (c *Corpus) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("dataset: close %s: %w", path, cerr)
+		}
+	}()
+	return c.WriteJSON(f)
+}
+
+// LoadFile reads a corpus from a JSON file.
+func LoadFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

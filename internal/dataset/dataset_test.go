@@ -1,0 +1,285 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkRecord(id string, floor int, macs ...string) Record {
+	r := Record{ID: id, Floor: floor}
+	for _, m := range macs {
+		r.Readings = append(r.Readings, Reading{MAC: m, RSS: -60})
+	}
+	return r
+}
+
+func mkBuilding(recordsPerFloor, floors int) *Building {
+	b := &Building{Name: "b", Floors: floors, AreaM2: 1000}
+	id := 0
+	for f := 0; f < floors; f++ {
+		for i := 0; i < recordsPerFloor; i++ {
+			b.Records = append(b.Records, mkRecord(string(rune('a'+id)), f, "m1", "m2"))
+			id++
+		}
+	}
+	return b
+}
+
+func TestSplitStratified(t *testing.T) {
+	b := mkBuilding(10, 3)
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := Split(b, 0.7, rng)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if len(train)+len(test) != len(b.Records) {
+		t.Fatalf("split lost records: %d + %d != %d", len(train), len(test), len(b.Records))
+	}
+	if len(train) != 21 || len(test) != 9 {
+		t.Errorf("split sizes %d/%d, want 21/9", len(train), len(test))
+	}
+	trainFloors := map[int]bool{}
+	testFloors := map[int]bool{}
+	for i := range train {
+		trainFloors[train[i].Floor] = true
+	}
+	for i := range test {
+		testFloors[test[i].Floor] = true
+	}
+	for f := 0; f < 3; f++ {
+		if !trainFloors[f] || !testFloors[f] {
+			t.Errorf("floor %d missing from a split", f)
+		}
+	}
+}
+
+func TestSplitInvalidFraction(t *testing.T) {
+	b := mkBuilding(2, 1)
+	rng := rand.New(rand.NewSource(1))
+	for _, frac := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := Split(b, frac, rng); err == nil {
+			t.Errorf("Split(frac=%v) expected error", frac)
+		}
+	}
+}
+
+func TestSplitTinyFloor(t *testing.T) {
+	// A floor with exactly 2 records should land one in each split even at
+	// extreme fractions.
+	b := mkBuilding(2, 1)
+	rng := rand.New(rand.NewSource(2))
+	train, test, err := Split(b, 0.9, rng)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if len(train) != 1 || len(test) != 1 {
+		t.Errorf("tiny floor split %d/%d, want 1/1", len(train), len(test))
+	}
+}
+
+func TestSelectLabels(t *testing.T) {
+	b := mkBuilding(10, 3)
+	rng := rand.New(rand.NewSource(3))
+	granted := SelectLabels(b.Records, 4, rng)
+	if granted != 12 {
+		t.Fatalf("granted = %d, want 12", granted)
+	}
+	perFloor := map[int]int{}
+	for i := range b.Records {
+		if b.Records[i].Labeled {
+			perFloor[b.Records[i].Floor]++
+		}
+	}
+	for f := 0; f < 3; f++ {
+		if perFloor[f] != 4 {
+			t.Errorf("floor %d has %d labels, want 4", f, perFloor[f])
+		}
+	}
+	// Re-selection with a bigger budget clamps at floor size.
+	granted = SelectLabels(b.Records, 100, rng)
+	if granted != 30 {
+		t.Errorf("clamped grant = %d, want 30", granted)
+	}
+}
+
+func TestSubsampleMACs(t *testing.T) {
+	records := []Record{
+		mkRecord("a", 0, "m1", "m2", "m3", "m4"),
+		mkRecord("b", 0, "m1", "m2"),
+		mkRecord("c", 1, "m3", "m4"),
+	}
+	rng := rand.New(rand.NewSource(4))
+	out, err := SubsampleMACs(records, 0.5, rng)
+	if err != nil {
+		t.Fatalf("SubsampleMACs: %v", err)
+	}
+	kept := map[string]struct{}{}
+	for i := range out {
+		if len(out[i].Readings) == 0 {
+			t.Error("record with zero readings survived")
+		}
+		for _, rd := range out[i].Readings {
+			kept[rd.MAC] = struct{}{}
+		}
+	}
+	if len(kept) > 2 {
+		t.Errorf("kept %d distinct MACs, want <= 2", len(kept))
+	}
+	if _, err := SubsampleMACs(records, 0, rng); err == nil {
+		t.Error("fraction 0 should error")
+	}
+	same, err := SubsampleMACs(records, 1, rng)
+	if err != nil || len(same) != len(records) {
+		t.Errorf("fraction 1 should be identity, got %d records err=%v", len(same), err)
+	}
+}
+
+func TestOverlapRatio(t *testing.T) {
+	a := mkRecord("a", 0, "m1", "m2", "m3")
+	b := mkRecord("b", 0, "m2", "m3", "m4")
+	if got := OverlapRatio(&a, &b); got != 0.5 {
+		t.Errorf("OverlapRatio = %v, want 0.5", got)
+	}
+	empty := mkRecord("e", 0)
+	if got := OverlapRatio(&empty, &empty); got != 1 {
+		t.Errorf("OverlapRatio(empty,empty) = %v, want 1", got)
+	}
+	if got := OverlapRatio(&a, &a); got != 1 {
+		t.Errorf("OverlapRatio(a,a) = %v, want 1", got)
+	}
+	disjoint := mkRecord("d", 0, "x1")
+	if got := OverlapRatio(&a, &disjoint); got != 0 {
+		t.Errorf("OverlapRatio(disjoint) = %v, want 0", got)
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	cdf := EmpiricalCDF([]float64{1, 2, 2, 3})
+	if len(cdf) != 3 {
+		t.Fatalf("distinct points = %d, want 3", len(cdf))
+	}
+	if cdf[0].Value != 1 || cdf[0].CDF != 0.25 {
+		t.Errorf("cdf[0] = %+v, want {1 0.25}", cdf[0])
+	}
+	if cdf[1].Value != 2 || cdf[1].CDF != 0.75 {
+		t.Errorf("cdf[1] = %+v, want {2 0.75}", cdf[1])
+	}
+	if cdf[2].Value != 3 || cdf[2].CDF != 1 {
+		t.Errorf("cdf[2] = %+v, want {3 1}", cdf[2])
+	}
+	if got := CDFAt(cdf, 2.5); got != 0.75 {
+		t.Errorf("CDFAt(2.5) = %v, want 0.75", got)
+	}
+	if got := CDFAt(cdf, 0.5); got != 0 {
+		t.Errorf("CDFAt(0.5) = %v, want 0", got)
+	}
+	if EmpiricalCDF(nil) != nil {
+		t.Error("EmpiricalCDF(nil) should be nil")
+	}
+}
+
+func TestPairOverlapRatios(t *testing.T) {
+	records := []Record{
+		mkRecord("a", 0, "m1"),
+		mkRecord("b", 0, "m1"),
+		mkRecord("c", 0, "m2"),
+	}
+	rng := rand.New(rand.NewSource(5))
+	all := PairOverlapRatios(records, 100, rng)
+	if len(all) != 3 {
+		t.Fatalf("all pairs = %d, want 3", len(all))
+	}
+	sampled := PairOverlapRatios(records, 2, rng)
+	if len(sampled) != 2 {
+		t.Fatalf("sampled pairs = %d, want 2", len(sampled))
+	}
+	if PairOverlapRatios(records[:1], 10, rng) != nil {
+		t.Error("single record should yield nil")
+	}
+}
+
+func TestCorpusJSONRoundTrip(t *testing.T) {
+	c := &Corpus{
+		Name: "test",
+		Buildings: []Building{
+			{Name: "b1", Floors: 2, AreaM2: 500, Records: []Record{mkRecord("r1", 0, "m1")}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.Name != c.Name || len(got.Buildings) != 1 || got.Buildings[0].Records[0].Readings[0].MAC != "m1" {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := &Corpus{Buildings: []Building{*mkBuilding(5, 2)}}
+	s := c.Summarize()
+	if len(s) != 1 {
+		t.Fatalf("summaries = %d, want 1", len(s))
+	}
+	if s[0].Floors != 2 || s[0].Records != 10 || s[0].MACs != 2 {
+		t.Errorf("summary = %+v", s[0])
+	}
+}
+
+// Property: overlap ratio is symmetric and within [0, 1].
+func TestOverlapRatioProperty(t *testing.T) {
+	f := func(a, b [5]uint8) bool {
+		ra := Record{}
+		rb := Record{}
+		for _, v := range a {
+			ra.Readings = append(ra.Readings, Reading{MAC: string(rune('a' + v%8))})
+		}
+		for _, v := range b {
+			rb.Readings = append(rb.Readings, Reading{MAC: string(rune('a' + v%8))})
+		}
+		ab := OverlapRatio(&ra, &rb)
+		ba := OverlapRatio(&rb, &ra)
+		return ab == ba && ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SelectLabels never grants more than perFloor labels on any
+// floor and is idempotent in total count for a fixed dataset shape.
+func TestSelectLabelsBudgetProperty(t *testing.T) {
+	f := func(sizes [3]uint8, budget uint8) bool {
+		var records []Record
+		for f, s := range sizes {
+			for i := 0; i < int(s%20); i++ {
+				records = append(records, Record{Floor: f})
+			}
+		}
+		perFloor := int(budget%10) + 1
+		rng := rand.New(rand.NewSource(9))
+		granted := SelectLabels(records, perFloor, rng)
+		count := map[int]int{}
+		for i := range records {
+			if records[i].Labeled {
+				count[records[i].Floor]++
+			}
+		}
+		total := 0
+		for _, c := range count {
+			if c > perFloor {
+				return false
+			}
+			total += c
+		}
+		return total == granted
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// CDFPoint is one point of an empirical cumulative distribution.
+type CDFPoint struct {
+	Value float64
+	CDF   float64
+}
+
+// EmpiricalCDF returns the empirical CDF of xs evaluated at each distinct
+// sorted value.
+func EmpiricalCDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var out []CDFPoint
+	for i, v := range sorted {
+		if i+1 < len(sorted) && sorted[i+1] == v {
+			continue // emit only the last occurrence of each value
+		}
+		out = append(out, CDFPoint{Value: v, CDF: float64(i+1) / n})
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF (as returned by EmpiricalCDF) at x.
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	v := 0.0
+	for _, p := range cdf {
+		if p.Value > x {
+			break
+		}
+		v = p.CDF
+	}
+	return v
+}
+
+// MACCounts returns the number of sensed MACs per record (the quantity
+// whose CDF is Fig. 1(a)).
+func MACCounts(records []Record) []float64 {
+	out := make([]float64, len(records))
+	for i := range records {
+		out[i] = float64(len(records[i].Readings))
+	}
+	return out
+}
+
+// OverlapRatio returns |A ∩ B| / |A ∪ B| over the MAC sets of two records.
+// Two empty records overlap fully by convention.
+func OverlapRatio(a, b *Record) float64 {
+	if len(a.Readings) == 0 && len(b.Readings) == 0 {
+		return 1
+	}
+	set := make(map[string]struct{}, len(a.Readings))
+	for _, rd := range a.Readings {
+		set[rd.MAC] = struct{}{}
+	}
+	inter := 0
+	union := len(set)
+	seenB := make(map[string]struct{}, len(b.Readings))
+	for _, rd := range b.Readings {
+		if _, dup := seenB[rd.MAC]; dup {
+			continue
+		}
+		seenB[rd.MAC] = struct{}{}
+		if _, ok := set[rd.MAC]; ok {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// PairOverlapRatios computes the overlap ratio for up to maxPairs random
+// record pairs (all pairs when the total pair count is below maxPairs).
+// This is the quantity whose CDF is Fig. 1(b); sampling keeps the cost
+// bounded on large floors.
+func PairOverlapRatios(records []Record, maxPairs int, rng *rand.Rand) []float64 {
+	n := len(records)
+	if n < 2 {
+		return nil
+	}
+	totalPairs := n * (n - 1) / 2
+	var out []float64
+	if totalPairs <= maxPairs {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				out = append(out, OverlapRatio(&records[i], &records[j]))
+			}
+		}
+		return out
+	}
+	out = make([]float64, 0, maxPairs)
+	for len(out) < maxPairs {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		out = append(out, OverlapRatio(&records[i], &records[j]))
+	}
+	return out
+}
+
+// BuildingSummary is one point of the Fig. 9 scatter: per-building floor
+// count, area, distinct MACs, and record count.
+type BuildingSummary struct {
+	Name    string
+	Floors  int
+	AreaM2  float64
+	MACs    int
+	Records int
+}
+
+// Summarize computes the Fig. 9 summary for every building in the corpus.
+func (c *Corpus) Summarize() []BuildingSummary {
+	out := make([]BuildingSummary, 0, len(c.Buildings))
+	for i := range c.Buildings {
+		b := &c.Buildings[i]
+		out = append(out, BuildingSummary{
+			Name:    b.Name,
+			Floors:  b.Floors,
+			AreaM2:  b.AreaM2,
+			MACs:    b.DistinctMACs(),
+			Records: len(b.Records),
+		})
+	}
+	return out
+}

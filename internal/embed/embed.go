@@ -1,0 +1,416 @@
+// Package embed implements the graph-embedding algorithms of the GRAFICS
+// paper: LINE (first- and second-order proximity) and the paper's
+// contribution E-LINE (§IV-B), which augments second-order LINE with the
+// symmetric ego-given-context objective so that multi-hop local
+// neighborhoods — not just shared one-hop neighbors — pull nodes together
+// in the embedding space. Training uses alias-sampled edge SGD with
+// negative sampling (Pr(z) ∝ deg(z)^{3/4}) and supports Hogwild-style
+// parallel workers. The package also provides the paper's online-inference
+// step: embedding a newly inserted node while all other embeddings stay
+// fixed (§V-A).
+package embed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/rfgraph"
+	"repro/internal/sampling"
+)
+
+// Mode selects the training objective.
+type Mode int
+
+// Training modes. E-LINE is the paper's algorithm; the LINE modes exist as
+// ablation baselines (Fig. 13).
+const (
+	// ModeELINE optimizes O3 = O1 + O2 (Eq. 9): second-order proximity
+	// plus the symmetric ego-given-context term.
+	ModeELINE Mode = iota + 1
+	// ModeLINESecond optimizes the classic LINE second-order objective
+	// O1 (Eq. 5) only.
+	ModeLINESecond
+	// ModeLINEFirst optimizes the classic LINE first-order objective
+	// (edge endpoints' ego embeddings made similar directly).
+	ModeLINEFirst
+	// ModeLINEBoth trains first- and second-order embeddings separately
+	// and concatenates them, the combination the LINE paper recommends
+	// and that §IV-B of GRAFICS reports trying (it loses to second-order
+	// alone on the bipartite graph). The resulting ego vectors have
+	// dimension 2*Dim.
+	ModeLINEBoth
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeELINE:
+		return "e-line"
+	case ModeLINESecond:
+		return "line-2nd"
+	case ModeLINEFirst:
+		return "line-1st"
+	case ModeLINEBoth:
+		return "line-1st+2nd"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config holds training hyperparameters. The defaults mirror §VI-A of the
+// paper: 8-dimensional embeddings, learning rate 0.001, dropout 0.1.
+type Config struct {
+	// Mode selects E-LINE or a LINE ablation. Zero value means ModeELINE.
+	Mode Mode
+	// Dim is the embedding dimension (both ego and context).
+	Dim int
+	// LearningRate is the initial SGD step size; it decays linearly to
+	// LearningRate/10000 over training as in the original LINE.
+	LearningRate float64
+	// NegativeSamples is K, the number of negative draws per positive
+	// edge sample.
+	NegativeSamples int
+	// SamplesPerEdge scales the total number of SGD samples:
+	// total = SamplesPerEdge * (number of directed edges).
+	SamplesPerEdge int
+	// Dropout is the probability of skipping a sampled edge update; the
+	// paper trains E-LINE with dropout 0.1 as a regularizer.
+	Dropout float64
+	// Workers is the number of Hogwild SGD goroutines. 0 or 1 trains
+	// serially (deterministic for a fixed seed).
+	Workers int
+	// Seed roots all randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's baseline hyperparameters.
+func DefaultConfig() Config {
+	return Config{
+		Mode:            ModeELINE,
+		Dim:             8,
+		LearningRate:    0.025,
+		NegativeSamples: 5,
+		SamplesPerEdge:  120,
+		Dropout:         0.1,
+		Workers:         1,
+		Seed:            1,
+	}
+}
+
+// Validate reports the first invalid hyperparameter.
+func (c *Config) Validate() error {
+	switch {
+	case c.Dim <= 0:
+		return fmt.Errorf("embed: dim %d must be positive", c.Dim)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("embed: learning rate %v must be positive", c.LearningRate)
+	case c.NegativeSamples < 0:
+		return fmt.Errorf("embed: negative samples %d must be non-negative", c.NegativeSamples)
+	case c.SamplesPerEdge <= 0:
+		return fmt.Errorf("embed: samples per edge %d must be positive", c.SamplesPerEdge)
+	case c.Dropout < 0 || c.Dropout >= 1:
+		return fmt.Errorf("embed: dropout %v outside [0,1)", c.Dropout)
+	case c.Workers < 0:
+		return fmt.Errorf("embed: workers %d must be non-negative", c.Workers)
+	}
+	switch c.Mode {
+	case 0, ModeELINE, ModeLINESecond, ModeLINEFirst, ModeLINEBoth:
+	default:
+		return fmt.Errorf("embed: unknown mode %v", c.Mode)
+	}
+	return nil
+}
+
+func (c *Config) mode() Mode {
+	if c.Mode == 0 {
+		return ModeELINE
+	}
+	return c.Mode
+}
+
+// Embedding holds the learned ego and context vectors, indexed by graph
+// NodeID. Ego vectors are the node representations used downstream; context
+// vectors encode neighborhoods and are needed for online inference.
+type Embedding struct {
+	Dim int
+	Ego [][]float64
+	Ctx [][]float64
+}
+
+// newEmbedding allocates vectors for n nodes, initializing ego vectors
+// uniformly in [-0.5/dim, 0.5/dim] (the word2vec/LINE convention) and
+// context vectors to zero.
+func newEmbedding(n, dim int, rng *rand.Rand) *Embedding {
+	e := &Embedding{Dim: dim, Ego: make([][]float64, n), Ctx: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		e.Ego[i] = randomVector(dim, rng)
+		e.Ctx[i] = make([]float64, dim)
+	}
+	return e
+}
+
+func randomVector(dim int, rng *rand.Rand) []float64 {
+	v := make([]float64, dim)
+	for d := range v {
+		v[d] = (rng.Float64() - 0.5) / float64(dim)
+	}
+	return v
+}
+
+// Grow extends the embedding to cover n nodes (no-op when already large
+// enough), initializing any new slots with rng.
+func (e *Embedding) Grow(n int, rng *rand.Rand) {
+	for len(e.Ego) < n {
+		e.Ego = append(e.Ego, randomVector(e.Dim, rng))
+		e.Ctx = append(e.Ctx, make([]float64, e.Dim))
+	}
+}
+
+// EgoOf returns the ego embedding of id, or nil when out of range.
+func (e *Embedding) EgoOf(id rfgraph.NodeID) []float64 {
+	if int(id) < 0 || int(id) >= len(e.Ego) {
+		return nil
+	}
+	return e.Ego[id]
+}
+
+// ErrEmptyGraph is returned when training is attempted on a graph with no
+// live edges.
+var ErrEmptyGraph = errors.New("embed: graph has no edges")
+
+// sigmoid with clamping to avoid overflow in exp; |x|>40 saturates anyway.
+func sigmoid(x float64) float64 {
+	if x > 40 {
+		return 1
+	}
+	if x < -40 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// trainContext bundles the immutable sampling state shared by workers.
+type trainContext struct {
+	edges    []rfgraph.DirectedEdge
+	edgeDist *sampling.Alias
+	negDist  *sampling.Alias
+	negNodes []rfgraph.NodeID
+}
+
+// buildTrainContext prepares alias tables over edges (∝ weight) and nodes
+// (∝ weightedDegree^{3/4}).
+func buildTrainContext(g *rfgraph.Graph) (*trainContext, error) {
+	edges := g.DirectedEdges()
+	if len(edges) == 0 {
+		return nil, ErrEmptyGraph
+	}
+	ew := make([]float64, len(edges))
+	for i, e := range edges {
+		ew[i] = e.Weight
+	}
+	edgeDist, err := sampling.NewAlias(ew)
+	if err != nil {
+		return nil, fmt.Errorf("embed: edge alias: %w", err)
+	}
+	var negNodes []rfgraph.NodeID
+	var negW []float64
+	for id := 0; id < g.NumNodes(); id++ {
+		nid := rfgraph.NodeID(id)
+		if !g.Alive(nid) || g.Degree(nid) == 0 {
+			continue
+		}
+		negNodes = append(negNodes, nid)
+		negW = append(negW, math.Pow(g.WeightedDegree(nid), 0.75))
+	}
+	negDist, err := sampling.NewAlias(negW)
+	if err != nil {
+		return nil, fmt.Errorf("embed: negative alias: %w", err)
+	}
+	return &trainContext{edges: edges, edgeDist: edgeDist, negDist: negDist, negNodes: negNodes}, nil
+}
+
+// Train learns embeddings for every live node of g under cfg.
+func Train(g *rfgraph.Graph, cfg Config) (*Embedding, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.mode() == ModeLINEBoth {
+		return trainConcat(g, cfg)
+	}
+	tc, err := buildTrainContext(g)
+	if err != nil {
+		return nil, err
+	}
+	seeder := sampling.NewSeeder(cfg.Seed)
+	emb := newEmbedding(g.NumNodes(), cfg.Dim, seeder.NextRand())
+	total := cfg.SamplesPerEdge * len(tc.edges)
+	workers := cfg.Workers
+	if workers <= 1 {
+		trainWorker(tc, emb, cfg, total, total, seeder.NextRand(), nil)
+		return emb, nil
+	}
+	var wg sync.WaitGroup
+	var progress progressCounter
+	per := total / workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w == workers-1 {
+			n = total - per*(workers-1)
+		}
+		rng := seeder.NextRand()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			trainWorker(tc, emb, cfg, n, total, rng, &progress)
+		}()
+	}
+	wg.Wait()
+	return emb, nil
+}
+
+// progressCounter tracks the global sample count for learning-rate decay
+// across Hogwild workers. Benign races on the embedding vectors are part of
+// the Hogwild contract; the counter itself is mutex-guarded in coarse
+// batches to stay cheap.
+type progressCounter struct {
+	mu   sync.Mutex
+	done int
+}
+
+func (p *progressCounter) add(n int) int {
+	p.mu.Lock()
+	p.done += n
+	d := p.done
+	p.mu.Unlock()
+	return d
+}
+
+// trainWorker runs n SGD samples. When progress is nil the worker is the
+// only one and tracks decay locally.
+func trainWorker(tc *trainContext, emb *Embedding, cfg Config, n, total int, rng *rand.Rand, progress *progressCounter) {
+	const batch = 256
+	mode := cfg.mode()
+	lr := cfg.LearningRate
+	minLR := cfg.LearningRate * 1e-4
+	gradI := make([]float64, cfg.Dim)
+	done := 0
+	for s := 0; s < n; s++ {
+		if s%batch == 0 {
+			var globalDone int
+			if progress != nil {
+				globalDone = progress.add(done)
+				done = 0
+			} else {
+				globalDone = s
+			}
+			frac := float64(globalDone) / float64(total)
+			lr = cfg.LearningRate * (1 - frac)
+			if lr < minLR {
+				lr = minLR
+			}
+		}
+		done++
+		if cfg.Dropout > 0 && rng.Float64() < cfg.Dropout {
+			continue
+		}
+		e := tc.edges[tc.edgeDist.Draw(rng)]
+		i, j := e.Src, e.Dst
+		switch mode {
+		case ModeLINEFirst:
+			updateFirstOrder(tc, emb, cfg, i, j, lr, rng, gradI)
+		case ModeLINESecond:
+			updatePair(tc, emb, cfg, emb.Ego[i], emb.Ctx, j, lr, rng, gradI)
+		default: // ModeELINE: O1 + O2
+			updatePair(tc, emb, cfg, emb.Ego[i], emb.Ctx, j, lr, rng, gradI)
+			updatePair(tc, emb, cfg, emb.Ctx[i], emb.Ego, j, lr, rng, gradI)
+		}
+	}
+	if progress != nil && done > 0 {
+		progress.add(done)
+	}
+}
+
+// updatePair performs one negative-sampled update of the skip-gram style
+// objective log σ(table[j]·source) + Σ_z log σ(-table[z]·source), updating
+// both the source vector and the sampled table rows. It implements both
+// halves of E-LINE: with source = ego_i and table = Ctx it is the classic
+// second-order update (Eq. 5); with source = ctx_i and table = Ego it is
+// the symmetric term (Eq. 8).
+func updatePair(tc *trainContext, emb *Embedding, cfg Config, source []float64, table [][]float64, j rfgraph.NodeID, lr float64, rng *rand.Rand, gradSource []float64) {
+	for d := range gradSource {
+		gradSource[d] = 0
+	}
+	// Positive sample.
+	target := table[j]
+	g := sigmoid(dot(source, target)) - 1
+	step := -lr * g
+	for d := range target {
+		gradSource[d] += step * target[d]
+		target[d] += step * source[d]
+	}
+	// Negative samples.
+	for k := 0; k < cfg.NegativeSamples; k++ {
+		z := tc.negNodes[tc.negDist.Draw(rng)]
+		if z == j {
+			continue
+		}
+		neg := table[z]
+		g := sigmoid(dot(source, neg)) // label 0
+		step := -lr * g
+		for d := range neg {
+			gradSource[d] += step * neg[d]
+			neg[d] += step * source[d]
+		}
+	}
+	for d := range source {
+		source[d] += gradSource[d]
+	}
+}
+
+// updateFirstOrder performs the LINE first-order update: make ego
+// embeddings of edge endpoints similar, with negative samples pushed away.
+func updateFirstOrder(tc *trainContext, emb *Embedding, cfg Config, i, j rfgraph.NodeID, lr float64, rng *rand.Rand, gradI []float64) {
+	updatePair(tc, emb, cfg, emb.Ego[i], emb.Ego, j, lr, rng, gradI)
+}
+
+// trainConcat implements ModeLINEBoth: independent first- and second-order
+// LINE runs whose ego embeddings are concatenated (contexts likewise, so
+// online inference still works against the second-order half and zeros for
+// the first-order half's context table).
+func trainConcat(g *rfgraph.Graph, cfg Config) (*Embedding, error) {
+	first := cfg
+	first.Mode = ModeLINEFirst
+	second := cfg
+	second.Mode = ModeLINESecond
+	second.Seed = cfg.Seed + 1
+	e1, err := Train(g, first)
+	if err != nil {
+		return nil, err
+	}
+	e2, err := Train(g, second)
+	if err != nil {
+		return nil, err
+	}
+	out := &Embedding{Dim: 2 * cfg.Dim, Ego: make([][]float64, len(e1.Ego)), Ctx: make([][]float64, len(e1.Ctx))}
+	for i := range e1.Ego {
+		ego := make([]float64, 0, 2*cfg.Dim)
+		ego = append(ego, e1.Ego[i]...)
+		ego = append(ego, e2.Ego[i]...)
+		out.Ego[i] = ego
+		ctx := make([]float64, 0, 2*cfg.Dim)
+		ctx = append(ctx, e1.Ctx[i]...)
+		ctx = append(ctx, e2.Ctx[i]...)
+		out.Ctx[i] = ctx
+	}
+	return out, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}

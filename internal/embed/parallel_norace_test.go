@@ -1,0 +1,25 @@
+//go:build !race
+
+package embed
+
+import "testing"
+
+// Hogwild-style parallel SGD deliberately updates shared embedding vectors
+// without locks (the LINE training contract: sparse, conflicting updates
+// are rare and stochastically harmless). The Go race detector rightly
+// reports these word-level races, so the parallel-training test is
+// excluded from -race runs; correctness under parallelism is asserted here
+// on quality (community separation), not on byte-level determinism.
+
+func TestTrainParallel(t *testing.T) {
+	g, f0, f1 := twoFloorGraph(t, 20, 3, 3)
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	emb, err := Train(g, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if sep := separation(emb, f0, f1); sep > 0.7 {
+		t.Errorf("parallel separation ratio %v too weak", sep)
+	}
+}

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/sampling"
+	"repro/internal/simulate"
+)
+
+// Scale controls how large the synthetic corpora are. The paper's full
+// scale (204 buildings, ~1000 records/floor) is reproducible with
+// ScaleFull via cmd/experiments -scale full, but the default harness scale
+// keeps every figure under a few minutes.
+type Scale struct {
+	// MicrosoftBuildings is the number of buildings in the
+	// Microsoft-like corpus (paper: 204).
+	MicrosoftBuildings int
+	// RecordsPerFloor is the per-floor crowdsourcing density
+	// (paper: ~1000).
+	RecordsPerFloor int
+	// SamplesPerEdge is the E-LINE training budget.
+	SamplesPerEdge int
+	// Repetitions averages every cell over this many seeds
+	// (paper: 10).
+	Repetitions int
+}
+
+// ScaleHarness is the default, CI-sized scale.
+func ScaleHarness() Scale {
+	return Scale{MicrosoftBuildings: 4, RecordsPerFloor: 100, SamplesPerEdge: 120, Repetitions: 1}
+}
+
+// ScalePaper approaches the paper's full experiment sizes.
+func ScalePaper() Scale {
+	return Scale{MicrosoftBuildings: 204, RecordsPerFloor: 1000, SamplesPerEdge: 120, Repetitions: 10}
+}
+
+// DatasetSpec names a corpus generator.
+type DatasetSpec struct {
+	Name   string
+	Params simulate.Params
+}
+
+// Datasets returns the two evaluation corpora at the given scale.
+func Datasets(s Scale, seed int64) []DatasetSpec {
+	return []DatasetSpec{
+		{Name: "Microsoft", Params: simulate.MicrosoftLike(s.MicrosoftBuildings, s.RecordsPerFloor, seed)},
+		{Name: "HongKong", Params: simulate.HongKongLike(s.RecordsPerFloor, seed+1)},
+	}
+}
+
+// EvalOptions configures one evaluation cell.
+type EvalOptions struct {
+	// LabelsPerFloor is the per-floor label budget (paper default: 4).
+	LabelsPerFloor int
+	// TrainFraction is the train/test split ratio (paper default: 0.7).
+	TrainFraction float64
+	// MACFraction, when in (0,1), keeps only that share of MACs
+	// (Fig. 17).
+	MACFraction float64
+	// Seed roots the split/label randomness.
+	Seed int64
+}
+
+// normalize fills defaults.
+func (o EvalOptions) normalize() EvalOptions {
+	if o.LabelsPerFloor == 0 {
+		o.LabelsPerFloor = 4
+	}
+	if o.TrainFraction == 0 {
+		o.TrainFraction = 0.7
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// CellResult is the averaged outcome of one (corpus, method, options)
+// evaluation.
+type CellResult struct {
+	Dataset   string
+	Method    string
+	Buildings int
+
+	MicroP, MicroR, MicroF float64
+	MacroP, MacroR, MacroF float64
+
+	// MicroFStd is the std-dev of micro-F across buildings, reported for
+	// the variance discussion around Fig. 13.
+	MicroFStd float64
+}
+
+// evalBuilding scores one method on one building and returns its report.
+func evalBuilding(b *dataset.Building, method baseline.FitPredictor, opts EvalOptions, rng *rand.Rand) (metrics.Report, error) {
+	train, test, err := dataset.Split(b, opts.TrainFraction, rng)
+	if err != nil {
+		return metrics.Report{}, fmt.Errorf("experiment: split: %w", err)
+	}
+	if opts.MACFraction > 0 && opts.MACFraction < 1 {
+		seed := rng.Int63()
+		train, err = dataset.SubsampleMACs(train, opts.MACFraction, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return metrics.Report{}, fmt.Errorf("experiment: subsample train MACs: %w", err)
+		}
+		test, err = dataset.SubsampleMACs(test, opts.MACFraction, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return metrics.Report{}, fmt.Errorf("experiment: subsample test MACs: %w", err)
+		}
+	}
+	dataset.SelectLabels(train, opts.LabelsPerFloor, rng)
+	pred, err := method.FitPredict(train, test, rng.Int63())
+	if err != nil {
+		return metrics.Report{}, fmt.Errorf("experiment: %s: %w", method.Name(), err)
+	}
+	trueL := make([]int, len(test))
+	for i := range test {
+		trueL[i] = test[i].Floor
+	}
+	return metrics.Evaluate(trueL, pred)
+}
+
+// EvalCorpus scores a method on every building of the corpus and averages
+// the per-building reports, the paper's aggregation.
+func EvalCorpus(c *dataset.Corpus, method baseline.FitPredictor, opts EvalOptions) (CellResult, error) {
+	opts = opts.normalize()
+	seeder := sampling.NewSeeder(opts.Seed)
+	out := CellResult{Dataset: c.Name, Method: method.Name()}
+	var microFs []float64
+	for i := range c.Buildings {
+		rep, err := evalBuilding(&c.Buildings[i], method, opts, seeder.NextRand())
+		if err != nil {
+			return out, fmt.Errorf("experiment: building %s: %w", c.Buildings[i].Name, err)
+		}
+		out.MicroP += rep.MicroP
+		out.MicroR += rep.MicroR
+		out.MicroF += rep.MicroF
+		out.MacroP += rep.MacroP
+		out.MacroR += rep.MacroR
+		out.MacroF += rep.MacroF
+		microFs = append(microFs, rep.MicroF)
+		out.Buildings++
+	}
+	if out.Buildings == 0 {
+		return out, fmt.Errorf("experiment: corpus %q has no buildings", c.Name)
+	}
+	n := float64(out.Buildings)
+	out.MicroP /= n
+	out.MicroR /= n
+	out.MicroF /= n
+	out.MacroP /= n
+	out.MacroR /= n
+	out.MacroF /= n
+	_, out.MicroFStd = metrics.MeanStd(microFs)
+	return out, nil
+}

@@ -1,0 +1,293 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/simulate"
+)
+
+// tinyScale keeps experiment tests fast.
+func tinyScale() Scale {
+	return Scale{MicrosoftBuildings: 2, RecordsPerFloor: 25, SamplesPerEdge: 25, Repetitions: 1}
+}
+
+func TestGraficsFitPredict(t *testing.T) {
+	corpus, err := simulate.Generate(simulate.Campus3F(30, 1))
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	cell, err := EvalCorpus(corpus, Grafics{SamplesPerEdge: 30}, EvalOptions{LabelsPerFloor: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("EvalCorpus: %v", err)
+	}
+	if cell.Method != "GRAFICS" {
+		t.Errorf("method name %q", cell.Method)
+	}
+	if cell.MicroF < 0.7 {
+		t.Errorf("GRAFICS micro-F %v too low on campus corpus", cell.MicroF)
+	}
+	if cell.Buildings != 1 {
+		t.Errorf("buildings = %d, want 1", cell.Buildings)
+	}
+}
+
+func TestEvalOptionsDefaults(t *testing.T) {
+	o := EvalOptions{}.normalize()
+	if o.LabelsPerFloor != 4 || o.TrainFraction != 0.7 || o.Seed != 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestEvalCorpusWithBaseline(t *testing.T) {
+	corpus, err := simulate.Generate(simulate.Campus3F(20, 2))
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	cell, err := EvalCorpus(corpus, baseline.MatrixProx{}, EvalOptions{Seed: 2})
+	if err != nil {
+		t.Fatalf("EvalCorpus: %v", err)
+	}
+	if cell.MicroF <= 0 || cell.MicroF > 1 {
+		t.Errorf("matrix micro-F %v out of range", cell.MicroF)
+	}
+}
+
+func TestFig01(t *testing.T) {
+	r, err := Fig01(80, 1)
+	if err != nil {
+		t.Fatalf("Fig01: %v", err)
+	}
+	if r.Records == 0 || r.DistinctMACs == 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+	if len(r.MACCountCDF) == 0 || len(r.OverlapCDF) == 0 {
+		t.Fatal("missing CDFs")
+	}
+	// The corpus must be heterogeneous like the paper's Fig. 1: a clear
+	// majority of pairs overlap below one half.
+	if r.FracPairsBelowHalf < 0.3 {
+		t.Errorf("only %.0f%% pairs overlap < 0.5; want the paper's heterogeneity", r.FracPairsBelowHalf*100)
+	}
+	var buf bytes.Buffer
+	if err := PrintFig01(&buf, r); err != nil {
+		t.Fatalf("PrintFig01: %v", err)
+	}
+	if !strings.Contains(buf.String(), "overlap") {
+		t.Error("rendered table missing content")
+	}
+}
+
+func TestFig06(t *testing.T) {
+	rows, err := Fig06(25, 40, 1)
+	if err != nil {
+		t.Fatalf("Fig06: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byMethod := map[string]Fig06Row{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+		if len(r.TSNE) == 0 {
+			t.Errorf("%s missing t-SNE projection", r.Method)
+		}
+	}
+	el := byMethod["E-LINE"]
+	// The paper's claim: E-LINE's embeddings cluster by floor while MDS
+	// and the autoencoder fail. Require E-LINE to beat both on purity.
+	if el.Purity <= byMethod["MDS"].Purity-0.05 {
+		t.Errorf("E-LINE purity %v not above MDS %v", el.Purity, byMethod["MDS"].Purity)
+	}
+	if el.Purity <= byMethod["Autoencoder"].Purity-0.05 {
+		t.Errorf("E-LINE purity %v not above autoencoder %v", el.Purity, byMethod["Autoencoder"].Purity)
+	}
+	var buf bytes.Buffer
+	if err := PrintFig06(&buf, rows); err != nil {
+		t.Fatalf("PrintFig06: %v", err)
+	}
+}
+
+func TestFig08(t *testing.T) {
+	rows, err := Fig08(25, 40, 1)
+	if err != nil {
+		t.Fatalf("Fig08: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	// Cluster count decreases monotonically and ends at 12 (= 3 floors x
+	// 4 labels).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Clusters > rows[i-1].Clusters {
+			t.Errorf("cluster count increased: %+v", rows)
+		}
+	}
+	if final := rows[len(rows)-1]; final.Clusters != 12 {
+		t.Errorf("final clusters = %d, want 12", final.Clusters)
+	}
+	var buf bytes.Buffer
+	if err := PrintFig08(&buf, rows); err != nil {
+		t.Fatalf("PrintFig08: %v", err)
+	}
+}
+
+func TestFig09(t *testing.T) {
+	s := tinyScale()
+	summaries, err := Fig09(s, 1)
+	if err != nil {
+		t.Fatalf("Fig09: %v", err)
+	}
+	if len(summaries["Microsoft"]) != 2 || len(summaries["HongKong"]) != 5 {
+		t.Errorf("summary sizes: ms=%d hk=%d", len(summaries["Microsoft"]), len(summaries["HongKong"]))
+	}
+	var buf bytes.Buffer
+	if err := PrintFig09(&buf, summaries); err != nil {
+		t.Fatalf("PrintFig09: %v", err)
+	}
+}
+
+func TestFig12And15And17Shapes(t *testing.T) {
+	s := Scale{MicrosoftBuildings: 1, RecordsPerFloor: 20, SamplesPerEdge: 20, Repetitions: 1}
+	rows12, err := Fig12(s, []float64{0.5, 0.7}, 1)
+	if err != nil {
+		t.Fatalf("Fig12: %v", err)
+	}
+	if len(rows12) != 4 { // 2 datasets x 2 ratios
+		t.Errorf("fig12 rows = %d, want 4", len(rows12))
+	}
+	rows15, err := Fig15(s, []int{4, 8}, 1)
+	if err != nil {
+		t.Fatalf("Fig15: %v", err)
+	}
+	if len(rows15) != 4 {
+		t.Errorf("fig15 rows = %d, want 4", len(rows15))
+	}
+	rows17, err := Fig17(s, []float64{0.4, 1.0}, 1)
+	if err != nil {
+		t.Fatalf("Fig17: %v", err)
+	}
+	if len(rows17) != 4 {
+		t.Errorf("fig17 rows = %d, want 4", len(rows17))
+	}
+	var buf bytes.Buffer
+	if err := PrintFig12(&buf, rows12); err != nil {
+		t.Fatal(err)
+	}
+	if err := PrintFig15(&buf, rows15); err != nil {
+		t.Fatal(err)
+	}
+	if err := PrintFig17(&buf, rows17); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig13ELINEBeatsLINEAtFourLabels(t *testing.T) {
+	s := Scale{MicrosoftBuildings: 2, RecordsPerFloor: 30, SamplesPerEdge: 40, Repetitions: 1}
+	rows, err := Fig13(s, 3)
+	if err != nil {
+		t.Fatalf("Fig13: %v", err)
+	}
+	if len(rows) != 8 { // 2 datasets x 2 label budgets x 2 variants
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	var buf bytes.Buffer
+	if err := PrintFig13(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig14GraphBeatsMatrix(t *testing.T) {
+	s := Scale{MicrosoftBuildings: 2, RecordsPerFloor: 30, SamplesPerEdge: 40, Repetitions: 1}
+	rows, err := Fig14(s, 1)
+	if err != nil {
+		t.Fatalf("Fig14: %v", err)
+	}
+	byKey := map[string]Fig14Row{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.Representation] = r
+	}
+	for _, ds := range []string{"Microsoft", "HongKong"} {
+		g, m := byKey[ds+"/Graph"], byKey[ds+"/Matrix"]
+		if g.MicroF <= m.MicroF {
+			t.Errorf("%s: graph micro-F %v not above matrix %v (paper: graph >> matrix)", ds, g.MicroF, m.MicroF)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintFig14(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig16OffsetBeatsPower(t *testing.T) {
+	s := Scale{MicrosoftBuildings: 2, RecordsPerFloor: 30, SamplesPerEdge: 40, Repetitions: 1}
+	rows, err := Fig16(s, 1)
+	if err != nil {
+		t.Fatalf("Fig16: %v", err)
+	}
+	byKey := map[string]Fig16Row{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.WeightFn] = r
+	}
+	for _, ds := range []string{"Microsoft", "HongKong"} {
+		f := byKey[ds+"/f=RSS+120"]
+		g := byKey[ds+"/g=10^(RSS/10)"]
+		if f.MicroF < g.MicroF-0.05 {
+			t.Errorf("%s: offset weight %v clearly below power weight %v", ds, f.MicroF, g.MicroF)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintFig16(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig11SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig11 sweep is the most expensive runner")
+	}
+	s := Scale{MicrosoftBuildings: 2, RecordsPerFloor: 25, SamplesPerEdge: 120, Repetitions: 1}
+	rows, err := Fig11(s, []int{4}, 1)
+	if err != nil {
+		t.Fatalf("Fig11: %v", err)
+	}
+	// 2 datasets x 1 label count x 5 methods.
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	// The paper's claim is about the average over many buildings; at
+	// test scale we average the two corpora and require GRAFICS to be at
+	// or near the top (small corpora put several methods close to the
+	// ceiling).
+	avg := map[string]float64{}
+	for _, r := range rows {
+		avg[r.Method] += r.MicroF / 2
+	}
+	grafics := avg["GRAFICS"]
+	for method, f := range avg {
+		if grafics < f-0.05 {
+			t.Errorf("GRAFICS (%v) clearly below %s (%v) at 4 labels", grafics, method, f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintFig11(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScales(t *testing.T) {
+	h := ScaleHarness()
+	if h.MicrosoftBuildings <= 0 || h.RecordsPerFloor <= 0 {
+		t.Errorf("harness scale invalid: %+v", h)
+	}
+	p := ScalePaper()
+	if p.MicrosoftBuildings != 204 || p.Repetitions != 10 {
+		t.Errorf("paper scale should match the paper: %+v", p)
+	}
+	specs := Datasets(h, 1)
+	if len(specs) != 2 || specs[0].Name != "Microsoft" || specs[1].Name != "HongKong" {
+		t.Errorf("dataset specs wrong: %+v", specs)
+	}
+}

@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/dataset"
+)
+
+// writeTable renders rows of cells with a header through a tabwriter.
+func writeTable(w io.Writer, header []string, rows [][]string) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(r, "\t")); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// PrintFig01 renders the Fig. 1 statistics.
+func PrintFig01(w io.Writer, r Fig01Result) error {
+	if _, err := fmt.Fprintf(w, "Fig. 1 — heterogeneity of %d records (%d distinct MACs) on one floor\n", r.Records, r.DistinctMACs); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "pairs with overlap < 0.5: %.0f%% (paper: 78%%)\n", r.FracPairsBelowHalf*100); err != nil {
+		return err
+	}
+	header := []string{"quantile", "MACs/record", "overlap ratio"}
+	var rows [][]string
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		rows = append(rows, []string{
+			fmt.Sprintf("p%.0f", q*100),
+			fmt.Sprintf("%.0f", quantileOf(r.MACCountCDF, q)),
+			fmt.Sprintf("%.2f", quantileOf(r.OverlapCDF, q)),
+		})
+	}
+	return writeTable(w, header, rows)
+}
+
+// quantileOf inverts an empirical CDF at probability q.
+func quantileOf(cdf []dataset.CDFPoint, q float64) float64 {
+	for _, p := range cdf {
+		if p.CDF >= q {
+			return p.Value
+		}
+	}
+	if len(cdf) == 0 {
+		return 0
+	}
+	return cdf[len(cdf)-1].Value
+}
+
+// PrintFig06 renders the embedding-quality comparison.
+func PrintFig06(w io.Writer, rows []Fig06Row) error {
+	if _, err := fmt.Fprintln(w, "Fig. 6 — embedding quality on the 3-floor campus corpus"); err != nil {
+		return err
+	}
+	header := []string{"method", "silhouette", "cluster purity"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Method, f3(r.Silhouette), f3(r.Purity)})
+	}
+	return writeTable(w, header, cells)
+}
+
+// PrintFig08 renders the clustering progression.
+func PrintFig08(w io.Writer, rows []Fig08Row) error {
+	if _, err := fmt.Fprintln(w, "Fig. 8 — proximity-clustering progression (4 labels/floor)"); err != nil {
+		return err
+	}
+	header := []string{"merged", "clusters", "purity"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%.0f%%", r.FractionMerged*100),
+			fmt.Sprintf("%d", r.Clusters),
+			f3(r.Purity),
+		})
+	}
+	return writeTable(w, header, cells)
+}
+
+// PrintFig09 renders the corpus summaries.
+func PrintFig09(w io.Writer, summaries map[string][]dataset.BuildingSummary) error {
+	if _, err := fmt.Fprintln(w, "Fig. 9 — corpus summary (one row per building)"); err != nil {
+		return err
+	}
+	header := []string{"dataset", "building", "floors", "area (m²)", "MACs", "records"}
+	var cells [][]string
+	for _, name := range []string{"Microsoft", "HongKong"} {
+		for _, s := range summaries[name] {
+			cells = append(cells, []string{
+				name, s.Name, fmt.Sprintf("%d", s.Floors),
+				fmt.Sprintf("%.0f", s.AreaM2), fmt.Sprintf("%d", s.MACs), fmt.Sprintf("%d", s.Records),
+			})
+		}
+	}
+	return writeTable(w, header, cells)
+}
+
+// PrintFig11 renders the label sweep.
+func PrintFig11(w io.Writer, rows []Fig11Row) error {
+	if _, err := fmt.Fprintln(w, "Fig. 11 — F-scores vs labels per floor"); err != nil {
+		return err
+	}
+	header := []string{"dataset", "method", "labels/floor", "micro-F", "macro-F"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Dataset, r.Method, fmt.Sprintf("%d", r.LabelsPerFloor), f3(r.MicroF), f3(r.MacroF)})
+	}
+	return writeTable(w, header, cells)
+}
+
+// PrintFig12 renders the training-ratio sweep.
+func PrintFig12(w io.Writer, rows []Fig12Row) error {
+	if _, err := fmt.Fprintln(w, "Fig. 12 — F-scores vs training-data ratio (#labels = 4)"); err != nil {
+		return err
+	}
+	header := []string{"dataset", "train %", "micro-F", "macro-F"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Dataset, fmt.Sprintf("%d", r.TrainPct), f3(r.MicroF), f3(r.MacroF)})
+	}
+	return writeTable(w, header, cells)
+}
+
+// PrintFig13 renders the E-LINE vs LINE comparison.
+func PrintFig13(w io.Writer, rows []Fig13Row) error {
+	if _, err := fmt.Fprintln(w, "Fig. 13 — GRAFICS with E-LINE vs LINE"); err != nil {
+		return err
+	}
+	header := []string{"dataset", "labels", "variant", "micro-P", "micro-R", "micro-F", "macro-P", "macro-R", "macro-F", "std(micro-F)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, fmt.Sprintf("%d", r.Labels), r.Variant,
+			f3(r.MicroP), f3(r.MicroR), f3(r.MicroF),
+			f3(r.MacroP), f3(r.MacroR), f3(r.MacroF), f3(r.MicroFStd),
+		})
+	}
+	return writeTable(w, header, cells)
+}
+
+// PrintFig14 renders the graph-vs-matrix comparison.
+func PrintFig14(w io.Writer, rows []Fig14Row) error {
+	if _, err := fmt.Fprintln(w, "Fig. 14 — graph modeling + E-LINE vs matrix representation"); err != nil {
+		return err
+	}
+	header := []string{"dataset", "representation", "micro-P", "micro-R", "micro-F", "macro-P", "macro-R", "macro-F"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, r.Representation,
+			f3(r.MicroP), f3(r.MicroR), f3(r.MicroF),
+			f3(r.MacroP), f3(r.MacroR), f3(r.MacroF),
+		})
+	}
+	return writeTable(w, header, cells)
+}
+
+// PrintFig15 renders the dimension sweep.
+func PrintFig15(w io.Writer, rows []Fig15Row) error {
+	if _, err := fmt.Fprintln(w, "Fig. 15 — sensitivity to embedding dimension"); err != nil {
+		return err
+	}
+	header := []string{"dataset", "dim", "micro-F", "macro-F"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Dataset, fmt.Sprintf("%d", r.Dim), f3(r.MicroF), f3(r.MacroF)})
+	}
+	return writeTable(w, header, cells)
+}
+
+// PrintFig16 renders the weight-function comparison.
+func PrintFig16(w io.Writer, rows []Fig16Row) error {
+	if _, err := fmt.Fprintln(w, "Fig. 16 — weight function f(RSS)=RSS+120 vs g(RSS)=10^(RSS/10)"); err != nil {
+		return err
+	}
+	header := []string{"dataset", "weight fn", "micro-P", "micro-R", "micro-F", "macro-P", "macro-R", "macro-F"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, r.WeightFn,
+			f3(r.MicroP), f3(r.MicroR), f3(r.MicroF),
+			f3(r.MacroP), f3(r.MacroR), f3(r.MacroF),
+		})
+	}
+	return writeTable(w, header, cells)
+}
+
+// PrintFig17 renders the MAC-availability sweep.
+func PrintFig17(w io.Writer, rows []Fig17Row) error {
+	if _, err := fmt.Fprintln(w, "Fig. 17 — F-scores vs percentage of MACs available"); err != nil {
+		return err
+	}
+	header := []string{"dataset", "MACs %", "micro-F", "macro-F"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Dataset, fmt.Sprintf("%d", r.MACPercent), f3(r.MicroF), f3(r.MacroF)})
+	}
+	return writeTable(w, header, cells)
+}

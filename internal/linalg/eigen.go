@@ -1,0 +1,90 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// EigenOptions configures the power-iteration eigensolver.
+type EigenOptions struct {
+	// MaxIter bounds the number of power iterations per eigenpair.
+	MaxIter int
+	// Tol is the convergence tolerance on the change of the Rayleigh
+	// quotient between iterations.
+	Tol float64
+	// Seed seeds the random starting vectors so results are
+	// reproducible.
+	Seed int64
+}
+
+// DefaultEigenOptions returns options suitable for the matrix sizes used in
+// this repository (up to a few thousand rows).
+func DefaultEigenOptions() EigenOptions {
+	return EigenOptions{MaxIter: 1000, Tol: 1e-10, Seed: 1}
+}
+
+// TopEigen computes the k largest-magnitude eigenpairs of the symmetric
+// matrix m using power iteration with Hotelling deflation. The matrix is
+// copied, so m is not modified. Eigenvalues are returned in order of
+// decreasing magnitude alongside their unit eigenvectors.
+func TopEigen(m *Matrix, k int, opts EigenOptions) (values []float64, vectors [][]float64, err error) {
+	if m.Rows != m.Cols {
+		return nil, nil, fmt.Errorf("linalg: TopEigen on %dx%d: %w", m.Rows, m.Cols, ErrDimensionMismatch)
+	}
+	n := m.Rows
+	if k < 0 || k > n {
+		return nil, nil, fmt.Errorf("linalg: TopEigen k=%d out of range [0,%d]", k, n)
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 1000
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+	work := m.Clone()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	values = make([]float64, 0, k)
+	vectors = make([][]float64, 0, k)
+	v := make([]float64, n)
+	next := make([]float64, n)
+	for p := 0; p < k; p++ {
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		Normalize(v)
+		lambda := 0.0
+		for it := 0; it < opts.MaxIter; it++ {
+			work.MulVec(v, next)
+			newLambda := Dot(v, next)
+			nn := Normalize(next)
+			if nn == 0 {
+				// Matrix annihilated the vector: remaining
+				// spectrum is (numerically) zero.
+				newLambda = 0
+				for i := range next {
+					next[i] = 0
+				}
+				lambda = newLambda
+				break
+			}
+			copy(v, next)
+			if math.Abs(newLambda-lambda) <= opts.Tol*(math.Abs(newLambda)+opts.Tol) {
+				lambda = newLambda
+				break
+			}
+			lambda = newLambda
+		}
+		values = append(values, lambda)
+		vectors = append(vectors, Clone(v))
+		// Hotelling deflation: work -= lambda * v v^T.
+		for i := 0; i < n; i++ {
+			row := work.Row(i)
+			vi := v[i]
+			for j := range row {
+				row[j] -= lambda * vi * v[j]
+			}
+		}
+	}
+	return values, vectors, nil
+}

@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a Rows x Cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: NewMatrix negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFromRows builds a matrix whose rows are copies of the given
+// equal-length slices.
+func NewMatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("linalg: row %d has %d cols, want %d: %w", i, len(r), cols, ErrDimensionMismatch)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
+	return out
+}
+
+// MulVec computes m * x and writes the result into out, which must have
+// length m.Rows. It returns out for chaining.
+func (m *Matrix) MulVec(x, out []float64) []float64 {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVec shape %dx%d with x=%d out=%d", m.Rows, m.Cols, len(x), len(out)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// Mul returns m*other as a new matrix.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.Cols != other.Rows {
+		return nil, fmt.Errorf("linalg: Mul %dx%d by %dx%d: %w", m.Rows, m.Cols, other.Rows, other.Cols, ErrDimensionMismatch)
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		arow := m.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := other.Row(k)
+			Axpy(av, brow, orow)
+		}
+	}
+	return out, nil
+}
+
+// Symmetrize sets m = (m + m^T)/2 in place; m must be square.
+func (m *Matrix) Symmetrize() {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("linalg: Symmetrize on %dx%d", m.Rows, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// DoubleCenter applies the centering transform B = -1/2 * J D J (with
+// J = I - 11^T/n) to a square matrix of squared dissimilarities, in place.
+// This is the Torgerson step of classical MDS.
+func (m *Matrix) DoubleCenter() {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("linalg: DoubleCenter on %dx%d", m.Rows, m.Cols))
+	}
+	n := m.Rows
+	if n == 0 {
+		return
+	}
+	rowMean := make([]float64, n)
+	var grand float64
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		rowMean[i] = s / float64(n)
+		grand += s
+	}
+	grand /= float64(n * n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = -0.5 * (row[j] - rowMean[i] - rowMean[j] + grand)
+		}
+	}
+}
+
+// FrobeniusNorm returns sqrt(sum of squared entries).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute entry, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var best float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}

@@ -1,0 +1,175 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("NewMatrixFromRows: %v", err)
+	}
+	if m.Rows != 2 || m.Cols != 2 {
+		t.Fatalf("shape %dx%d, want 2x2", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+	if _, err := NewMatrixFromRows([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("expected error on ragged rows")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	bad := NewMatrix(3, 3)
+	if _, err := a.Mul(bad); err == nil {
+		t.Error("expected dimension mismatch error")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 0}, {0, 2}, {1, 1}})
+	out := make([]float64, 3)
+	a.MulVec([]float64{3, 4}, out)
+	want := []float64{3, 8, 7}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("MulVec got %v, want %v", out, want)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T shape %dx%d, want 3x2", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Errorf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestDoubleCenter(t *testing.T) {
+	// Squared distances of points on a line: 0, 3, 7 (1-D coordinates).
+	pts := []float64{0, 3, 7}
+	n := len(pts)
+	d2 := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := pts[i] - pts[j]
+			d2.Set(i, j, d*d)
+		}
+	}
+	d2.DoubleCenter()
+	// After double centering, B = X_c X_c^T where X_c is centered coords.
+	mean := (0.0 + 3 + 7) / 3
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := (pts[i] - mean) * (pts[j] - mean)
+			if !almostEqual(d2.At(i, j), want, 1e-9) {
+				t.Errorf("B[%d][%d] = %v, want %v", i, j, d2.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 2}, {4, 3}})
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Errorf("Symmetrize got %v / %v, want 3 / 3", m.At(0, 1), m.At(1, 0))
+	}
+}
+
+func TestTopEigen(t *testing.T) {
+	// Symmetric matrix with known eigenvalues 3 and 1:
+	// [[2,1],[1,2]] has eigenpairs (3, [1,1]/sqrt2), (1, [1,-1]/sqrt2).
+	m, _ := NewMatrixFromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := TopEigen(m, 2, DefaultEigenOptions())
+	if err != nil {
+		t.Fatalf("TopEigen: %v", err)
+	}
+	if !almostEqual(vals[0], 3, 1e-6) {
+		t.Errorf("lambda0 = %v, want 3", vals[0])
+	}
+	if !almostEqual(vals[1], 1, 1e-6) {
+		t.Errorf("lambda1 = %v, want 1", vals[1])
+	}
+	// Eigenvector direction check (up to sign).
+	v0 := vecs[0]
+	if !almostEqual(math.Abs(v0[0]), math.Sqrt2/2, 1e-5) || !almostEqual(math.Abs(v0[1]), math.Sqrt2/2, 1e-5) {
+		t.Errorf("v0 = %v, want +-[0.707,0.707]", v0)
+	}
+}
+
+func TestTopEigenResidualProperty(t *testing.T) {
+	// For a random symmetric matrix, ||Av - lambda v|| should be small for
+	// each returned eigenpair.
+	n := 12
+	m := NewMatrix(n, n)
+	// Deterministic pseudo-random fill.
+	seed := uint64(42)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>33)/float64(1<<31) - 1
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, next())
+		}
+	}
+	m.Symmetrize()
+	vals, vecs, err := TopEigen(m, 3, DefaultEigenOptions())
+	if err != nil {
+		t.Fatalf("TopEigen: %v", err)
+	}
+	out := make([]float64, n)
+	for p := range vals {
+		m.MulVec(vecs[p], out)
+		Axpy(-vals[p], vecs[p], out)
+		if r := Norm2(out); r > 1e-4 {
+			t.Errorf("eigenpair %d residual %v too large (lambda=%v)", p, r, vals[p])
+		}
+	}
+}
+
+func TestTopEigenErrors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if _, _, err := TopEigen(m, 1, DefaultEigenOptions()); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+	sq := NewMatrix(2, 2)
+	if _, _, err := TopEigen(sq, 5, DefaultEigenOptions()); err == nil {
+		t.Error("expected error for k > n")
+	}
+}
+
+func TestFrobeniusAndMaxAbs(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{3, 0}, {0, -4}})
+	if got := m.FrobeniusNorm(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("FrobeniusNorm = %v, want 5", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Errorf("MaxAbs = %v, want 4", got)
+	}
+}

@@ -1,0 +1,164 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"empty", nil, nil, 0},
+		{"ones", []float64{1, 1, 1}, []float64{1, 1, 1}, 3},
+		{"orthogonal", []float64{1, 0}, []float64{0, 1}, 0},
+		{"mixed", []float64{1, -2, 3}, []float64{4, 5, -6}, 4 - 10 - 18},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dot(tt.a, tt.b); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Dot(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 2, 3}
+	Axpy(2, []float64{1, 1, 1}, y)
+	want := []float64{3, 4, 5}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy got %v, want %v", y, want)
+		}
+	}
+}
+
+func TestNorm2AndNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	if got := Norm2(v); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	n := Normalize(v)
+	if !almostEqual(n, 5, 1e-12) {
+		t.Errorf("Normalize returned %v, want 5", n)
+	}
+	if !almostEqual(Norm2(v), 1, 1e-12) {
+		t.Errorf("post-normalize norm = %v, want 1", Norm2(v))
+	}
+	z := []float64{0, 0}
+	if n := Normalize(z); n != 0 {
+		t.Errorf("Normalize(zero) = %v, want 0", n)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := Distance(a, b); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+	if got := SquaredDistance(a, b); !almostEqual(got, 25, 1e-12) {
+		t.Errorf("SquaredDistance = %v, want 25", got)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"identical", []float64{1, 2}, []float64{1, 2}, 1},
+		{"opposite", []float64{1, 0}, []float64{-1, 0}, -1},
+		{"orthogonal", []float64{1, 0}, []float64{0, 1}, 0},
+		{"zero vector", []float64{0, 0}, []float64{1, 1}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CosineSimilarity(tt.a, tt.b); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("CosineSimilarity = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMean(t *testing.T) {
+	got := Mean([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	want := []float64{3, 4}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("Mean = %v, want %v", got, want)
+		}
+	}
+	if Mean(nil) != nil {
+		t.Error("Mean(nil) should be nil")
+	}
+}
+
+// clampVec maps arbitrary float64s (including Inf/NaN/huge values from
+// testing/quick) into a numerically safe range for property tests.
+func clampVec(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		out[i] = math.Mod(v, 1000)
+	}
+	return out
+}
+
+// Property: Cauchy-Schwarz |a.b| <= ||a|| ||b||.
+func TestDotCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		av, bv := clampVec(a[:]), clampVec(b[:])
+		lhs := math.Abs(Dot(av, bv))
+		rhs := Norm2(av) * Norm2(bv)
+		return lhs <= rhs*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for Distance.
+func TestDistanceTriangleProperty(t *testing.T) {
+	f := func(a, b, c [6]float64) bool {
+		av, bv, cv := clampVec(a[:]), clampVec(b[:]), clampVec(c[:])
+		ab := Distance(av, bv)
+		bc := Distance(bv, cv)
+		ac := Distance(av, cv)
+		return ac <= ab+bc+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cosine similarity is bounded in [-1, 1].
+func TestCosineBoundedProperty(t *testing.T) {
+	f := func(a, b [5]float64) bool {
+		c := CosineSimilarity(clampVec(a[:]), clampVec(b[:]))
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package mds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestCosineDissimilarity(t *testing.T) {
+	rows := [][]float64{{1, 0}, {0, 1}, {1, 0}}
+	m, err := CosineDissimilarity(rows)
+	if err != nil {
+		t.Fatalf("CosineDissimilarity: %v", err)
+	}
+	if m.At(0, 1) != 1 {
+		t.Errorf("orthogonal dissimilarity = %v, want 1", m.At(0, 1))
+	}
+	if m.At(0, 2) != 0 {
+		t.Errorf("identical dissimilarity = %v, want 0", m.At(0, 2))
+	}
+	if m.At(0, 0) != 0 {
+		t.Errorf("self dissimilarity = %v, want 0", m.At(0, 0))
+	}
+	if _, err := CosineDissimilarity([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+// pointsToDiss builds a Euclidean distance matrix from coordinates.
+func pointsToDiss(pts [][]float64) *linalg.Matrix {
+	n := len(pts)
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, linalg.Distance(pts[i], pts[j]))
+		}
+	}
+	return m
+}
+
+func TestClassicalRecoversEuclideanConfig(t *testing.T) {
+	// Points on a line: classical MDS must recover pairwise distances
+	// exactly (up to rotation/reflection).
+	pts := [][]float64{{0, 0}, {3, 0}, {7, 0}, {10, 0}}
+	diss := pointsToDiss(pts)
+	coords, err := Classical(diss, 2, 1)
+	if err != nil {
+		t.Fatalf("Classical: %v", err)
+	}
+	for i := range pts {
+		for j := range pts {
+			want := diss.At(i, j)
+			got := linalg.Distance(coords[i], coords[j])
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("distance(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestClassicalErrors(t *testing.T) {
+	if _, err := Classical(linalg.NewMatrix(2, 3), 1, 1); err == nil {
+		t.Error("non-square should error")
+	}
+	if _, err := Classical(linalg.NewMatrix(3, 3), 0, 1); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := Classical(linalg.NewMatrix(3, 3), 4, 1); err == nil {
+		t.Error("k>n should error")
+	}
+}
+
+func TestSMACOFReducesStress(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 1}, {5, 5}, {6, 5}, {5, 6}}
+	diss := pointsToDiss(pts)
+	coords, stress, err := SMACOF(diss, 2, DefaultSMACOFOptions())
+	if err != nil {
+		t.Fatalf("SMACOF: %v", err)
+	}
+	if len(coords) != len(pts) {
+		t.Fatalf("coords = %d, want %d", len(coords), len(pts))
+	}
+	if stress > 0.5 {
+		t.Errorf("final stress %v too high for embeddable config", stress)
+	}
+	// Cluster structure preserved: points 0-2 mutually closer than to 3-5.
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			inter := linalg.Distance(coords[i], coords[j])
+			for k := 0; k < 3; k++ {
+				if k == i {
+					continue
+				}
+				if intra := linalg.Distance(coords[i], coords[k]); intra >= inter {
+					t.Fatalf("SMACOF destroyed cluster structure: intra %v >= inter %v", intra, inter)
+				}
+			}
+		}
+	}
+}
+
+func TestSMACOFErrors(t *testing.T) {
+	if _, _, err := SMACOF(linalg.NewMatrix(2, 3), 1, DefaultSMACOFOptions()); err == nil {
+		t.Error("non-square should error")
+	}
+	if _, _, err := SMACOF(linalg.NewMatrix(3, 3), 0, DefaultSMACOFOptions()); err == nil {
+		t.Error("k=0 should error")
+	}
+}

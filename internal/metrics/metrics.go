@@ -1,0 +1,194 @@
+// Package metrics implements the classification metrics used in the
+// GRAFICS evaluation (§VI-A of the paper): per-floor precision/recall/F1
+// and their micro- and macro-averaged aggregates, computed from a confusion
+// matrix over arbitrary label identifiers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion accumulates a confusion matrix over string-comparable integer
+// labels (floor numbers in this repository).
+type Confusion struct {
+	counts map[int]map[int]int // counts[true][pred]
+	labels map[int]struct{}
+}
+
+// NewConfusion returns an empty confusion matrix.
+func NewConfusion() *Confusion {
+	return &Confusion{
+		counts: make(map[int]map[int]int),
+		labels: make(map[int]struct{}),
+	}
+}
+
+// Add records one (true, predicted) observation.
+func (c *Confusion) Add(trueLabel, predLabel int) {
+	row, ok := c.counts[trueLabel]
+	if !ok {
+		row = make(map[int]int)
+		c.counts[trueLabel] = row
+	}
+	row[predLabel]++
+	c.labels[trueLabel] = struct{}{}
+	c.labels[predLabel] = struct{}{}
+}
+
+// AddBatch records paired slices of true and predicted labels.
+func (c *Confusion) AddBatch(trueLabels, predLabels []int) error {
+	if len(trueLabels) != len(predLabels) {
+		return fmt.Errorf("metrics: batch length mismatch %d != %d", len(trueLabels), len(predLabels))
+	}
+	for i := range trueLabels {
+		c.Add(trueLabels[i], predLabels[i])
+	}
+	return nil
+}
+
+// Labels returns the sorted set of labels seen so far.
+func (c *Confusion) Labels() []int {
+	out := make([]int, 0, len(c.labels))
+	for l := range c.labels {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Total returns the number of recorded observations.
+func (c *Confusion) Total() int {
+	var n int
+	for _, row := range c.counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Count returns the number of observations with the given true and
+// predicted labels.
+func (c *Confusion) Count(trueLabel, predLabel int) int {
+	return c.counts[trueLabel][predLabel]
+}
+
+// PerClass holds precision, recall, and F1 for one label.
+type PerClass struct {
+	Label     int
+	TP        int
+	FP        int
+	FN        int
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Report holds the full evaluation output for one experiment run.
+type Report struct {
+	Classes []PerClass
+
+	MicroP float64
+	MicroR float64
+	MicroF float64
+
+	MacroP float64
+	MacroR float64
+	MacroF float64
+
+	Accuracy float64
+}
+
+// safeDiv returns a/b, or 0 when b == 0 (the convention for undefined
+// precision/recall used throughout the floor-ID literature).
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Compute derives per-class and aggregate metrics from the confusion
+// matrix. Micro metrics pool TP/FP/FN over classes; macro metrics average
+// the per-class precision and recall first and combine them into macro-F
+// exactly as defined in the paper:
+//
+//	macro-F = 2 * macro-P * macro-R / (macro-P + macro-R).
+func (c *Confusion) Compute() Report {
+	labels := c.Labels()
+	var rep Report
+	var sumTP, sumFP, sumFN int
+	var sumP, sumR float64
+	correct := 0
+	total := 0
+	for _, l := range labels {
+		var tp, fp, fn int
+		tp = c.counts[l][l]
+		for _, other := range labels {
+			if other == l {
+				continue
+			}
+			fn += c.counts[l][other]
+			fp += c.counts[other][l]
+		}
+		p := safeDiv(float64(tp), float64(tp+fp))
+		r := safeDiv(float64(tp), float64(tp+fn))
+		f := safeDiv(2*p*r, p+r)
+		rep.Classes = append(rep.Classes, PerClass{
+			Label: l, TP: tp, FP: fp, FN: fn,
+			Precision: p, Recall: r, F1: f,
+		})
+		sumTP += tp
+		sumFP += fp
+		sumFN += fn
+		sumP += p
+		sumR += r
+	}
+	for tl, row := range c.counts {
+		for pl, v := range row {
+			total += v
+			if tl == pl {
+				correct += v
+			}
+		}
+	}
+	n := float64(len(labels))
+	rep.MicroP = safeDiv(float64(sumTP), float64(sumTP+sumFP))
+	rep.MicroR = safeDiv(float64(sumTP), float64(sumTP+sumFN))
+	rep.MicroF = safeDiv(2*rep.MicroP*rep.MicroR, rep.MicroP+rep.MicroR)
+	rep.MacroP = safeDiv(sumP, n)
+	rep.MacroR = safeDiv(sumR, n)
+	rep.MacroF = safeDiv(2*rep.MacroP*rep.MacroR, rep.MacroP+rep.MacroR)
+	rep.Accuracy = safeDiv(float64(correct), float64(total))
+	return rep
+}
+
+// Evaluate is a convenience that builds a confusion matrix from the paired
+// label slices and computes the report.
+func Evaluate(trueLabels, predLabels []int) (Report, error) {
+	c := NewConfusion()
+	if err := c.AddBatch(trueLabels, predLabels); err != nil {
+		return Report{}, err
+	}
+	return c.Compute(), nil
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs. An
+// empty slice yields (0, 0).
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std /= float64(len(xs))
+	return mean, math.Sqrt(std)
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPerfectClassification(t *testing.T) {
+	rep, err := Evaluate([]int{1, 2, 3, 1, 2}, []int{1, 2, 3, 1, 2})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if rep.MicroF != 1 || rep.MacroF != 1 || rep.Accuracy != 1 {
+		t.Errorf("perfect case: microF=%v macroF=%v acc=%v, want all 1", rep.MicroF, rep.MacroF, rep.Accuracy)
+	}
+}
+
+func TestAllWrong(t *testing.T) {
+	rep, err := Evaluate([]int{1, 1, 2, 2}, []int{2, 2, 1, 1})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if rep.MicroF != 0 || rep.MacroF != 0 {
+		t.Errorf("all-wrong: microF=%v macroF=%v, want 0", rep.MicroF, rep.MacroF)
+	}
+}
+
+func TestKnownConfusion(t *testing.T) {
+	// 2 classes: class 1 has TP=2 FP=1 FN=0; class 2 has TP=1 FP=0 FN=1.
+	trueL := []int{1, 1, 2, 2}
+	predL := []int{1, 1, 1, 2}
+	rep, err := Evaluate(trueL, predL)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	// micro: TP=3, FP=1, FN=1 -> P=3/4 R=3/4 F=3/4
+	if !almostEqual(rep.MicroP, 0.75, 1e-12) || !almostEqual(rep.MicroR, 0.75, 1e-12) || !almostEqual(rep.MicroF, 0.75, 1e-12) {
+		t.Errorf("micro = (%v,%v,%v), want (0.75,0.75,0.75)", rep.MicroP, rep.MicroR, rep.MicroF)
+	}
+	// macro: P = (2/3 + 1)/2 = 5/6; R = (1 + 1/2)/2 = 3/4
+	wantP := 5.0 / 6
+	wantR := 0.75
+	wantF := 2 * wantP * wantR / (wantP + wantR)
+	if !almostEqual(rep.MacroP, wantP, 1e-12) || !almostEqual(rep.MacroR, wantR, 1e-12) || !almostEqual(rep.MacroF, wantF, 1e-12) {
+		t.Errorf("macro = (%v,%v,%v), want (%v,%v,%v)", rep.MacroP, rep.MacroR, rep.MacroF, wantP, wantR, wantF)
+	}
+}
+
+func TestBatchLengthMismatch(t *testing.T) {
+	if _, err := Evaluate([]int{1}, []int{1, 2}); err == nil {
+		t.Error("expected error on mismatched batch")
+	}
+}
+
+func TestLabelsSortedAndTotal(t *testing.T) {
+	c := NewConfusion()
+	c.Add(3, 1)
+	c.Add(1, 1)
+	c.Add(2, 3)
+	labels := c.Labels()
+	want := []int{1, 2, 3}
+	if len(labels) != len(want) {
+		t.Fatalf("Labels = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v", labels, want)
+		}
+	}
+	if c.Total() != 3 {
+		t.Errorf("Total = %d, want 3", c.Total())
+	}
+	if c.Count(3, 1) != 1 {
+		t.Errorf("Count(3,1) = %d, want 1", c.Count(3, 1))
+	}
+}
+
+func TestSingleClassDegenerate(t *testing.T) {
+	rep, err := Evaluate([]int{5, 5, 5}, []int{5, 5, 5})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if rep.MicroF != 1 || rep.MacroF != 1 {
+		t.Errorf("single class: microF=%v macroF=%v, want 1", rep.MicroF, rep.MacroF)
+	}
+}
+
+// Property: micro-P equals micro-R equals accuracy in single-label
+// multi-class classification (every FP for one class is an FN for another).
+func TestMicroEqualsAccuracyProperty(t *testing.T) {
+	f := func(raw [20]uint8) bool {
+		trueL := make([]int, len(raw))
+		predL := make([]int, len(raw))
+		for i, v := range raw {
+			trueL[i] = int(v % 4)
+			predL[i] = int((v >> 2) % 4)
+		}
+		rep, err := Evaluate(trueL, predL)
+		if err != nil {
+			return false
+		}
+		return almostEqual(rep.MicroP, rep.MicroR, 1e-12) &&
+			almostEqual(rep.MicroP, rep.Accuracy, 1e-12) &&
+			almostEqual(rep.MicroF, rep.Accuracy, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all reported metrics lie in [0, 1].
+func TestMetricsBoundedProperty(t *testing.T) {
+	f := func(raw [16]uint8) bool {
+		trueL := make([]int, len(raw))
+		predL := make([]int, len(raw))
+		for i, v := range raw {
+			trueL[i] = int(v % 5)
+			predL[i] = int((v >> 3) % 5)
+		}
+		rep, err := Evaluate(trueL, predL)
+		if err != nil {
+			return false
+		}
+		vals := []float64{rep.MicroP, rep.MicroR, rep.MicroF, rep.MacroP, rep.MacroR, rep.MacroF, rep.Accuracy}
+		for _, v := range vals {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(mean, 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	if !almostEqual(std, 2, 1e-12) {
+		t.Errorf("std = %v, want 2", std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Errorf("MeanStd(nil) = (%v,%v), want (0,0)", m, s)
+	}
+}

@@ -1,0 +1,223 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Conv1D is a valid-padding one-dimensional convolution over multi-channel
+// signals. Inputs and outputs are flat channel-major vectors:
+// x[c*length+t] for channel c, position t.
+type Conv1D struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int
+	Stride      int
+	InLength    int
+
+	W *Tensor // OutChannels x InChannels x Kernel
+	B *Tensor // OutChannels
+
+	x []float64
+}
+
+// OutLength returns the output temporal length for an input of length n.
+func convOutLength(n, kernel, stride int) int {
+	if n < kernel {
+		return 0
+	}
+	return (n-kernel)/stride + 1
+}
+
+// NewConv1D builds a Conv1D with He-uniform initialization.
+func NewConv1D(inChannels, outChannels, kernel, stride, inLength int, rng *rand.Rand) (*Conv1D, error) {
+	if kernel <= 0 || stride <= 0 || inChannels <= 0 || outChannels <= 0 {
+		return nil, fmt.Errorf("nn: invalid Conv1D shape in=%d out=%d k=%d s=%d", inChannels, outChannels, kernel, stride)
+	}
+	if convOutLength(inLength, kernel, stride) <= 0 {
+		return nil, fmt.Errorf("nn: Conv1D input length %d shorter than kernel %d", inLength, kernel)
+	}
+	c := &Conv1D{
+		InChannels:  inChannels,
+		OutChannels: outChannels,
+		Kernel:      kernel,
+		Stride:      stride,
+		InLength:    inLength,
+		W:           NewTensor(outChannels * inChannels * kernel),
+		B:           NewTensor(outChannels),
+	}
+	limit := math.Sqrt(6 / float64(inChannels*kernel))
+	for i := range c.W.Data {
+		c.W.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return c, nil
+}
+
+// OutSize returns the flat output vector length.
+func (c *Conv1D) OutSize() int {
+	return c.OutChannels * convOutLength(c.InLength, c.Kernel, c.Stride)
+}
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x []float64) []float64 {
+	if len(x) != c.InChannels*c.InLength {
+		panic(fmt.Sprintf("nn: Conv1D input %d, want %d", len(x), c.InChannels*c.InLength))
+	}
+	c.x = x
+	outLen := convOutLength(c.InLength, c.Kernel, c.Stride)
+	out := make([]float64, c.OutChannels*outLen)
+	for oc := 0; oc < c.OutChannels; oc++ {
+		for t := 0; t < outLen; t++ {
+			s := c.B.Data[oc]
+			start := t * c.Stride
+			for ic := 0; ic < c.InChannels; ic++ {
+				wBase := (oc*c.InChannels + ic) * c.Kernel
+				xBase := ic*c.InLength + start
+				for k := 0; k < c.Kernel; k++ {
+					s += c.W.Data[wBase+k] * x[xBase+k]
+				}
+			}
+			out[oc*outLen+t] = s
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(grad []float64) []float64 {
+	outLen := convOutLength(c.InLength, c.Kernel, c.Stride)
+	gin := make([]float64, c.InChannels*c.InLength)
+	for oc := 0; oc < c.OutChannels; oc++ {
+		for t := 0; t < outLen; t++ {
+			g := grad[oc*outLen+t]
+			if g == 0 {
+				continue
+			}
+			c.B.Grad[oc] += g
+			start := t * c.Stride
+			for ic := 0; ic < c.InChannels; ic++ {
+				wBase := (oc*c.InChannels + ic) * c.Kernel
+				xBase := ic*c.InLength + start
+				for k := 0; k < c.Kernel; k++ {
+					c.W.Grad[wBase+k] += g * c.x[xBase+k]
+					gin[xBase+k] += g * c.W.Data[wBase+k]
+				}
+			}
+		}
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*Tensor { return []*Tensor{c.W, c.B} }
+
+// ConvTranspose1D is the adjoint of Conv1D: it upsamples a channel-major
+// signal, used as the decoder half of the convolutional autoencoder.
+type ConvTranspose1D struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int
+	Stride      int
+	InLength    int
+
+	W *Tensor // InChannels x OutChannels x Kernel
+	B *Tensor // OutChannels
+
+	x []float64
+}
+
+// NewConvTranspose1D builds a transposed convolution.
+func NewConvTranspose1D(inChannels, outChannels, kernel, stride, inLength int, rng *rand.Rand) (*ConvTranspose1D, error) {
+	if kernel <= 0 || stride <= 0 || inChannels <= 0 || outChannels <= 0 || inLength <= 0 {
+		return nil, fmt.Errorf("nn: invalid ConvTranspose1D shape in=%d out=%d k=%d s=%d len=%d", inChannels, outChannels, kernel, stride, inLength)
+	}
+	c := &ConvTranspose1D{
+		InChannels:  inChannels,
+		OutChannels: outChannels,
+		Kernel:      kernel,
+		Stride:      stride,
+		InLength:    inLength,
+		W:           NewTensor(inChannels * outChannels * kernel),
+		B:           NewTensor(outChannels),
+	}
+	limit := math.Sqrt(6 / float64(inChannels*kernel))
+	for i := range c.W.Data {
+		c.W.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return c, nil
+}
+
+// OutLength returns the upsampled temporal length.
+func (c *ConvTranspose1D) OutLength() int {
+	return (c.InLength-1)*c.Stride + c.Kernel
+}
+
+// OutSize returns the flat output vector length.
+func (c *ConvTranspose1D) OutSize() int { return c.OutChannels * c.OutLength() }
+
+// Forward implements Layer.
+func (c *ConvTranspose1D) Forward(x []float64) []float64 {
+	if len(x) != c.InChannels*c.InLength {
+		panic(fmt.Sprintf("nn: ConvTranspose1D input %d, want %d", len(x), c.InChannels*c.InLength))
+	}
+	c.x = x
+	outLen := c.OutLength()
+	out := make([]float64, c.OutChannels*outLen)
+	for oc := 0; oc < c.OutChannels; oc++ {
+		base := oc * outLen
+		for t := 0; t < outLen; t++ {
+			out[base+t] = c.B.Data[oc]
+		}
+	}
+	for ic := 0; ic < c.InChannels; ic++ {
+		for t := 0; t < c.InLength; t++ {
+			v := x[ic*c.InLength+t]
+			if v == 0 {
+				continue
+			}
+			start := t * c.Stride
+			for oc := 0; oc < c.OutChannels; oc++ {
+				wBase := (ic*c.OutChannels + oc) * c.Kernel
+				oBase := oc*outLen + start
+				for k := 0; k < c.Kernel; k++ {
+					out[oBase+k] += v * c.W.Data[wBase+k]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *ConvTranspose1D) Backward(grad []float64) []float64 {
+	outLen := c.OutLength()
+	gin := make([]float64, c.InChannels*c.InLength)
+	for oc := 0; oc < c.OutChannels; oc++ {
+		base := oc * outLen
+		for t := 0; t < outLen; t++ {
+			c.B.Grad[oc] += grad[base+t]
+		}
+	}
+	for ic := 0; ic < c.InChannels; ic++ {
+		for t := 0; t < c.InLength; t++ {
+			x := c.x[ic*c.InLength+t]
+			start := t * c.Stride
+			var g float64
+			for oc := 0; oc < c.OutChannels; oc++ {
+				wBase := (ic*c.OutChannels + oc) * c.Kernel
+				oBase := oc*outLen + start
+				for k := 0; k < c.Kernel; k++ {
+					gout := grad[oBase+k]
+					c.W.Grad[wBase+k] += gout * x
+					g += gout * c.W.Data[wBase+k]
+				}
+			}
+			gin[ic*c.InLength+t] = g
+		}
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (c *ConvTranspose1D) Params() []*Tensor { return []*Tensor{c.W, c.B} }

@@ -1,0 +1,280 @@
+// Package nn is a small from-scratch neural-network substrate built for
+// the GRAFICS baseline systems (Scalable-DNN, SAE, and the convolutional
+// autoencoder). It provides dense and 1-D convolutional layers, common
+// activations, dropout, MSE and softmax-cross-entropy losses, SGD and Adam
+// optimizers, and a single-sample SGD training loop — everything the
+// paper's comparison models need, with no external dependencies.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a flat parameter array paired with its gradient accumulator.
+type Tensor struct {
+	Data []float64
+	Grad []float64
+}
+
+// NewTensor allocates a zeroed tensor of length n.
+func NewTensor(n int) *Tensor {
+	return &Tensor{Data: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// Layer is one differentiable stage. Forward consumes an input vector and
+// returns the output; Backward consumes dLoss/dOutput and returns
+// dLoss/dInput, accumulating parameter gradients along the way. A layer is
+// stateful between Forward and Backward (it caches its input), so a layer
+// instance must not be shared across concurrent samples.
+type Layer interface {
+	Forward(x []float64) []float64
+	Backward(grad []float64) []float64
+	Params() []*Tensor
+}
+
+// Dense is a fully connected layer: y = W x + b.
+type Dense struct {
+	In, Out int
+	W       *Tensor // Out x In, row-major
+	B       *Tensor // Out
+
+	x []float64 // cached input
+}
+
+// NewDense builds a dense layer with Glorot-uniform initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, W: NewTensor(in * out), B: NewTensor(out)}
+	limit := math.Sqrt(6 / float64(in+out))
+	for i := range d.W.Data {
+		d.W.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: Dense input %d, want %d", len(x), d.In))
+	}
+	d.x = x
+	out := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		row := d.W.Data[o*d.In : (o+1)*d.In]
+		s := d.B.Data[o]
+		for i, xv := range x {
+			s += row[i] * xv
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad []float64) []float64 {
+	gin := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := grad[o]
+		if g == 0 {
+			continue
+		}
+		row := d.W.Data[o*d.In : (o+1)*d.In]
+		growRow := d.W.Grad[o*d.In : (o+1)*d.In]
+		for i := range row {
+			growRow[i] += g * d.x[i]
+			gin[i] += g * row[i]
+		}
+		d.B.Grad[o] += g
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Tensor { return []*Tensor{d.W, d.B} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x []float64) []float64 {
+	out := make([]float64, len(x))
+	r.mask = make([]bool, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad []float64) []float64 {
+	gin := make([]float64, len(grad))
+	for i, g := range grad {
+		if r.mask[i] {
+			gin[i] = g
+		}
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Tensor { return nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	out []float64
+}
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.out = out
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad []float64) []float64 {
+	gin := make([]float64, len(grad))
+	for i, g := range grad {
+		gin[i] = g * s.out[i] * (1 - s.out[i])
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Tensor { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	out []float64
+}
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = math.Tanh(v)
+	}
+	t.out = out
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad []float64) []float64 {
+	gin := make([]float64, len(grad))
+	for i, g := range grad {
+		gin[i] = g * (1 - t.out[i]*t.out[i])
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Tensor { return nil }
+
+// Dropout zeroes inputs with probability P during training and scales the
+// survivors by 1/(1-P) (inverted dropout). Outside training it is the
+// identity.
+type Dropout struct {
+	P        float64
+	Training bool
+	RNG      *rand.Rand
+
+	mask []bool
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x []float64) []float64 {
+	if !d.Training || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	out := make([]float64, len(x))
+	d.mask = make([]bool, len(x))
+	scale := 1 / (1 - d.P)
+	for i, v := range x {
+		if d.RNG.Float64() >= d.P {
+			out[i] = v * scale
+			d.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad []float64) []float64 {
+	if d.mask == nil {
+		return grad
+	}
+	gin := make([]float64, len(grad))
+	scale := 1 / (1 - d.P)
+	for i, g := range grad {
+		if d.mask[i] {
+			gin[i] = g * scale
+		}
+	}
+	return gin
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Tensor { return nil }
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// Forward runs the full stack.
+func (n *Network) Forward(x []float64) []float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward back-propagates dLoss/dOutput through the stack.
+func (n *Network) Backward(grad []float64) []float64 {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns every parameter tensor in the stack.
+func (n *Network) Params() []*Tensor {
+	var out []*Tensor
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears all gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// SetTraining flips every Dropout layer's training flag.
+func (n *Network) SetTraining(training bool) {
+	for _, l := range n.Layers {
+		if d, ok := l.(*Dropout); ok {
+			d.Training = training
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Loss computes a scalar loss and the gradient with respect to the
+// prediction.
+type Loss interface {
+	Compute(pred, target []float64) (loss float64, grad []float64)
+}
+
+// MSE is mean squared error: L = (1/n) Σ (pred-target)².
+type MSE struct{}
+
+// Compute implements Loss.
+func (MSE) Compute(pred, target []float64) (float64, []float64) {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("nn: MSE pred %d vs target %d", len(pred), len(target)))
+	}
+	grad := make([]float64, len(pred))
+	var loss float64
+	inv := 1 / float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += d * d * inv
+		grad[i] = 2 * d * inv
+	}
+	return loss, grad
+}
+
+// SoftmaxCrossEntropy combines a softmax over the prediction logits with
+// cross-entropy against a one-hot (or soft) target. The returned gradient
+// is with respect to the logits: softmax(pred) - target.
+type SoftmaxCrossEntropy struct{}
+
+// Compute implements Loss.
+func (SoftmaxCrossEntropy) Compute(pred, target []float64) (float64, []float64) {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("nn: SCE pred %d vs target %d", len(pred), len(target)))
+	}
+	maxV := math.Inf(-1)
+	for _, v := range pred {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	probs := make([]float64, len(pred))
+	for i, v := range pred {
+		probs[i] = math.Exp(v - maxV)
+		sum += probs[i]
+	}
+	var loss float64
+	grad := make([]float64, len(pred))
+	for i := range probs {
+		probs[i] /= sum
+		if target[i] > 0 {
+			p := probs[i]
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			loss -= target[i] * math.Log(p)
+		}
+		grad[i] = probs[i] - target[i]
+	}
+	return loss, grad
+}
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Tensor)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*Tensor][]float64
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Tensor) {
+	if s.Momentum > 0 && s.velocity == nil {
+		s.velocity = make(map[*Tensor][]float64)
+	}
+	for _, p := range params {
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = make([]float64, len(p.Data))
+				s.velocity[p] = v
+			}
+			for i := range p.Data {
+				v[i] = s.Momentum*v[i] - s.LR*p.Grad[i]
+				p.Data[i] += v[i]
+			}
+		} else {
+			for i := range p.Data {
+				p.Data[i] -= s.LR * p.Grad[i]
+			}
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with the standard defaults.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	t int
+	m map[*Tensor][]float64
+	v map[*Tensor][]float64
+}
+
+// NewAdam returns Adam with standard hyperparameters and the given
+// learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Tensor) {
+	if a.m == nil {
+		a.m = make(map[*Tensor][]float64)
+		a.v = make(map[*Tensor][]float64)
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.Data))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(p.Data))
+		}
+		v := a.v[p]
+		for i := range p.Data {
+			g := p.Grad[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / c1
+			vh := v[i] / c2
+			p.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// FitConfig configures the SGD training loop.
+type FitConfig struct {
+	Epochs int
+	// Seed shuffles sample order per epoch.
+	Seed int64
+	// Verbose, when non-nil, receives the mean loss after each epoch.
+	OnEpoch func(epoch int, meanLoss float64)
+}
+
+// Fit trains net on paired samples (inputs[i] -> targets[i]) with
+// single-sample SGD. It returns the mean loss of the final epoch.
+func Fit(net *Network, inputs, targets [][]float64, loss Loss, opt Optimizer, cfg FitConfig) (float64, error) {
+	if len(inputs) == 0 {
+		return 0, fmt.Errorf("nn: no training samples")
+	}
+	if len(inputs) != len(targets) {
+		return 0, fmt.Errorf("nn: %d inputs vs %d targets", len(inputs), len(targets))
+	}
+	if cfg.Epochs <= 0 {
+		return 0, fmt.Errorf("nn: epochs %d must be positive", cfg.Epochs)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(inputs))
+	for i := range order {
+		order[i] = i
+	}
+	net.SetTraining(true)
+	defer net.SetTraining(false)
+	var mean float64
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		for _, idx := range order {
+			net.ZeroGrad()
+			pred := net.Forward(inputs[idx])
+			l, grad := loss.Compute(pred, targets[idx])
+			total += l
+			net.Backward(grad)
+			opt.Step(net.Params())
+		}
+		mean = total / float64(len(inputs))
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(e, mean)
+		}
+	}
+	return mean, nil
+}
+
+// OneHot encodes class c out of n classes.
+func OneHot(c, n int) []float64 {
+	v := make([]float64, n)
+	if c >= 0 && c < n {
+		v[c] = 1
+	}
+	return v
+}
+
+// Argmax returns the index of the largest element (first on ties), or -1
+// for an empty slice.
+func Argmax(xs []float64) int {
+	best := -1
+	bestV := math.Inf(-1)
+	for i, v := range xs {
+		if v > bestV {
+			bestV = v
+			best = i
+		}
+	}
+	return best
+}

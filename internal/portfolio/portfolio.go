@@ -1,0 +1,177 @@
+// Package portfolio manages GRAFICS systems for a fleet of buildings — the
+// deployment shape of the paper's Microsoft/Kaggle corpus (204 buildings).
+// A scan from an unknown location is first attributed to a building by MAC
+// overlap against per-building MAC registries (BSSIDs are globally unique,
+// so overlap is a near-perfect building fingerprint), then routed to that
+// building's floor-identification System.
+package portfolio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Errors returned by the portfolio.
+var (
+	ErrNoBuildings     = errors.New("portfolio: no buildings registered")
+	ErrUnknownBuilding = errors.New("portfolio: unknown building")
+	ErrDuplicateName   = errors.New("portfolio: building already registered")
+	ErrUnattributable  = errors.New("portfolio: scan matches no registered building")
+	ErrAmbiguousMatch  = errors.New("portfolio: scan matches multiple buildings equally")
+)
+
+// Match is the result of building attribution for one scan.
+type Match struct {
+	// Building is the matched building name.
+	Building string
+	// Overlap is the fraction of the scan's MACs known to that building.
+	Overlap float64
+	// RunnerUp is the second-best overlap, for ambiguity diagnostics.
+	RunnerUp float64
+}
+
+// Portfolio routes scans to per-building GRAFICS systems. It is safe for
+// concurrent use.
+type Portfolio struct {
+	mu sync.RWMutex
+
+	cfg      core.Config
+	systems  map[string]*core.System
+	macIndex map[string]map[string]struct{} // building -> MAC set
+}
+
+// New returns an empty portfolio; cfg configures every building's System.
+func New(cfg core.Config) *Portfolio {
+	return &Portfolio{
+		cfg:      cfg,
+		systems:  make(map[string]*core.System),
+		macIndex: make(map[string]map[string]struct{}),
+	}
+}
+
+// AddBuilding registers a building's training records (already labeled per
+// the usual budget) and trains its System.
+func (p *Portfolio) AddBuilding(name string, train []dataset.Record) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.systems[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	sys := core.New(p.cfg)
+	if err := sys.AddTraining(train); err != nil {
+		return fmt.Errorf("portfolio: building %q: %w", name, err)
+	}
+	if err := sys.Fit(); err != nil {
+		return fmt.Errorf("portfolio: building %q: %w", name, err)
+	}
+	macs := make(map[string]struct{})
+	for i := range train {
+		for _, rd := range train[i].Readings {
+			macs[rd.MAC] = struct{}{}
+		}
+	}
+	p.systems[name] = sys
+	p.macIndex[name] = macs
+	return nil
+}
+
+// Buildings returns the sorted registered building names.
+func (p *Portfolio) Buildings() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.systems))
+	for name := range p.systems {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// System returns the trained System for a building.
+func (p *Portfolio) System(name string) (*core.System, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	sys, ok := p.systems[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBuilding, name)
+	}
+	return sys, nil
+}
+
+// Attribute determines which building a scan was taken in by MAC overlap.
+// It requires a strict winner with at least minOverlap (use 0 for any
+// positive overlap).
+func (p *Portfolio) Attribute(rec *dataset.Record, minOverlap float64) (Match, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.systems) == 0 {
+		return Match{}, ErrNoBuildings
+	}
+	if len(rec.Readings) == 0 {
+		return Match{}, fmt.Errorf("%w: empty scan %q", ErrUnattributable, rec.ID)
+	}
+	var best, second Match
+	names := make([]string, 0, len(p.macIndex))
+	for name := range p.macIndex {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic tie handling
+	for _, name := range names {
+		macs := p.macIndex[name]
+		hit := 0
+		seen := make(map[string]struct{}, len(rec.Readings))
+		for _, rd := range rec.Readings {
+			if _, dup := seen[rd.MAC]; dup {
+				continue
+			}
+			seen[rd.MAC] = struct{}{}
+			if _, ok := macs[rd.MAC]; ok {
+				hit++
+			}
+		}
+		overlap := float64(hit) / float64(len(seen))
+		if overlap > best.Overlap {
+			second = best
+			best = Match{Building: name, Overlap: overlap}
+		} else if overlap > second.Overlap {
+			second = Match{Building: name, Overlap: overlap}
+		}
+	}
+	best.RunnerUp = second.Overlap
+	if best.Overlap <= 0 || best.Overlap < minOverlap {
+		return Match{}, fmt.Errorf("%w: %q (best overlap %.2f)", ErrUnattributable, rec.ID, best.Overlap)
+	}
+	if second.Overlap == best.Overlap {
+		return Match{}, fmt.Errorf("%w: %q (%q vs %q at %.2f)", ErrAmbiguousMatch, rec.ID, best.Building, second.Building, best.Overlap)
+	}
+	return best, nil
+}
+
+// Prediction is a building-plus-floor classification.
+type Prediction struct {
+	Building string
+	Match    Match
+	Floor    core.Prediction
+}
+
+// Predict attributes the scan to a building and classifies its floor.
+func (p *Portfolio) Predict(rec *dataset.Record) (Prediction, error) {
+	match, err := p.Attribute(rec, 0)
+	if err != nil {
+		return Prediction{}, err
+	}
+	sys, err := p.System(match.Building)
+	if err != nil {
+		return Prediction{}, err
+	}
+	floor, err := sys.Predict(rec)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("portfolio: building %q: %w", match.Building, err)
+	}
+	return Prediction{Building: match.Building, Match: match, Floor: floor}, nil
+}

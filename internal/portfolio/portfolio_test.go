@@ -1,0 +1,179 @@
+package portfolio
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/simulate"
+)
+
+// fleet builds a trained portfolio over n small buildings and returns the
+// held-out test records per building.
+func fleet(t *testing.T, n int, seed int64) (*Portfolio, map[string][]dataset.Record) {
+	t.Helper()
+	params := simulate.MicrosoftLike(n, 40, seed)
+	params.FloorsMin, params.FloorsMax = 3, 5
+	corpus, err := simulate.Generate(params)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	cfg := core.Config{}
+	cfg.Embed = embed.DefaultConfig()
+	cfg.Embed.SamplesPerEdge = 40
+	p := New(cfg)
+	tests := make(map[string][]dataset.Record)
+	for i := range corpus.Buildings {
+		b := &corpus.Buildings[i]
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		train, test, err := dataset.Split(b, 0.7, rng)
+		if err != nil {
+			t.Fatalf("split: %v", err)
+		}
+		dataset.SelectLabels(train, 4, rng)
+		if err := p.AddBuilding(b.Name, train); err != nil {
+			t.Fatalf("AddBuilding(%s): %v", b.Name, err)
+		}
+		tests[b.Name] = test
+	}
+	return p, tests
+}
+
+func TestEmptyPortfolio(t *testing.T) {
+	p := New(core.Config{})
+	rec := dataset.Record{ID: "x", Readings: []dataset.Reading{{MAC: "m", RSS: -50}}}
+	if _, err := p.Attribute(&rec, 0); !errors.Is(err, ErrNoBuildings) {
+		t.Errorf("Attribute on empty = %v, want ErrNoBuildings", err)
+	}
+	if _, err := p.System("nope"); !errors.Is(err, ErrUnknownBuilding) {
+		t.Errorf("System = %v, want ErrUnknownBuilding", err)
+	}
+	if len(p.Buildings()) != 0 {
+		t.Error("empty portfolio has buildings")
+	}
+}
+
+func TestDuplicateBuilding(t *testing.T) {
+	p, _ := fleet(t, 1, 1)
+	name := p.Buildings()[0]
+	if err := p.AddBuilding(name, nil); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("duplicate = %v, want ErrDuplicateName", err)
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	p, tests := fleet(t, 3, 2)
+	correct, total := 0, 0
+	for name, pool := range tests {
+		for i := range pool {
+			m, err := p.Attribute(&pool[i], 0)
+			if err != nil {
+				t.Fatalf("Attribute: %v", err)
+			}
+			total++
+			if m.Building == name {
+				correct++
+			}
+			if m.Overlap <= m.RunnerUp {
+				t.Errorf("winner overlap %v not above runner-up %v", m.Overlap, m.RunnerUp)
+			}
+		}
+	}
+	// BSSIDs are globally unique, so attribution should be essentially
+	// perfect.
+	if correct != total {
+		t.Errorf("attribution %d/%d, want perfect", correct, total)
+	}
+}
+
+func TestAttributionRejectsAlienScan(t *testing.T) {
+	p, _ := fleet(t, 2, 3)
+	alien := dataset.Record{ID: "alien", Readings: []dataset.Reading{
+		{MAC: "ff:ff:ff:00:00:01", RSS: -50},
+	}}
+	if _, err := p.Attribute(&alien, 0); !errors.Is(err, ErrUnattributable) {
+		t.Errorf("alien = %v, want ErrUnattributable", err)
+	}
+	empty := dataset.Record{ID: "empty"}
+	if _, err := p.Attribute(&empty, 0); !errors.Is(err, ErrUnattributable) {
+		t.Errorf("empty = %v, want ErrUnattributable", err)
+	}
+}
+
+func TestMinOverlapThreshold(t *testing.T) {
+	p, tests := fleet(t, 2, 4)
+	var rec dataset.Record
+	for _, pool := range tests {
+		rec = pool[0]
+		break
+	}
+	// A scan diluted with unknown MACs falls below a strict threshold.
+	diluted := rec
+	diluted.Readings = append([]dataset.Reading(nil), rec.Readings...)
+	for i := 0; i < len(rec.Readings)*4; i++ {
+		diluted.Readings = append(diluted.Readings, dataset.Reading{
+			MAC: fmt.Sprintf("un:kn:ow:n0:%02x:%02x", i/256, i%256), RSS: -70,
+		})
+	}
+	if _, err := p.Attribute(&diluted, 0.5); !errors.Is(err, ErrUnattributable) {
+		t.Errorf("diluted scan = %v, want ErrUnattributable at 0.5 threshold", err)
+	}
+	if _, err := p.Attribute(&diluted, 0.05); err != nil {
+		t.Errorf("diluted scan at low threshold: %v", err)
+	}
+}
+
+func TestEndToEndPredict(t *testing.T) {
+	p, tests := fleet(t, 3, 5)
+	correctFloor, total := 0, 0
+	for name, pool := range tests {
+		for i := range pool[:10] {
+			pred, err := p.Predict(&pool[i])
+			if err != nil {
+				t.Fatalf("Predict: %v", err)
+			}
+			if pred.Building != name {
+				t.Errorf("routed to %q, want %q", pred.Building, name)
+			}
+			total++
+			if pred.Floor.Floor == pool[i].Floor {
+				correctFloor++
+			}
+		}
+	}
+	if acc := float64(correctFloor) / float64(total); acc < 0.7 {
+		t.Errorf("portfolio floor accuracy %v, want >= 0.7", acc)
+	}
+}
+
+func TestConcurrentPredict(t *testing.T) {
+	p, tests := fleet(t, 2, 6)
+	var pool []dataset.Record
+	for _, recs := range tests {
+		pool = append(pool, recs...)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(pool); i += 8 {
+				if _, err := p.Predict(&pool[i]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent predict: %v", err)
+	}
+}

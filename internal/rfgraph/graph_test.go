@@ -1,0 +1,265 @@
+package rfgraph
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func rec(id string, readings ...dataset.Reading) dataset.Record {
+	return dataset.Record{ID: id, Readings: readings}
+}
+
+func rd(mac string, rss float64) dataset.Reading {
+	return dataset.Reading{MAC: mac, RSS: rss}
+}
+
+func TestWeightFunctions(t *testing.T) {
+	f := OffsetWeight(120)
+	if got := f(-66); got != 54 {
+		t.Errorf("OffsetWeight(-66) = %v, want 54", got)
+	}
+	g := PowerWeight()
+	if got := g(-30); math.Abs(got-1e-3) > 1e-12 {
+		t.Errorf("PowerWeight(-30) = %v, want 1e-3", got)
+	}
+}
+
+func TestAddRecordBasic(t *testing.T) {
+	g := New(nil)
+	v1, err := g.AddRecord(&dataset.Record{ID: "v1", Readings: []dataset.Reading{rd("mac1", -66), rd("mac2", -60)}})
+	if err != nil {
+		t.Fatalf("AddRecord: %v", err)
+	}
+	v2, err := g.AddRecord(&dataset.Record{ID: "v2", Readings: []dataset.Reading{rd("mac2", -70), rd("mac3", -70)}})
+	if err != nil {
+		t.Fatalf("AddRecord: %v", err)
+	}
+	if g.NumRecords() != 2 || g.NumMACs() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("shape records=%d macs=%d edges=%d, want 2/3/4", g.NumRecords(), g.NumMACs(), g.NumEdges())
+	}
+	if g.Kind(v1) != KindRecord || g.Name(v1) != "v1" {
+		t.Errorf("v1 metadata wrong: kind=%v name=%q", g.Kind(v1), g.Name(v1))
+	}
+	m2, ok := g.MACNode("mac2")
+	if !ok {
+		t.Fatal("mac2 missing")
+	}
+	if g.Kind(m2) != KindMAC {
+		t.Errorf("mac2 kind = %v, want KindMAC", g.Kind(m2))
+	}
+	if d := g.Degree(m2); d != 2 {
+		t.Errorf("deg(mac2) = %d, want 2", d)
+	}
+	// Paper's Fig. 4 weights with f(RSS)=RSS+120.
+	if w := g.WeightedDegree(v1); w != (120-66)+(120-60) {
+		t.Errorf("wdeg(v1) = %v, want 114", w)
+	}
+	if w := g.WeightedDegree(v2); w != 2*(120-70) {
+		t.Errorf("wdeg(v2) = %v, want 100", w)
+	}
+}
+
+func TestAddRecordErrors(t *testing.T) {
+	g := New(nil)
+	if _, err := g.AddRecord(&dataset.Record{ID: "empty"}); !errors.Is(err, ErrEmptyRecord) {
+		t.Errorf("empty record error = %v, want ErrEmptyRecord", err)
+	}
+	if _, err := g.AddRecord(&dataset.Record{ID: "v", Readings: []dataset.Reading{rd("m", -60)}}); err != nil {
+		t.Fatalf("AddRecord: %v", err)
+	}
+	if _, err := g.AddRecord(&dataset.Record{ID: "v", Readings: []dataset.Reading{rd("m", -50)}}); !errors.Is(err, ErrDuplicateRecord) {
+		t.Errorf("duplicate error = %v, want ErrDuplicateRecord", err)
+	}
+	// RSS below -alpha yields non-positive weight.
+	if _, err := g.AddRecord(&dataset.Record{ID: "w", Readings: []dataset.Reading{rd("m", -130)}}); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("bad weight error = %v, want ErrBadWeight", err)
+	}
+	// Failed insert must not leave partial state.
+	if g.NumRecords() != 1 {
+		t.Errorf("failed inserts leaked records: %d", g.NumRecords())
+	}
+}
+
+func TestDuplicateMACKeepsStrongest(t *testing.T) {
+	g := New(nil)
+	v, err := g.AddRecord(&dataset.Record{ID: "v", Readings: []dataset.Reading{rd("m", -80), rd("m", -50)}})
+	if err != nil {
+		t.Fatalf("AddRecord: %v", err)
+	}
+	if g.Degree(v) != 1 {
+		t.Fatalf("deg = %d, want 1 (dedup)", g.Degree(v))
+	}
+	if w := g.Neighbors(v)[0].Weight; w != 70 {
+		t.Errorf("weight = %v, want 70 (strongest reading)", w)
+	}
+}
+
+func TestRemoveMAC(t *testing.T) {
+	g := New(nil)
+	mustAdd(t, g, rec("v1", rd("m1", -60), rd("m2", -60)))
+	mustAdd(t, g, rec("v2", rd("m2", -60)))
+	if err := g.RemoveMAC("m2"); err != nil {
+		t.Fatalf("RemoveMAC: %v", err)
+	}
+	if g.NumMACs() != 1 || g.NumEdges() != 1 {
+		t.Errorf("after removal macs=%d edges=%d, want 1/1", g.NumMACs(), g.NumEdges())
+	}
+	v2, _ := g.RecordNode("v2")
+	if g.Degree(v2) != 0 {
+		t.Errorf("v2 degree = %d, want 0", g.Degree(v2))
+	}
+	if err := g.RemoveMAC("m2"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("double remove error = %v, want ErrUnknownNode", err)
+	}
+	// Re-adding the MAC in a new record creates a fresh node.
+	mustAdd(t, g, rec("v3", rd("m2", -55)))
+	if g.NumMACs() != 2 {
+		t.Errorf("re-added MAC not present: macs=%d", g.NumMACs())
+	}
+}
+
+func TestRemoveRecord(t *testing.T) {
+	g := New(nil)
+	mustAdd(t, g, rec("v1", rd("m1", -60)))
+	mustAdd(t, g, rec("v2", rd("m1", -70)))
+	if err := g.RemoveRecord("v1"); err != nil {
+		t.Fatalf("RemoveRecord: %v", err)
+	}
+	if g.NumRecords() != 1 || g.NumEdges() != 1 {
+		t.Errorf("after removal records=%d edges=%d, want 1/1", g.NumRecords(), g.NumEdges())
+	}
+	m1, _ := g.MACNode("m1")
+	if g.Degree(m1) != 1 {
+		t.Errorf("m1 degree = %d, want 1", g.Degree(m1))
+	}
+	if err := g.RemoveRecord("nope"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown record error = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestDirectedEdges(t *testing.T) {
+	g := New(nil)
+	mustAdd(t, g, rec("v1", rd("m1", -60), rd("m2", -70)))
+	edges := g.DirectedEdges()
+	if len(edges) != 4 {
+		t.Fatalf("directed edges = %d, want 4", len(edges))
+	}
+	var total float64
+	for _, e := range edges {
+		if !g.Alive(e.Src) || !g.Alive(e.Dst) {
+			t.Error("directed edge references dead node")
+		}
+		if g.Kind(e.Src) == g.Kind(e.Dst) {
+			t.Error("edge connects same-kind nodes; graph must stay bipartite")
+		}
+		total += e.Weight
+	}
+	if want := 2 * (60.0 + 50.0); total != want {
+		t.Errorf("total directed weight = %v, want %v", total, want)
+	}
+	if tw := g.TotalWeight(); tw != 110 {
+		t.Errorf("TotalWeight = %v, want 110", tw)
+	}
+}
+
+func TestRecordAndMACNodeLists(t *testing.T) {
+	g := New(nil)
+	mustAdd(t, g, rec("v1", rd("m1", -60)))
+	mustAdd(t, g, rec("v2", rd("m2", -60)))
+	if err := g.RemoveRecord("v1"); err != nil {
+		t.Fatal(err)
+	}
+	recs := g.RecordNodes()
+	if len(recs) != 1 || g.Name(recs[0]) != "v2" {
+		t.Errorf("RecordNodes = %v", recs)
+	}
+	macs := g.MACNodes()
+	if len(macs) != 2 {
+		t.Errorf("MACNodes = %d, want 2", len(macs))
+	}
+}
+
+func TestPowerWeightGraph(t *testing.T) {
+	g := New(PowerWeight())
+	v, err := g.AddRecord(&dataset.Record{ID: "v", Readings: []dataset.Reading{rd("m", -40)}})
+	if err != nil {
+		t.Fatalf("AddRecord: %v", err)
+	}
+	if w := g.Neighbors(v)[0].Weight; math.Abs(w-1e-4) > 1e-15 {
+		t.Errorf("power weight = %v, want 1e-4", w)
+	}
+}
+
+func mustAdd(t *testing.T, g *Graph, r dataset.Record) NodeID {
+	t.Helper()
+	id, err := g.AddRecord(&r)
+	if err != nil {
+		t.Fatalf("AddRecord(%s): %v", r.ID, err)
+	}
+	return id
+}
+
+// Property: graph invariants hold under arbitrary insert sequences —
+// bipartiteness, degree symmetry, and edge accounting.
+func TestGraphInvariantsProperty(t *testing.T) {
+	f := func(spec [8]uint8) bool {
+		g := New(nil)
+		for i, v := range spec {
+			macs := int(v%4) + 1
+			readings := make([]dataset.Reading, 0, macs)
+			for m := 0; m < macs; m++ {
+				readings = append(readings, rd(string(rune('a'+(int(v)+m)%6)), -40-float64(m)))
+			}
+			if _, err := g.AddRecord(&dataset.Record{ID: string(rune('A' + i)), Readings: readings}); err != nil {
+				return false
+			}
+		}
+		// Halfedge symmetry: sum of degrees on each side equals edges.
+		var recDeg, macDeg int
+		for _, id := range g.RecordNodes() {
+			recDeg += g.Degree(id)
+			for _, he := range g.Neighbors(id) {
+				if g.Kind(he.To) != KindMAC {
+					return false
+				}
+			}
+		}
+		for _, id := range g.MACNodes() {
+			macDeg += g.Degree(id)
+		}
+		return recDeg == g.NumEdges() && macDeg == g.NumEdges() &&
+			len(g.DirectedEdges()) == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: removing everything returns the graph to zero live state.
+func TestGraphRemoveAllProperty(t *testing.T) {
+	f := func(spec [5]uint8) bool {
+		g := New(nil)
+		ids := make([]string, 0, len(spec))
+		for i, v := range spec {
+			id := string(rune('A' + i))
+			readings := []dataset.Reading{rd(string(rune('a'+v%3)), -50)}
+			if _, err := g.AddRecord(&dataset.Record{ID: id, Readings: readings}); err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			if err := g.RemoveRecord(id); err != nil {
+				return false
+			}
+		}
+		return g.NumRecords() == 0 && g.NumEdges() == 0 && g.TotalWeight() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

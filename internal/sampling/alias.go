@@ -1,0 +1,94 @@
+// Package sampling provides the discrete-sampling machinery used by the
+// embedding trainers: Vose's alias method for O(1) draws from a fixed
+// categorical distribution (edge sampling proportional to weight, negative
+// sampling proportional to degree^{3/4}) and a deterministic splittable RNG
+// so parallel SGD workers stay reproducible.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrEmptyDistribution is returned when an alias table is requested over no
+// outcomes or all-zero weights.
+var ErrEmptyDistribution = errors.New("sampling: empty or all-zero distribution")
+
+// Alias is a Vose alias table supporting O(1) sampling from a categorical
+// distribution over n outcomes. It is immutable after construction and safe
+// for concurrent use as long as each goroutine supplies its own *rand.Rand.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table for the (unnormalized, non-negative)
+// weights. Negative weights are rejected.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrEmptyDistribution
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("sampling: negative weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, ErrEmptyDistribution
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scaled probabilities: p_i * n.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// Draw samples one outcome index using rng.
+func (a *Alias) Draw(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }

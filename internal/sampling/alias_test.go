@@ -1,0 +1,142 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAliasErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"all zero", []float64{0, 0, 0}},
+		{"negative", []float64{1, -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewAlias(tt.weights); err == nil {
+				t.Errorf("NewAlias(%v) expected error", tt.weights)
+			}
+		})
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{2.5})
+	if err != nil {
+		t.Fatalf("NewAlias: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if got := a.Draw(rng); got != 0 {
+			t.Fatalf("Draw = %d, want 0", got)
+		}
+	}
+}
+
+func TestAliasEmpiricalDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatalf("NewAlias: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(rng)]++
+	}
+	total := 1.0 + 2 + 3 + 4
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("outcome %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a, err := NewAlias([]float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatalf("NewAlias: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		got := a.Draw(rng)
+		if got == 0 || got == 2 {
+			t.Fatalf("drew zero-weight outcome %d", got)
+		}
+	}
+}
+
+// Property: for any valid weight vector, draws always land in range and the
+// table construction never loses outcomes with positive weight.
+func TestAliasDrawInRangeProperty(t *testing.T) {
+	f := func(raw [6]uint8) bool {
+		weights := make([]float64, len(raw))
+		var total float64
+		for i, v := range raw {
+			weights[i] = float64(v)
+			total += float64(v)
+		}
+		if total == 0 {
+			return true // construction legitimately fails; tested above
+		}
+		a, err := NewAlias(weights)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 200; i++ {
+			d := a.Draw(rng)
+			if d < 0 || d >= len(weights) || weights[d] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeederDeterminism(t *testing.T) {
+	a := NewSeeder(99)
+	b := NewSeeder(99)
+	for i := 0; i < 10; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("seeders diverged at step %d: %d != %d", i, av, bv)
+		}
+	}
+	c := NewSeeder(100)
+	if a2, c2 := NewSeeder(99).Next(), c.Next(); a2 == c2 {
+		t.Error("different root seeds produced identical first child seed")
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	got := SampleWithoutReplacement(rng, 10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	all := SampleWithoutReplacement(rng, 3, 10)
+	if len(all) != 3 {
+		t.Fatalf("k>n should clamp: len = %d, want 3", len(all))
+	}
+}

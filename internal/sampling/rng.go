@@ -1,0 +1,55 @@
+package sampling
+
+import "math/rand"
+
+// splitMix64 advances a SplitMix64 state and returns the next output. It is
+// used only to derive well-decorrelated child seeds; the actual sampling
+// uses math/rand.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Seeder deterministically derives independent child seeds from a root
+// seed, so that parallel workers and sequential pipeline stages each get a
+// decorrelated RNG while the whole run stays reproducible.
+type Seeder struct {
+	state uint64
+}
+
+// NewSeeder returns a Seeder rooted at seed.
+func NewSeeder(seed int64) *Seeder {
+	return &Seeder{state: uint64(seed)}
+}
+
+// Next returns the next derived seed.
+func (s *Seeder) Next() int64 {
+	return int64(splitMix64(&s.state))
+}
+
+// NextRand returns a fresh *rand.Rand seeded with the next derived seed.
+func (s *Seeder) NextRand() *rand.Rand {
+	return rand.New(rand.NewSource(s.Next()))
+}
+
+// Shuffle permutes idx in place using rng (Fisher-Yates).
+func Shuffle(rng *rand.Rand, idx []int) {
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+}
+
+// SampleWithoutReplacement returns k distinct values drawn uniformly from
+// [0, n). If k >= n it returns all n indices in random order.
+func SampleWithoutReplacement(rng *rand.Rand, n, k int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	Shuffle(rng, idx)
+	if k > n {
+		k = n
+	}
+	return idx[:k]
+}

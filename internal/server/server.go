@@ -1,0 +1,139 @@
+// Package server exposes a trained GRAFICS portfolio over HTTP for
+// deployment behind the smart-city applications the paper motivates
+// (navigation, geofencing, robot rescue). The API is deliberately small:
+//
+//	GET  /v1/healthz              liveness probe
+//	GET  /v1/buildings            registered building names
+//	POST /v1/predict              classify one scan (JSON Record body)
+//	POST /v1/predict/{building}   classify within a known building
+//
+// Scans use the dataset.Record JSON shape:
+//
+//	{"id": "scan-1", "readings": [{"mac": "aa:bb:...", "rss": -61}, ...]}
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/portfolio"
+)
+
+// PredictResponse is the JSON reply to a predict call.
+type PredictResponse struct {
+	ID       string  `json:"id"`
+	Building string  `json:"building"`
+	Floor    int     `json:"floor"`
+	Distance float64 `json:"distance"`
+	Overlap  float64 `json:"overlap,omitempty"`
+}
+
+// errorResponse is the JSON error shape.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds request bodies; a WiFi scan is a few KB at most.
+const maxBodyBytes = 1 << 20
+
+// Handler builds the HTTP handler over a trained portfolio.
+func Handler(p *portfolio.Portfolio) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/buildings", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, p.Buildings())
+	})
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		rec, ok := decodeScan(w, r)
+		if !ok {
+			return
+		}
+		pred, err := p.Predict(rec)
+		if err != nil {
+			writeError(w, predictStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, PredictResponse{
+			ID:       rec.ID,
+			Building: pred.Building,
+			Floor:    pred.Floor.Floor,
+			Distance: pred.Floor.Distance,
+			Overlap:  pred.Match.Overlap,
+		})
+	})
+	mux.HandleFunc("POST /v1/predict/{building}", func(w http.ResponseWriter, r *http.Request) {
+		rec, ok := decodeScan(w, r)
+		if !ok {
+			return
+		}
+		name := r.PathValue("building")
+		sys, err := p.System(name)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		pred, err := sys.Predict(rec)
+		if err != nil {
+			writeError(w, predictStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, PredictResponse{
+			ID:       rec.ID,
+			Building: name,
+			Floor:    pred.Floor,
+			Distance: pred.Distance,
+		})
+	})
+	return mux
+}
+
+// decodeScan parses the request body into a Record, writing an HTTP error
+// and returning ok=false on failure.
+func decodeScan(w http.ResponseWriter, r *http.Request) (*dataset.Record, bool) {
+	var rec dataset.Record
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode scan: %w", err))
+		return nil, false
+	}
+	if len(rec.Readings) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("scan has no readings"))
+		return nil, false
+	}
+	return &rec, true
+}
+
+// predictStatus maps domain errors to HTTP status codes.
+func predictStatus(err error) int {
+	switch {
+	case errors.Is(err, portfolio.ErrUnattributable),
+		errors.Is(err, core.ErrOutOfBuilding):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, portfolio.ErrAmbiguousMatch):
+		return http.StatusConflict
+	case errors.Is(err, portfolio.ErrNoBuildings),
+		errors.Is(err, core.ErrNotTrained):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is written can only be logged by
+	// the caller's middleware; the payloads here are all marshallable.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

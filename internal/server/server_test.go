@@ -1,0 +1,202 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/portfolio"
+	"repro/internal/simulate"
+)
+
+// testServer spins up a handler over a two-building portfolio and returns
+// held-out records per building.
+func testServer(t *testing.T) (*httptest.Server, map[string][]dataset.Record) {
+	t.Helper()
+	params := simulate.MicrosoftLike(2, 40, 9)
+	params.FloorsMin, params.FloorsMax = 3, 4
+	corpus, err := simulate.Generate(params)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	cfg := core.Config{}
+	cfg.Embed = embed.DefaultConfig()
+	cfg.Embed.SamplesPerEdge = 40
+	p := portfolio.New(cfg)
+	tests := make(map[string][]dataset.Record)
+	for i := range corpus.Buildings {
+		b := &corpus.Buildings[i]
+		rng := rand.New(rand.NewSource(int64(i) + 1))
+		train, test, err := dataset.Split(b, 0.7, rng)
+		if err != nil {
+			t.Fatalf("split: %v", err)
+		}
+		dataset.SelectLabels(train, 4, rng)
+		if err := p.AddBuilding(b.Name, train); err != nil {
+			t.Fatalf("AddBuilding: %v", err)
+		}
+		tests[b.Name] = test
+	}
+	srv := httptest.NewServer(Handler(p))
+	t.Cleanup(srv.Close)
+	return srv, tests
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestBuildings(t *testing.T) {
+	srv, tests := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/buildings")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(names) != len(tests) {
+		t.Errorf("buildings = %v, want %d entries", names, len(tests))
+	}
+}
+
+func TestPredictRouted(t *testing.T) {
+	srv, tests := testServer(t)
+	for name, pool := range tests {
+		rec := pool[0]
+		resp := postJSON(t, srv.URL+"/v1/predict", rec)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		var pr PredictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if pr.Building != name {
+			t.Errorf("building = %q, want %q", pr.Building, name)
+		}
+		if pr.ID != rec.ID {
+			t.Errorf("id = %q, want %q", pr.ID, rec.ID)
+		}
+		if pr.Overlap <= 0 {
+			t.Errorf("overlap = %v, want > 0", pr.Overlap)
+		}
+	}
+}
+
+func TestPredictWithinBuilding(t *testing.T) {
+	srv, tests := testServer(t)
+	for name, pool := range tests {
+		rec := pool[1]
+		resp := postJSON(t, srv.URL+"/v1/predict/"+name, rec)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		var pr PredictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if pr.Building != name {
+			t.Errorf("building = %q, want %q", pr.Building, name)
+		}
+	}
+}
+
+func TestPredictUnknownBuilding(t *testing.T) {
+	srv, tests := testServer(t)
+	var rec dataset.Record
+	for _, pool := range tests {
+		rec = pool[0]
+		break
+	}
+	resp := postJSON(t, srv.URL+"/v1/predict/not-a-building", rec)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPredictAlienScan(t *testing.T) {
+	srv, _ := testServer(t)
+	alien := dataset.Record{ID: "alien", Readings: []dataset.Reading{
+		{MAC: "ff:ff:ff:ff:ff:01", RSS: -50},
+	}}
+	resp := postJSON(t, srv.URL+"/v1/predict", alien)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("status = %d, want 422", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if er.Error == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestPredictBadRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	tests := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"invalid json", "{not json", http.StatusBadRequest},
+		{"empty readings", `{"id":"x","readings":[]}`, http.StatusBadRequest},
+		{"unknown field", `{"id":"x","bogus":1,"readings":[{"mac":"m","rss":-50}]}`, http.StatusBadRequest},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/v1/predict", "application/json", strings.NewReader(tt.body))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tt.want {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tt.want)
+			}
+		})
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/predict")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/predict status = %d, want 405", resp.StatusCode)
+	}
+}

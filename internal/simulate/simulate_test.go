@@ -1,0 +1,250 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestValidate(t *testing.T) {
+	valid := Campus3F(10, 1)
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero buildings", func(p *Params) { p.NumBuildings = 0 }},
+		{"bad floors", func(p *Params) { p.FloorsMin = 3; p.FloorsMax = 2 }},
+		{"bad side", func(p *Params) { p.SideMin = -1 }},
+		{"zero density", func(p *Params) { p.APDensityPer100m2 = 0 }},
+		{"bad macs per ap", func(p *Params) { p.MACsPerAPMin = 0 }},
+		{"zero records", func(p *Params) { p.RecordsPerFloor = 0 }},
+		{"bad scan limit", func(p *Params) { p.ScanLimitMin = 0 }},
+		{"bad path loss", func(p *Params) { p.PathLossExp = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := Campus3F(10, 1)
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Campus3F(20, 42)
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(a.Buildings) != len(b.Buildings) {
+		t.Fatal("building counts differ across identical seeds")
+	}
+	ra, rb := a.Buildings[0].Records, b.Buildings[0].Records
+	if len(ra) != len(rb) {
+		t.Fatalf("record counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].ID != rb[i].ID || len(ra[i].Readings) != len(rb[i].Readings) {
+			t.Fatalf("record %d differs across identical seeds", i)
+		}
+		for j := range ra[i].Readings {
+			if ra[i].Readings[j] != rb[i].Readings[j] {
+				t.Fatalf("reading %d/%d differs across identical seeds", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := Campus3F(30, 7)
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(c.Buildings) != 1 {
+		t.Fatalf("buildings = %d, want 1", len(c.Buildings))
+	}
+	b := &c.Buildings[0]
+	if b.Floors != 3 {
+		t.Errorf("floors = %d, want 3", b.Floors)
+	}
+	counts := b.FloorCounts()
+	for f := 0; f < 3; f++ {
+		if counts[f] < 25 {
+			t.Errorf("floor %d has only %d records (dead spots should be rare)", f, counts[f])
+		}
+	}
+	for i := range b.Records {
+		rec := &b.Records[i]
+		if len(rec.Readings) == 0 {
+			t.Fatalf("record %s empty", rec.ID)
+		}
+		if len(rec.Readings) > p.ScanLimitMax {
+			t.Fatalf("record %s has %d readings, above scan cap %d", rec.ID, len(rec.Readings), p.ScanLimitMax)
+		}
+		for _, rd := range rec.Readings {
+			if rd.RSS < p.SensitivityMinDBm-1 || rd.RSS > -19 {
+				t.Fatalf("record %s RSS %v outside [%v,-20]", rec.ID, rd.RSS, p.SensitivityMinDBm)
+			}
+		}
+	}
+}
+
+func TestGenerateHeterogeneityStats(t *testing.T) {
+	// The corpus must reproduce the Fig. 1 qualitative shape: records see
+	// only a small fraction of the floor's MACs, and most record pairs on
+	// a floor overlap below 50%.
+	p := Campus3F(120, 11)
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b := &c.Buildings[0]
+	var floor0 []dataset.Record
+	for i := range b.Records {
+		if b.Records[i].Floor == 0 {
+			floor0 = append(floor0, b.Records[i])
+		}
+	}
+	distinct := map[string]struct{}{}
+	for i := range floor0 {
+		for _, rd := range floor0[i].Readings {
+			distinct[rd.MAC] = struct{}{}
+		}
+	}
+	meanMACs := 0.0
+	for i := range floor0 {
+		meanMACs += float64(len(floor0[i].Readings))
+	}
+	meanMACs /= float64(len(floor0))
+	if frac := meanMACs / float64(len(distinct)); frac > 0.7 {
+		t.Errorf("records see %.0f%% of floor MACs on average; want sparse (<70%%)", frac*100)
+	}
+	rng := rand.New(rand.NewSource(3))
+	ratios := dataset.PairOverlapRatios(floor0, 2000, rng)
+	below := 0
+	for _, r := range ratios {
+		if r < 0.5 {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(len(ratios)); frac < 0.3 {
+		t.Errorf("only %.0f%% of pairs overlap <50%%; corpus is too homogeneous", frac*100)
+	}
+}
+
+func TestGenerateFloorSeparability(t *testing.T) {
+	// Records on different floors should share far fewer MACs than
+	// records on the same floor — the signal GRAFICS exploits.
+	p := Campus3F(60, 5)
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	recs := c.Buildings[0].Records
+	var same, diff []float64
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			r := dataset.OverlapRatio(&recs[i], &recs[j])
+			if recs[i].Floor == recs[j].Floor {
+				same = append(same, r)
+			} else {
+				diff = append(diff, r)
+			}
+		}
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(same) <= mean(diff)*1.5 {
+		t.Errorf("same-floor overlap %.3f not clearly above cross-floor %.3f", mean(same), mean(diff))
+	}
+}
+
+func TestProfileRanges(t *testing.T) {
+	ms := MicrosoftLike(3, 50, 1)
+	if err := ms.Validate(); err != nil {
+		t.Errorf("MicrosoftLike invalid: %v", err)
+	}
+	hk := HongKongLike(50, 1)
+	if err := hk.Validate(); err != nil {
+		t.Errorf("HongKongLike invalid: %v", err)
+	}
+	c, err := Generate(MicrosoftLike(4, 20, 9))
+	if err != nil {
+		t.Fatalf("Generate microsoft-like: %v", err)
+	}
+	if len(c.Buildings) != 4 {
+		t.Fatalf("buildings = %d, want 4", len(c.Buildings))
+	}
+	for i := range c.Buildings {
+		b := &c.Buildings[i]
+		if b.Floors < 2 || b.Floors > 12 {
+			t.Errorf("building %d floors %d outside [2,12]", i, b.Floors)
+		}
+		if b.DistinctMACs() == 0 {
+			t.Errorf("building %d has no MACs", i)
+		}
+	}
+}
+
+func TestTrajectoryMode(t *testing.T) {
+	p := Campus3F(60, 13)
+	p.TrajectoryLen = 10
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b := &c.Buildings[0]
+	counts := b.FloorCounts()
+	for f := 0; f < 3; f++ {
+		if counts[f] < 50 {
+			t.Errorf("floor %d has %d records, want near 60", f, counts[f])
+		}
+	}
+	// Consecutive records of one walk should overlap much more than
+	// records from different walks: compare mean overlap of adjacent
+	// pairs vs pairs 20 apart on the same floor.
+	var floor0 []dataset.Record
+	for i := range b.Records {
+		if b.Records[i].Floor == 0 {
+			floor0 = append(floor0, b.Records[i])
+		}
+	}
+	var adjacent, distant float64
+	var nAdj, nDist int
+	for i := 0; i+1 < len(floor0); i++ {
+		adjacent += dataset.OverlapRatio(&floor0[i], &floor0[i+1])
+		nAdj++
+		if i+20 < len(floor0) {
+			distant += dataset.OverlapRatio(&floor0[i], &floor0[i+20])
+			nDist++
+		}
+	}
+	if adjacent/float64(nAdj) <= distant/float64(nDist) {
+		t.Errorf("trajectory scans not spatially correlated: adjacent %.3f <= distant %.3f",
+			adjacent/float64(nAdj), distant/float64(nDist))
+	}
+}
+
+func TestTrajectoryValidation(t *testing.T) {
+	p := Campus3F(10, 1)
+	p.TrajectoryLen = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative trajectory length should error")
+	}
+}

@@ -1,0 +1,310 @@
+// Package tsne implements exact (O(n²)) t-SNE for the paper's embedding
+// visualizations (Fig. 6 and Fig. 8), plus the quantitative cluster-quality
+// metrics (silhouette score, cluster purity) that turn "the embeddings form
+// clusters" into a measurable statement for EXPERIMENTS.md.
+package tsne
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// Options configures a t-SNE run.
+type Options struct {
+	// Dims is the output dimensionality (2 for plots).
+	Dims int
+	// Perplexity balances local/global structure; typical 5-50.
+	Perplexity float64
+	// Iterations of gradient descent.
+	Iterations int
+	// LearningRate for the Kullback-Leibler gradient.
+	LearningRate float64
+	// Seed for the initial layout.
+	Seed int64
+}
+
+// DefaultOptions returns the common defaults.
+func DefaultOptions() Options {
+	return Options{Dims: 2, Perplexity: 20, Iterations: 300, LearningRate: 100, Seed: 1}
+}
+
+// Embed runs exact t-SNE on the given points.
+func Embed(points [][]float64, opts Options) ([][]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("tsne: no points")
+	}
+	if opts.Dims <= 0 {
+		return nil, fmt.Errorf("tsne: dims %d must be positive", opts.Dims)
+	}
+	if opts.Perplexity <= 0 || float64(n-1) < opts.Perplexity {
+		return nil, fmt.Errorf("tsne: perplexity %v invalid for %d points", opts.Perplexity, n)
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 300
+	}
+	if opts.LearningRate <= 0 {
+		opts.LearningRate = 100
+	}
+
+	// Pairwise squared distances in input space.
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+		for j := range d2[i] {
+			if i != j {
+				d2[i][j] = linalg.SquaredDistance(points[i], points[j])
+			}
+		}
+	}
+
+	// Per-point bandwidths by binary search to hit the target perplexity.
+	p := make([][]float64, n)
+	logPerp := math.Log(opts.Perplexity)
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		lo, hi := 1e-20, 1e20
+		beta := 1.0
+		for iter := 0; iter < 64; iter++ {
+			var sum, entSum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				pij := math.Exp(-d2[i][j] * beta)
+				p[i][j] = pij
+				sum += pij
+				entSum += beta * d2[i][j] * pij
+			}
+			if sum < 1e-300 {
+				sum = 1e-300
+			}
+			entropy := math.Log(sum) + entSum/sum
+			if math.Abs(entropy-logPerp) < 1e-5 {
+				break
+			}
+			if entropy > logPerp {
+				lo = beta
+				if hi >= 1e20 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+		}
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += p[i][j]
+		}
+		if sum < 1e-300 {
+			sum = 1e-300
+		}
+		for j := 0; j < n; j++ {
+			p[i][j] /= sum
+		}
+	}
+	// Symmetrize and apply early exaggeration.
+	const exaggeration = 4.0
+	pSym := make([][]float64, n)
+	for i := range pSym {
+		pSym[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := (p[i][j] + p[j][i]) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			pSym[i][j] = v * exaggeration
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	y := make([][]float64, n)
+	vel := make([][]float64, n)
+	gains := make([][]float64, n)
+	for i := range y {
+		y[i] = make([]float64, opts.Dims)
+		vel[i] = make([]float64, opts.Dims)
+		gains[i] = make([]float64, opts.Dims)
+		for d := range y[i] {
+			y[i][d] = rng.NormFloat64() * 1e-2
+			gains[i][d] = 1
+		}
+	}
+
+	q := make([][]float64, n)
+	allGrad := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+		allGrad[i] = make([]float64, opts.Dims)
+	}
+	for iter := 0; iter < opts.Iterations; iter++ {
+		if iter == opts.Iterations/4 {
+			// End early exaggeration.
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					pSym[i][j] /= exaggeration
+				}
+			}
+		}
+		momentum := 0.5
+		if iter >= 50 {
+			momentum = 0.8
+		}
+		// Student-t affinities in output space.
+		var qSum float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := 1 / (1 + linalg.SquaredDistance(y[i], y[j]))
+				q[i][j] = v
+				q[j][i] = v
+				qSum += 2 * v
+			}
+		}
+		if qSum < 1e-300 {
+			qSum = 1e-300
+		}
+		// Compute all gradients against the same snapshot of y, then
+		// update simultaneously (matching the reference implementation).
+		for i := 0; i < n; i++ {
+			grad := allGrad[i]
+			for d := range grad {
+				grad[d] = 0
+			}
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				qij := q[i][j] / qSum
+				if qij < 1e-12 {
+					qij = 1e-12
+				}
+				mult := 4 * (pSym[i][j] - qij) * q[i][j]
+				for d := 0; d < opts.Dims; d++ {
+					grad[d] += mult * (y[i][d] - y[j][d])
+				}
+			}
+		}
+		var center float64
+		for i := 0; i < n; i++ {
+			for d := 0; d < opts.Dims; d++ {
+				// Adaptive per-coordinate gains (van der Maaten's
+				// reference scheme) keep large learning rates stable.
+				if (allGrad[i][d] > 0) != (vel[i][d] > 0) {
+					gains[i][d] += 0.2
+				} else {
+					gains[i][d] *= 0.8
+					if gains[i][d] < 0.01 {
+						gains[i][d] = 0.01
+					}
+				}
+				vel[i][d] = momentum*vel[i][d] - opts.LearningRate*gains[i][d]*allGrad[i][d]
+				y[i][d] += vel[i][d]
+			}
+		}
+		// Re-center the layout each iteration.
+		for d := 0; d < opts.Dims; d++ {
+			center = 0
+			for i := 0; i < n; i++ {
+				center += y[i][d]
+			}
+			center /= float64(n)
+			for i := 0; i < n; i++ {
+				y[i][d] -= center
+			}
+		}
+	}
+	return y, nil
+}
+
+// Silhouette returns the mean silhouette coefficient of points under the
+// given integer labels: (b−a)/max(a,b) per point, where a is the mean
+// intra-cluster distance and b the smallest mean distance to another
+// cluster. Values near 1 indicate tight, well-separated clusters. Points in
+// singleton clusters score 0 by convention.
+func Silhouette(points [][]float64, labels []int) (float64, error) {
+	n := len(points)
+	if n != len(labels) {
+		return 0, fmt.Errorf("tsne: %d points vs %d labels", n, len(labels))
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("tsne: no points")
+	}
+	byLabel := map[int][]int{}
+	for i, l := range labels {
+		byLabel[l] = append(byLabel[l], i)
+	}
+	if len(byLabel) < 2 {
+		return 0, fmt.Errorf("tsne: silhouette needs at least 2 clusters")
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		own := byLabel[labels[i]]
+		if len(own) <= 1 {
+			continue // silhouette 0
+		}
+		var a float64
+		for _, j := range own {
+			if j != i {
+				a += linalg.Distance(points[i], points[j])
+			}
+		}
+		a /= float64(len(own) - 1)
+		b := math.Inf(1)
+		for l, members := range byLabel {
+			if l == labels[i] {
+				continue
+			}
+			var m float64
+			for _, j := range members {
+				m += linalg.Distance(points[i], points[j])
+			}
+			m /= float64(len(members))
+			if m < b {
+				b = m
+			}
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n), nil
+}
+
+// Purity measures agreement between predicted cluster assignments and true
+// labels: each cluster votes for its majority true label, and purity is the
+// fraction of points covered by those votes.
+func Purity(assignments, truth []int) (float64, error) {
+	if len(assignments) != len(truth) {
+		return 0, fmt.Errorf("tsne: %d assignments vs %d truths", len(assignments), len(truth))
+	}
+	if len(assignments) == 0 {
+		return 0, fmt.Errorf("tsne: no points")
+	}
+	votes := map[int]map[int]int{}
+	for i, a := range assignments {
+		if votes[a] == nil {
+			votes[a] = map[int]int{}
+		}
+		votes[a][truth[i]]++
+	}
+	correct := 0
+	for _, counts := range votes {
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assignments)), nil
+}

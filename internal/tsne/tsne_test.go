@@ -1,0 +1,142 @@
+package tsne
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// blobs builds k separated clusters of m points in dim dimensions.
+func blobs(k, m, dim int, spread float64, seed int64) (points [][]float64, labels []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for b := 0; b < k; b++ {
+		center := make([]float64, dim)
+		center[b%dim] = float64(b+1) * 10
+		for p := 0; p < m; p++ {
+			pt := make([]float64, dim)
+			for d := range pt {
+				pt[d] = center[d] + rng.NormFloat64()*spread
+			}
+			points = append(points, pt)
+			labels = append(labels, b)
+		}
+	}
+	return points, labels
+}
+
+func TestEmbedPreservesClusters(t *testing.T) {
+	points, labels := blobs(3, 25, 5, 0.5, 1)
+	opts := DefaultOptions()
+	opts.Perplexity = 10
+	opts.Iterations = 250
+	y, err := Embed(points, opts)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	if len(y) != len(points) || len(y[0]) != 2 {
+		t.Fatalf("output shape %dx%d, want %dx2", len(y), len(y[0]), len(points))
+	}
+	sil, err := Silhouette(y, labels)
+	if err != nil {
+		t.Fatalf("Silhouette: %v", err)
+	}
+	if sil < 0.5 {
+		t.Errorf("t-SNE silhouette %v, want >= 0.5 on well-separated blobs", sil)
+	}
+}
+
+func TestEmbedErrors(t *testing.T) {
+	if _, err := Embed(nil, DefaultOptions()); err == nil {
+		t.Error("empty input should error")
+	}
+	pts, _ := blobs(1, 5, 2, 1, 2)
+	opts := DefaultOptions()
+	opts.Perplexity = 100 // more than n-1
+	if _, err := Embed(pts, opts); err == nil {
+		t.Error("oversized perplexity should error")
+	}
+	opts = DefaultOptions()
+	opts.Dims = 0
+	if _, err := Embed(pts, opts); err == nil {
+		t.Error("zero dims should error")
+	}
+}
+
+func TestSilhouette(t *testing.T) {
+	// Two tight, distant clusters: silhouette near 1.
+	points := [][]float64{{0, 0}, {0.1, 0}, {10, 0}, {10.1, 0}}
+	labels := []int{0, 0, 1, 1}
+	sil, err := Silhouette(points, labels)
+	if err != nil {
+		t.Fatalf("Silhouette: %v", err)
+	}
+	if sil < 0.9 {
+		t.Errorf("silhouette = %v, want >= 0.9", sil)
+	}
+	// Scrambled labels: much worse.
+	bad, err := Silhouette(points, []int{0, 1, 0, 1})
+	if err != nil {
+		t.Fatalf("Silhouette: %v", err)
+	}
+	if bad >= sil {
+		t.Errorf("scrambled silhouette %v should be below clean %v", bad, sil)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	if _, err := Silhouette(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := Silhouette([][]float64{{0}}, []int{0, 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Silhouette([][]float64{{0}, {1}}, []int{0, 0}); err == nil {
+		t.Error("single cluster should error")
+	}
+}
+
+func TestPurity(t *testing.T) {
+	// Perfect assignment (different ids, same partition).
+	p, err := Purity([]int{5, 5, 9, 9}, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatalf("Purity: %v", err)
+	}
+	if p != 1 {
+		t.Errorf("purity = %v, want 1", p)
+	}
+	// One impure member.
+	p, err = Purity([]int{1, 1, 1, 2}, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatalf("Purity: %v", err)
+	}
+	if p != 0.75 {
+		t.Errorf("purity = %v, want 0.75", p)
+	}
+	if _, err := Purity([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Purity(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	points, _ := blobs(2, 10, 3, 0.5, 3)
+	opts := DefaultOptions()
+	opts.Perplexity = 5
+	opts.Iterations = 50
+	a, err := Embed(points, opts)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	b, err := Embed(points, opts)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	for i := range a {
+		if linalg.Distance(a[i], b[i]) != 0 {
+			t.Fatal("t-SNE not deterministic for fixed seed")
+		}
+	}
+}

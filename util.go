@@ -1,0 +1,9 @@
+package grafics
+
+import "math/rand"
+
+// newRand returns a deterministic *rand.Rand for the public helpers that
+// take plain integer seeds.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
