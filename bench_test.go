@@ -10,6 +10,7 @@ package grafics
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cluster"
@@ -434,6 +435,40 @@ func BenchmarkOnlinePredict(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPredictParallel measures Predict throughput under concurrent
+// load (run with -cpu 1,4,8 to see scaling). Each goroutine classifies
+// held-out scans against the same trained system; with snapshot-overlay
+// inference the goroutines share only read locks and scale with cores.
+func BenchmarkPredictParallel(b *testing.B) {
+	corpus, err := simulate.Generate(simulate.Campus3F(60, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := dataset.Split(&corpus.Buildings[0], 0.7, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dataset.SelectLabels(train, 4, rng)
+	sys := core.New(core.Config{})
+	if err := sys.AddTraining(train); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Fit(); err != nil {
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)) % len(test)
+			if _, err := sys.Predict(&test[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkClusterTrain(b *testing.B) {

@@ -7,6 +7,10 @@
 //
 //	curl localhost:8080/v1/buildings
 //	curl -X POST localhost:8080/v1/predict -d @scan.json
+//	curl -X POST localhost:8080/v1/predict/batch -d @scans.json
+//
+// Predictions are read-only against the trained models (snapshot-overlay
+// inference), so concurrent requests scale with cores.
 package main
 
 import (

@@ -4,16 +4,31 @@
 // offline-training / online-inference lifecycle of §III-B of the paper and
 // model persistence. The exported facade for library users lives in the
 // repository root package; this package holds the mechanics.
+//
+// # Concurrency model
+//
+// A System is read-mostly. Once Fit has run, the bipartite graph, the
+// embedding tables, and the cluster model form a frozen snapshot that
+// Predict/PredictBatch consult under a shared read lock: each prediction
+// layers a virtual scan node over the frozen graph (rfgraph.Overlay) and
+// embeds it detachedly (embed.EmbedDetached), writing nothing, so any
+// number of predictions run in parallel. The exclusive writers are
+// AddTraining, Fit, Absorb, RemoveMAC, and Load: they take the write lock,
+// mutate the graph/embedding in place, and publish the new snapshot to
+// subsequent readers when the lock is released. PredictBatch fans work out
+// over a GOMAXPROCS-sized worker pool of such readers.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/embed"
+	"repro/internal/par"
 	"repro/internal/rfgraph"
 )
 
@@ -85,9 +100,10 @@ var (
 
 // System is a GRAFICS floor-identification model. Create with New, feed
 // training records with AddTraining, train with Fit, then classify online
-// records with Predict or Absorb. A System is safe for concurrent use.
+// records with Predict or Absorb. A System is safe for concurrent use;
+// see the package documentation for the reader/writer split.
 type System struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 
 	cfg     Config
 	graph   *rfgraph.Graph
@@ -95,13 +111,20 @@ type System struct {
 	model   *cluster.Model
 	trained bool
 
+	// neg is the frozen negative-sampling distribution shared by all
+	// concurrent predictions; writers rebuild it after mutating the
+	// graph (see refreshSampler).
+	neg *embed.NegativeSampler
+
 	// trainRecords holds training records in insertion order; trainNodes
 	// holds their graph node IDs at the same indices.
 	trainRecords []dataset.Record
 	trainNodes   []rfgraph.NodeID
 
-	// predictSeq names synthetic nodes for repeated predictions.
-	predictSeq int
+	// predictSeq decorrelates the randomness of successive predictions
+	// and names absorbed records. Atomic so read-locked predictions can
+	// advance it without contending on mu.
+	predictSeq atomic.Int64
 }
 
 // New returns an untrained System.
@@ -168,16 +191,34 @@ func (s *System) Fit() error {
 	if err != nil {
 		return fmt.Errorf("core: clustering: %w", err)
 	}
+	neg, err := embed.NewNegativeSampler(s.graph, emb)
+	if err != nil {
+		return fmt.Errorf("core: negative sampler: %w", err)
+	}
 	s.emb = emb
 	s.model = model
+	s.neg = neg
 	s.trained = true
 	return nil
 }
 
+// refreshSampler rebuilds the shared negative-sampling distribution after
+// a graph mutation. The caller holds the write lock. A rebuild failure
+// leaves the previous sampler in place: predictions stay consistent with
+// the pre-mutation snapshot rather than failing outright.
+func (s *System) refreshSampler() {
+	if !s.trained {
+		return
+	}
+	if neg, err := embed.NewNegativeSampler(s.graph, s.emb); err == nil {
+		s.neg = neg
+	}
+}
+
 // Trained reports whether Fit has completed.
 func (s *System) Trained() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.trained
 }
 
@@ -196,7 +237,12 @@ type Prediction struct {
 // knownMACs counts the record's readings whose MAC already has a node.
 func (s *System) knownMACs(rec *dataset.Record) int {
 	n := 0
+	seen := make(map[string]struct{}, len(rec.Readings))
 	for _, rd := range rec.Readings {
+		if _, dup := seen[rd.MAC]; dup {
+			continue
+		}
+		seen[rd.MAC] = struct{}{}
 		if _, ok := s.graph.MACNode(rd.MAC); ok {
 			n++
 		}
@@ -204,87 +250,120 @@ func (s *System) knownMACs(rec *dataset.Record) int {
 	return n
 }
 
-// predictLocked runs the §V online-inference pipeline. The caller holds
-// s.mu. When retain is false, the record (and any MAC nodes it introduced)
-// are removed again afterwards, leaving the graph unchanged.
-func (s *System) predictLocked(rec *dataset.Record, retain bool) (Prediction, error) {
+// predictRLocked runs the §V online-inference pipeline against a read-only
+// overlay of the frozen model. The caller holds at least s.mu.RLock; no
+// shared state is written. On error the returned Prediction is the zero
+// value.
+func (s *System) predictRLocked(rec *dataset.Record) (Prediction, error) {
+	if !s.trained {
+		return Prediction{}, ErrNotTrained
+	}
+	// Check MAC overlap before overlay construction so degenerate scans
+	// (empty, or sharing no MAC with training data) surface as
+	// ErrOutOfBuilding exactly as Absorb — and the pre-overlay Predict —
+	// report them. Footnote 1 of the paper: a sample containing only
+	// never-seen MACs was likely collected outside the building.
+	if s.knownMACs(rec) == 0 {
+		return Prediction{}, fmt.Errorf("%w: record %q", ErrOutOfBuilding, rec.ID)
+	}
+	ov, err := rfgraph.NewOverlay(s.graph, rec)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("core: online overlay: %w", err)
+	}
+	inc := s.cfg.Incremental
+	inc.Seed += s.predictSeq.Add(1) // decorrelate successive predictions
+	ego, err := embed.EmbedDetachedEgo(ov, s.emb, ov.Node(), inc, s.neg)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("core: online embedding: %w", err)
+	}
+	floor, clusterIdx, dist := s.model.Predict(ego)
+	return Prediction{
+		Floor:        floor,
+		ClusterIndex: clusterIdx,
+		Distance:     dist,
+		Embedding:    ego,
+	}, nil
+}
+
+// Predict classifies an online record without modifying the system: the
+// scan is layered over the frozen graph as a virtual node, embedded
+// against the frozen model, and classified. Predict only takes a read
+// lock, so concurrent predictions proceed in parallel. On error the
+// returned Prediction is the zero value and the system is unchanged.
+func (s *System) Predict(rec *dataset.Record) (Prediction, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.predictRLocked(rec)
+}
+
+// Absorb classifies an online record and keeps it (and any new MACs it
+// introduced) in the bipartite graph — the paper's long-running deployment
+// mode where the graph grows with the crowd. Absorb is an exclusive
+// writer. On error the returned Prediction is the zero value and the
+// graph is rolled back to its prior state.
+func (s *System) Absorb(rec *dataset.Record) (Prediction, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.trained {
 		return Prediction{}, ErrNotTrained
 	}
 	if s.knownMACs(rec) == 0 {
-		// Footnote 1 of the paper: a sample containing only never-seen
-		// MACs was likely collected outside the building.
 		return Prediction{}, fmt.Errorf("%w: record %q", ErrOutOfBuilding, rec.ID)
 	}
-	// Give the node a unique internal name so repeated predictions of the
+	seq := s.predictSeq.Add(1)
+	// Give the node a unique internal name so repeated absorbs of the
 	// same scan do not collide.
 	insert := *rec
-	insert.ID = fmt.Sprintf("online-%d-%s", s.predictSeq, rec.ID)
-	s.predictSeq++
-	var newMACs []string
-	if !retain {
-		for _, rd := range insert.Readings {
-			if _, ok := s.graph.MACNode(rd.MAC); !ok {
-				newMACs = append(newMACs, rd.MAC)
-			}
+	insert.ID = fmt.Sprintf("online-%d-%s", seq, rec.ID)
+	newMACs := make(map[string]struct{})
+	for _, rd := range insert.Readings {
+		if _, ok := s.graph.MACNode(rd.MAC); !ok {
+			newMACs[rd.MAC] = struct{}{}
 		}
 	}
 	id, err := s.graph.AddRecord(&insert)
 	if err != nil {
 		return Prediction{}, fmt.Errorf("core: online insert: %w", err)
 	}
+	// Any failure past this point must undo the insertion — including the
+	// MAC nodes it introduced — so a failed Absorb leaves no residue.
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		_ = s.graph.RemoveRecord(insert.ID)
+		for mac := range newMACs {
+			_ = s.graph.RemoveMAC(mac)
+		}
+	}()
 	inc := s.cfg.Incremental
-	inc.Seed += int64(s.predictSeq) // decorrelate successive predictions
+	inc.Seed += seq
 	if err := embed.EmbedNewNode(s.graph, s.emb, id, inc); err != nil {
 		return Prediction{}, fmt.Errorf("core: online embedding: %w", err)
 	}
 	ego := s.emb.EgoOf(id)
 	floor, clusterIdx, dist := s.model.Predict(ego)
-	pred := Prediction{
+	committed = true
+	s.refreshSampler()
+	return Prediction{
 		Floor:        floor,
 		ClusterIndex: clusterIdx,
 		Distance:     dist,
 		Embedding:    append([]float64(nil), ego...),
-	}
-	if !retain {
-		if err := s.graph.RemoveRecord(insert.ID); err != nil {
-			return pred, fmt.Errorf("core: online cleanup: %w", err)
-		}
-		for _, mac := range newMACs {
-			if err := s.graph.RemoveMAC(mac); err != nil {
-				return pred, fmt.Errorf("core: online cleanup of MAC %q: %w", mac, err)
-			}
-		}
-	}
-	return pred, nil
-}
-
-// Predict classifies an online record without permanently modifying the
-// system: the record is inserted, embedded against the frozen model,
-// classified, and removed again.
-func (s *System) Predict(rec *dataset.Record) (Prediction, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.predictLocked(rec, false)
-}
-
-// Absorb classifies an online record and keeps it (and any new MACs it
-// introduced) in the bipartite graph — the paper's long-running deployment
-// mode where the graph grows with the crowd.
-func (s *System) Absorb(rec *dataset.Record) (Prediction, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.predictLocked(rec, true)
+	}, nil
 }
 
 // PredictBatch classifies each record, returning per-record predictions
-// and a parallel slice of errors (nil entries on success).
+// and a parallel slice of errors (nil entries on success). Records are
+// classified concurrently by a GOMAXPROCS-sized worker pool; each worker
+// holds only a read lock, so the batch scales with cores.
 func (s *System) PredictBatch(records []dataset.Record) ([]Prediction, []error) {
 	preds := make([]Prediction, len(records))
 	errs := make([]error, len(records))
-	for i := range records {
+	par.ForEach(len(records), func(i int) {
 		preds[i], errs[i] = s.Predict(&records[i])
-	}
+	})
 	return preds, errs
 }
 
@@ -293,14 +372,18 @@ func (s *System) PredictBatch(records []dataset.Record) ([]Prediction, []error) 
 func (s *System) RemoveMAC(mac string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.graph.RemoveMAC(mac)
+	if err := s.graph.RemoveMAC(mac); err != nil {
+		return err
+	}
+	s.refreshSampler()
+	return nil
 }
 
 // TrainingAssignments returns the virtual floor label that clustering gave
 // every training record, in insertion order.
 func (s *System) TrainingAssignments() ([]int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.trained {
 		return nil, ErrNotTrained
 	}
@@ -310,8 +393,8 @@ func (s *System) TrainingAssignments() ([]int, error) {
 // TrainingEmbedding returns the learned ego embedding of the i-th training
 // record.
 func (s *System) TrainingEmbedding(i int) ([]float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.trained {
 		return nil, ErrNotTrained
 	}
@@ -323,16 +406,16 @@ func (s *System) TrainingEmbedding(i int) ([]float64, error) {
 
 // TrainingRecords returns the number of training records.
 func (s *System) TrainingRecords() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.trainRecords)
 }
 
 // ClusterModel exposes the trained clustering (read-only) for diagnostics
 // and the Fig. 8 progression.
 func (s *System) ClusterModel() (*cluster.Model, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.trained {
 		return nil, ErrNotTrained
 	}
@@ -348,8 +431,8 @@ type GraphStats struct {
 
 // Stats returns current graph statistics.
 func (s *System) Stats() GraphStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return GraphStats{
 		Records: s.graph.NumRecords(),
 		MACs:    s.graph.NumMACs(),

@@ -141,6 +141,17 @@ func TestOutOfBuilding(t *testing.T) {
 	if _, err := s.Predict(&alien); !errors.Is(err, ErrOutOfBuilding) {
 		t.Errorf("alien Predict = %v, want ErrOutOfBuilding", err)
 	}
+	// Degenerate scans report the same identity from both entry points.
+	empty := dataset.Record{ID: "empty"}
+	if _, err := s.Predict(&empty); !errors.Is(err, ErrOutOfBuilding) {
+		t.Errorf("empty Predict = %v, want ErrOutOfBuilding", err)
+	}
+	if _, err := s.Absorb(&empty); !errors.Is(err, ErrOutOfBuilding) {
+		t.Errorf("empty Absorb = %v, want ErrOutOfBuilding", err)
+	}
+	if _, err := s.Absorb(&alien); !errors.Is(err, ErrOutOfBuilding) {
+		t.Errorf("alien Absorb = %v, want ErrOutOfBuilding", err)
+	}
 }
 
 func TestTrainingAssignmentsQuality(t *testing.T) {
@@ -276,6 +287,98 @@ func TestRemoveMAC(t *testing.T) {
 	}
 	if err := s.RemoveMAC("bogus"); err == nil {
 		t.Error("expected error removing unknown MAC")
+	}
+}
+
+// TestPredictErrorContract verifies the error/value contract: any failing
+// Predict returns the zero Prediction and leaves the graph untouched.
+func TestPredictErrorContract(t *testing.T) {
+	train, test := campusSplit(t, 20, 4, 10)
+	cfg := fastConfig()
+	cfg.Incremental = embed.DefaultIncrementalConfig()
+	cfg.Incremental.Rounds = -1 // fails validation inside the embed step
+	s := New(cfg)
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	before := s.Stats()
+	pred, err := s.Predict(&test[0])
+	if err == nil {
+		t.Fatal("expected embedding-config error from Predict")
+	}
+	if pred.Floor != 0 || pred.Embedding != nil || pred.ClusterIndex != 0 || pred.Distance != 0 {
+		t.Errorf("failed Predict returned non-zero Prediction: %+v", pred)
+	}
+	if after := s.Stats(); after != before {
+		t.Errorf("failed Predict mutated graph: %+v -> %+v", before, after)
+	}
+}
+
+// TestAbsorbRollbackOnError is the regression test for the seed's state
+// leak: when the embedding step fails after the record was inserted, the
+// record and any MAC nodes it introduced must be removed again.
+func TestAbsorbRollbackOnError(t *testing.T) {
+	train, test := campusSplit(t, 20, 4, 11)
+	cfg := fastConfig()
+	cfg.Incremental = embed.DefaultIncrementalConfig()
+	cfg.Incremental.Rounds = -1 // fails validation after the graph insert
+	s := New(cfg)
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	before := s.Stats()
+	rec := test[0]
+	// Add a never-seen MAC so the rollback must also retire a MAC node.
+	rec.Readings = append(append([]dataset.Reading(nil), rec.Readings...),
+		dataset.Reading{MAC: "brand-new-mac", RSS: -70})
+	pred, err := s.Absorb(&rec)
+	if err == nil {
+		t.Fatal("expected embedding-config error from Absorb")
+	}
+	if pred.Embedding != nil {
+		t.Errorf("failed Absorb returned non-zero Prediction: %+v", pred)
+	}
+	if after := s.Stats(); after != before {
+		t.Errorf("failed Absorb leaked graph state: %+v -> %+v", before, after)
+	}
+	// A correctly configured system absorbs the same record fine.
+	s2 := New(fastConfig())
+	if err := s2.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s2.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if _, err := s2.Absorb(&rec); err != nil {
+		t.Errorf("Absorb with valid config: %v", err)
+	}
+}
+
+// TestPredictDoesNotGrowEmbedding pins the snapshot-overlay property:
+// Predict must not touch the shared embedding tables.
+func TestPredictDoesNotGrowEmbedding(t *testing.T) {
+	train, test := campusSplit(t, 20, 4, 12)
+	s := New(fastConfig())
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := s.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	rows := len(s.emb.Ego)
+	for i := range test[:10] {
+		if _, err := s.Predict(&test[i]); err != nil {
+			t.Fatalf("Predict: %v", err)
+		}
+	}
+	if got := len(s.emb.Ego); got != rows {
+		t.Errorf("Predict grew embedding table %d -> %d rows", rows, got)
 	}
 }
 

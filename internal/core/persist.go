@@ -25,10 +25,11 @@ type snapshot struct {
 	PredictSeq   int
 }
 
-// Save serializes a trained system to w with encoding/gob.
+// Save serializes a trained system to w with encoding/gob. Save is a
+// reader: concurrent predictions proceed while the snapshot is encoded.
 func (s *System) Save(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.trained {
 		return ErrNotTrained
 	}
@@ -39,7 +40,7 @@ func (s *System) Save(w io.Writer) error {
 		Ego:          s.emb.Ego,
 		Ctx:          s.emb.Ctx,
 		Model:        *s.model,
-		PredictSeq:   s.predictSeq,
+		PredictSeq:   int(s.predictSeq.Load()),
 	}
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("core: encode snapshot: %w", err)
@@ -63,9 +64,14 @@ func Load(r io.Reader) (*System, error) {
 		return nil, fmt.Errorf("core: snapshot has %d embeddings for %d nodes", len(snap.Ego), s.graph.NumNodes())
 	}
 	s.emb = &embed.Embedding{Dim: snap.Dim, Ego: snap.Ego, Ctx: snap.Ctx}
+	neg, err := embed.NewNegativeSampler(s.graph, s.emb)
+	if err != nil {
+		return nil, fmt.Errorf("core: negative sampler: %w", err)
+	}
+	s.neg = neg
 	model := snap.Model
 	s.model = &model
-	s.predictSeq = snap.PredictSeq
+	s.predictSeq.Store(int64(snap.PredictSeq))
 	s.trained = true
 	return s, nil
 }

@@ -256,6 +256,96 @@ func TestEmbedNewNodeWithNewMAC(t *testing.T) {
 	_ = f0
 }
 
+// TestEmbedDetachedOverlay checks the snapshot-overlay inference path:
+// embedding a virtual scan node against a frozen model must not mutate
+// the embedding tables, and the ego-only fast path must agree with the
+// full detached computation bit for bit.
+func TestEmbedDetachedOverlay(t *testing.T) {
+	g, f0, f1 := twoFloorGraph(t, 20, 3, 6)
+	emb, err := Train(g, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	rows := len(emb.Ego)
+	snapshot := append([]float64(nil), emb.Ego[0]...)
+	rec := dataset.Record{ID: "scan", Readings: []dataset.Reading{
+		{MAC: "a0", RSS: -55}, {MAC: "a3", RSS: -60}, {MAC: "a5", RSS: -70},
+	}}
+	ov, err := rfgraph.NewOverlay(g, &rec)
+	if err != nil {
+		t.Fatalf("NewOverlay: %v", err)
+	}
+	cfg := DefaultIncrementalConfig()
+	ego, ctx, err := EmbedDetached(ov, emb, ov.Node(), cfg, nil)
+	if err != nil {
+		t.Fatalf("EmbedDetached: %v", err)
+	}
+	if len(ego) != emb.Dim || len(ctx) != emb.Dim {
+		t.Fatalf("vector dims %d/%d, want %d", len(ego), len(ctx), emb.Dim)
+	}
+	if len(emb.Ego) != rows {
+		t.Errorf("EmbedDetached grew the table %d -> %d", rows, len(emb.Ego))
+	}
+	for d := range snapshot {
+		if emb.Ego[0][d] != snapshot[d] {
+			t.Fatal("EmbedDetached mutated a frozen row")
+		}
+	}
+	egoOnly, err := EmbedDetachedEgo(ov, emb, ov.Node(), cfg, nil)
+	if err != nil {
+		t.Fatalf("EmbedDetachedEgo: %v", err)
+	}
+	for d := range ego {
+		if ego[d] != egoOnly[d] {
+			t.Fatalf("ego-only path diverges at dim %d: %v vs %v", d, ego[d], egoOnly[d])
+		}
+	}
+	// The scan sensed floor-0 MACs, so it should land nearer floor 0.
+	mean := func(ids []rfgraph.NodeID) float64 {
+		var s float64
+		for _, other := range ids {
+			s += linalg.Distance(ego, emb.Ego[other])
+		}
+		return s / float64(len(ids))
+	}
+	if d0, d1 := mean(f0), mean(f1); d0 >= d1 {
+		t.Errorf("overlay scan closer to floor 1: d0=%v d1=%v", d0, d1)
+	}
+}
+
+// TestEmbedDetachedSharedSampler checks that passing a prebuilt
+// NegativeSampler reproduces the build-on-the-fly result exactly.
+func TestEmbedDetachedSharedSampler(t *testing.T) {
+	g, _, _ := twoFloorGraph(t, 10, 3, 9)
+	emb, err := Train(g, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	rec := dataset.Record{ID: "scan", Readings: []dataset.Reading{{MAC: "a0", RSS: -50}}}
+	ov, err := rfgraph.NewOverlay(g, &rec)
+	if err != nil {
+		t.Fatalf("NewOverlay: %v", err)
+	}
+	neg, err := NewNegativeSampler(ov, emb)
+	if err != nil {
+		t.Fatalf("NewNegativeSampler: %v", err)
+	}
+	cfg := DefaultIncrementalConfig()
+	a, err := EmbedDetachedEgo(ov, emb, ov.Node(), cfg, neg)
+	if err != nil {
+		t.Fatalf("shared sampler: %v", err)
+	}
+	b, err := EmbedDetachedEgo(ov, emb, ov.Node(), cfg, nil)
+	if err != nil {
+		t.Fatalf("on-the-fly sampler: %v", err)
+	}
+	for d := range a {
+		if a[d] != b[d] {
+			t.Fatalf("sampler sharing changed result at dim %d", d)
+		}
+	}
+}
+
 func TestEmbedNewNodeErrors(t *testing.T) {
 	g, _, _ := twoFloorGraph(t, 5, 3, 8)
 	emb, err := Train(g, DefaultConfig())

@@ -21,14 +21,23 @@ type IncrementalConfig struct {
 	LearningRate float64
 	// NegativeSamples is K for the negative-sampling term.
 	NegativeSamples int
+	// Tolerance enables early stopping: after each round (one pass worth
+	// of samples over the node's incident edges), if the relative L2
+	// movement of the ego vector fell below Tolerance, the remaining
+	// rounds are skipped. Rounds stays the hard cap. Zero disables early
+	// stopping.
+	Tolerance float64
 	// Seed roots the randomness.
 	Seed int64
 }
 
 // DefaultIncrementalConfig returns settings tuned for single-node online
-// updates.
+// updates. Rounds caps the work; Tolerance usually stops far earlier —
+// the single-node objective over a frozen model converges in a handful
+// of rounds, which is what makes the paper's online inference
+// "real-time".
 func DefaultIncrementalConfig() IncrementalConfig {
-	return IncrementalConfig{Rounds: 100, LearningRate: 0.025, NegativeSamples: 5, Seed: 1}
+	return IncrementalConfig{Rounds: 100, LearningRate: 0.025, NegativeSamples: 5, Tolerance: 0.01, Seed: 1}
 }
 
 // Validate reports the first invalid field.
@@ -40,36 +49,94 @@ func (c *IncrementalConfig) Validate() error {
 		return fmt.Errorf("embed: incremental learning rate %v must be positive", c.LearningRate)
 	case c.NegativeSamples < 0:
 		return fmt.Errorf("embed: incremental negative samples %d must be non-negative", c.NegativeSamples)
+	case c.Tolerance < 0:
+		return fmt.Errorf("embed: incremental tolerance %v must be non-negative", c.Tolerance)
 	}
 	return nil
 }
 
-// EmbedNewNode learns ego and context embeddings for node id — typically a
-// record just inserted into g — while every other embedding stays fixed,
-// by minimizing the E-LINE objective restricted to id's incident edges.
-// The embedding is grown to cover id if needed. Neighbor MAC nodes that
-// are themselves brand new (never trained) contribute nothing useful but
-// are handled gracefully; per the paper, a record whose MACs are all new
-// should be treated as out-of-building by the caller.
-func EmbedNewNode(g *rfgraph.Graph, emb *Embedding, id rfgraph.NodeID, cfg IncrementalConfig) error {
+// NegativeSampler is a frozen negative-sampling distribution over the
+// live trained nodes of a graph view, ∝ weightedDegree^{3/4}. Building it
+// is O(nodes); drawing is O(1). It is immutable after construction and
+// safe for concurrent use, so a trained System builds it once per graph
+// snapshot and shares it across all concurrent online inferences instead
+// of re-deriving it per prediction.
+type NegativeSampler struct {
+	nodes []rfgraph.NodeID
+	dist  *sampling.Alias
+}
+
+// NewNegativeSampler builds the deg^{3/4} node distribution for view.
+// Only nodes with a trained row in emb (index < len(emb.Ego)) are
+// included — untrained vectors are meaningless as negatives.
+func NewNegativeSampler(view rfgraph.View, emb *Embedding) (*NegativeSampler, error) {
+	trained := len(emb.Ego)
+	if n := view.NumNodes(); n < trained {
+		trained = n
+	}
+	var nodes []rfgraph.NodeID
+	var weights []float64
+	for n := 0; n < trained; n++ {
+		nid := rfgraph.NodeID(n)
+		if !view.Alive(nid) || view.Degree(nid) == 0 {
+			continue
+		}
+		nodes = append(nodes, nid)
+		weights = append(weights, math.Pow(view.WeightedDegree(nid), 0.75))
+	}
+	dist, err := sampling.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("embed: incremental negative alias: %w", err)
+	}
+	return &NegativeSampler{nodes: nodes, dist: dist}, nil
+}
+
+// EmbedDetached learns ego and context vectors for node id of view —
+// typically a virtual scan node of an rfgraph.Overlay — while treating
+// emb as strictly read-only, by minimizing the E-LINE objective
+// restricted to id's incident edges. Nothing is written to emb or view,
+// so any number of EmbedDetached calls may run concurrently against the
+// same frozen model under a shared read lock. Neighbor nodes with no
+// trained row in emb (brand-new MACs) contribute nothing and are skipped;
+// per the paper, a record whose MACs are all new should be treated as
+// out-of-building by the caller.
+//
+// neg supplies the shared negative-sampling distribution; pass nil to
+// have one built from view on the fly. A non-nil neg must have been built
+// over the same frozen graph snapshot that view overlays.
+func EmbedDetached(view rfgraph.View, emb *Embedding, id rfgraph.NodeID, cfg IncrementalConfig, neg *NegativeSampler) (ego, ctx []float64, err error) {
+	return embedDetached(view, emb, id, cfg, neg, true)
+}
+
+// EmbedDetachedEgo is EmbedDetached without the O2 (context-of-id)
+// direction. With frozen tables and negatives drawn once per sample, the
+// two directions are independent, so the returned ego vector is
+// bit-identical to EmbedDetached's at about half the cost. Use it when
+// the caller only classifies (Predict) and never retains the node.
+func EmbedDetachedEgo(view rfgraph.View, emb *Embedding, id rfgraph.NodeID, cfg IncrementalConfig, neg *NegativeSampler) ([]float64, error) {
+	ego, _, err := embedDetached(view, emb, id, cfg, neg, false)
+	return ego, err
+}
+
+func embedDetached(view rfgraph.View, emb *Embedding, id rfgraph.NodeID, cfg IncrementalConfig, neg *NegativeSampler, wantCtx bool) (ego, ctx []float64, err error) {
 	if err := cfg.Validate(); err != nil {
-		return err
+		return nil, nil, err
 	}
-	if !g.Alive(id) {
-		return fmt.Errorf("%w: node %d", rfgraph.ErrUnknownNode, id)
+	if !view.Alive(id) {
+		return nil, nil, fmt.Errorf("%w: node %d", rfgraph.ErrUnknownNode, id)
 	}
-	neighbors := g.Neighbors(id)
+	neighbors := view.Neighbors(id)
 	if len(neighbors) == 0 {
-		return fmt.Errorf("embed: node %d has no edges to embed against", id)
+		return nil, nil, fmt.Errorf("embed: node %d has no edges to embed against", id)
 	}
 	seeder := sampling.NewSeeder(cfg.Seed)
 	rng := seeder.NextRand()
-	emb.Grow(g.NumNodes(), rng)
 
-	// Reset the node's vectors: online inference should not depend on
-	// whatever happened to be in the slot.
-	emb.Ego[id] = randomVector(emb.Dim, rng)
-	emb.Ctx[id] = make([]float64, emb.Dim)
+	// Fresh vectors: online inference must not depend on whatever happened
+	// to be in the node's slot before.
+	ego = randomVector(emb.Dim, rng)
+	fast := sampling.NewFast(seeder.Next())
+	ctx = make([]float64, emb.Dim)
 
 	// Edge distribution over the node's incident edges, ∝ weight.
 	w := make([]float64, len(neighbors))
@@ -78,60 +145,109 @@ func EmbedNewNode(g *rfgraph.Graph, emb *Embedding, id rfgraph.NodeID, cfg Incre
 	}
 	edgeDist, err := sampling.NewAlias(w)
 	if err != nil {
-		return fmt.Errorf("embed: incident edge alias: %w", err)
+		return nil, nil, fmt.Errorf("embed: incident edge alias: %w", err)
 	}
-	// Negative distribution over all other live nodes, ∝ deg^{3/4}.
-	var negNodes []rfgraph.NodeID
-	var negW []float64
-	for n := 0; n < g.NumNodes(); n++ {
-		nid := rfgraph.NodeID(n)
-		if nid == id || !g.Alive(nid) || g.Degree(nid) == 0 {
-			continue
+	if neg == nil {
+		neg, err = NewNegativeSampler(view, emb)
+		if err != nil {
+			return nil, nil, err
 		}
-		negNodes = append(negNodes, nid)
-		negW = append(negW, math.Pow(g.WeightedDegree(nid), 0.75))
-	}
-	negDist, err := sampling.NewAlias(negW)
-	if err != nil {
-		return fmt.Errorf("embed: incremental negative alias: %w", err)
 	}
 
-	grad := make([]float64, emb.Dim)
-	total := cfg.Rounds * len(neighbors)
-	for s := 0; s < total; s++ {
-		j := neighbors[edgeDist.Draw(rng)].To
-		// O1 direction: context of j given ego of id.
-		frozenUpdate(emb.Ego[id], emb.Ctx, j, negNodes, negDist, cfg, rng, grad)
-		// O2 direction: ego of j given context of id.
-		frozenUpdate(emb.Ctx[id], emb.Ego, j, negNodes, negDist, cfg, rng, grad)
+	row := func(table [][]float64, j rfgraph.NodeID) []float64 {
+		if int(j) < 0 || int(j) >= len(table) {
+			return nil
+		}
+		return table[j]
 	}
+	grad := make([]float64, emb.Dim)
+	prev := make([]float64, emb.Dim)
+	zbuf := make([]rfgraph.NodeID, cfg.NegativeSamples)
+	for r := 0; r < cfg.Rounds; r++ {
+		copy(prev, ego)
+		for s := 0; s < len(neighbors); s++ {
+			j := neighbors[edgeDist.DrawFast(fast)].To
+			// One set of negative draws serves both directions (common
+			// random numbers): the two source vectors are independent, so
+			// sharing negatives halves the sampling cost without coupling
+			// their gradients.
+			for k := range zbuf {
+				zbuf[k] = neg.nodes[neg.dist.DrawFast(fast)]
+			}
+			// O1 direction: context of j given ego of id.
+			frozenUpdate(ego, row(emb.Ctx, j), emb.Ctx, j, id, zbuf, cfg.LearningRate, grad)
+			// O2 direction: ego of j given context of id. Skipped for
+			// classify-only callers; it cannot affect ego.
+			if wantCtx {
+				frozenUpdate(ctx, row(emb.Ego, j), emb.Ego, j, id, zbuf, cfg.LearningRate, grad)
+			}
+		}
+		if cfg.Tolerance > 0 {
+			var moved, norm float64
+			for d := range ego {
+				delta := ego[d] - prev[d]
+				moved += delta * delta
+				norm += prev[d] * prev[d]
+			}
+			// Relative L2 movement of the ego vector over this round;
+			// only ego matters downstream, and with frozen tables the
+			// ctx updates never feed back into it.
+			if moved <= cfg.Tolerance*cfg.Tolerance*(norm+1e-12) {
+				break
+			}
+		}
+	}
+	return ego, ctx, nil
+}
+
+// EmbedNewNode learns ego and context embeddings for node id — typically a
+// record just inserted into g — while every other embedding stays fixed,
+// and stores them into emb, growing it to cover id if needed. This is the
+// mutating sibling of EmbedDetached for graph-growing paths (Absorb);
+// callers must hold the write lock protecting emb and g.
+func EmbedNewNode(g rfgraph.View, emb *Embedding, id rfgraph.NodeID, cfg IncrementalConfig) error {
+	ego, ctx, err := EmbedDetached(g, emb, id, cfg, nil)
+	if err != nil {
+		return err
+	}
+	seeder := sampling.NewSeeder(cfg.Seed)
+	emb.Grow(g.NumNodes(), seeder.NextRand())
+	emb.Ego[id] = ego
+	emb.Ctx[id] = ctx
 	return nil
 }
 
 // frozenUpdate is updatePair with the table rows frozen: only source (a
-// vector belonging to the new node) receives gradient.
-func frozenUpdate(source []float64, table [][]float64, j rfgraph.NodeID, negNodes []rfgraph.NodeID, negDist *sampling.Alias, cfg IncrementalConfig, rng *rand.Rand, grad []float64) {
+// vector belonging to the new node) receives gradient. target is the
+// positive row table[j] (nil when j has no trained row, in which case the
+// positive term vanishes). zs holds the pre-drawn negative nodes; draws
+// matching the positive node j or the embedded node id itself are
+// skipped.
+func frozenUpdate(source, target []float64, table [][]float64, j, id rfgraph.NodeID, zs []rfgraph.NodeID, lr float64, grad []float64) {
 	for d := range grad {
 		grad[d] = 0
 	}
-	target := table[j]
-	g := sigmoid(dot(source, target)) - 1
-	for d := range target {
-		grad[d] -= cfg.LearningRate * g * target[d]
+	if target != nil {
+		g := sigmoid(dot(source, target)) - 1
+		target = target[:len(grad)]
+		for d := range target {
+			grad[d] += g * target[d]
+		}
 	}
-	for k := 0; k < cfg.NegativeSamples; k++ {
-		z := negNodes[negDist.Draw(rng)]
-		if z == j {
+	for _, z := range zs {
+		if z == j || z == id {
 			continue
 		}
-		neg := table[z]
-		g := sigmoid(dot(source, neg))
-		for d := range neg {
-			grad[d] -= cfg.LearningRate * g * neg[d]
+		negRow := table[z]
+		g := sigmoid(dot(source, negRow))
+		negRow = negRow[:len(grad)]
+		for d := range negRow {
+			grad[d] += g * negRow[d]
 		}
 	}
+	source = source[:len(grad)]
 	for d := range source {
-		source[d] += grad[d]
+		source[d] -= lr * grad[d]
 	}
 }
 

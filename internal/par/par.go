@@ -1,0 +1,43 @@
+// Package par holds the tiny fan-out helper shared by the batch
+// prediction paths: run n independent tasks over a GOMAXPROCS-sized
+// worker pool.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach calls fn(i) for every i in [0, n), spreading calls over up to
+// GOMAXPROCS goroutines. It returns when all calls have finished. fn must
+// be safe for concurrent invocation; with one worker (or n <= 1) calls
+// run sequentially on the caller's goroutine.
+func ForEach(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

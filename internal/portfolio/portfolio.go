@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/par"
 )
 
 // Errors returned by the portfolio.
@@ -174,4 +175,18 @@ func (p *Portfolio) Predict(rec *dataset.Record) (Prediction, error) {
 		return Prediction{}, fmt.Errorf("portfolio: building %q: %w", match.Building, err)
 	}
 	return Prediction{Building: match.Building, Match: match, Floor: floor}, nil
+}
+
+// PredictBatch attributes and classifies many scans concurrently,
+// returning per-record predictions and a parallel slice of errors (nil
+// entries on success). Attribution and floor inference both run under
+// shared read locks, so a batch spread over a GOMAXPROCS-sized worker
+// pool scales with cores.
+func (p *Portfolio) PredictBatch(records []dataset.Record) ([]Prediction, []error) {
+	preds := make([]Prediction, len(records))
+	errs := make([]error, len(records))
+	par.ForEach(len(records), func(i int) {
+		preds[i], errs[i] = p.Predict(&records[i])
+	})
+	return preds, errs
 }

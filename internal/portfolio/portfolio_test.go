@@ -177,3 +177,48 @@ func TestConcurrentPredict(t *testing.T) {
 		t.Errorf("concurrent predict: %v", err)
 	}
 }
+
+func TestPredictBatchPortfolio(t *testing.T) {
+	p, tests := fleet(t, 2, 7)
+	var recs []dataset.Record
+	want := map[string]string{}
+	for name, pool := range tests {
+		for _, rec := range pool[:5] {
+			recs = append(recs, rec)
+			want[rec.ID] = name
+		}
+	}
+	// An unattributable scan must fail only its own slot.
+	recs = append(recs, dataset.Record{ID: "alien", Readings: []dataset.Reading{
+		{MAC: "no-such-ap", RSS: -40},
+	}})
+	preds, errs := p.PredictBatch(recs)
+	if len(preds) != len(recs) || len(errs) != len(recs) {
+		t.Fatalf("batch sizes %d/%d, want %d", len(preds), len(errs), len(recs))
+	}
+	for i := range recs {
+		if building, ok := want[recs[i].ID]; ok {
+			if errs[i] != nil {
+				t.Errorf("scan %q: %v", recs[i].ID, errs[i])
+				continue
+			}
+			if preds[i].Building != building {
+				t.Errorf("scan %q routed to %q, want %q", recs[i].ID, preds[i].Building, building)
+			}
+		} else if !errors.Is(errs[i], ErrUnattributable) {
+			t.Errorf("alien scan error = %v, want ErrUnattributable", errs[i])
+		}
+	}
+	// Batch agrees with sequential Predict (same deterministic pipeline is
+	// not guaranteed per-call because prediction seeds advance globally,
+	// but routing and success/failure must match).
+	for i := range recs[:3] {
+		pred, err := p.Predict(&recs[i])
+		if err != nil {
+			t.Fatalf("sequential Predict: %v", err)
+		}
+		if pred.Building != preds[i].Building {
+			t.Errorf("scan %q: batch building %q vs sequential %q", recs[i].ID, preds[i].Building, pred.Building)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package rfgraph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// View is the read-only neighbor/degree interface over a bipartite graph
+// that embedding and inference code consume. Both *Graph and *Overlay
+// satisfy it; code written against View cannot mutate the underlying
+// graph, which is what makes snapshot-overlay online inference safe under
+// a shared read lock.
+type View interface {
+	// NumNodes returns the total number of node slots, including
+	// tombstones and any virtual nodes.
+	NumNodes() int
+	// Alive reports whether the node exists and has not been removed.
+	Alive(id NodeID) bool
+	// Kind returns the node kind, or 0 for an out-of-range id.
+	Kind(id NodeID) NodeKind
+	// Name returns the record ID or MAC address of a node.
+	Name(id NodeID) string
+	// Neighbors returns the live adjacency of id. Callers must not mutate
+	// the returned slice.
+	Neighbors(id NodeID) []Halfedge
+	// Degree returns the number of live edges at id.
+	Degree(id NodeID) int
+	// WeightedDegree returns the sum of edge weights at id.
+	WeightedDegree(id NodeID) float64
+}
+
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*Overlay)(nil)
+)
+
+// Overlay is a virtual scan node layered over an immutable base graph
+// (§V online inference without mutation). The overlay owns exactly one
+// extra record node — ID base.NumNodes() — whose edges connect it to the
+// base MAC nodes the scan observed. Readings of MACs the base has never
+// seen are skipped (they carry no trained context to embed against; the
+// paper treats an all-new-MAC scan as out-of-building). The base graph is
+// never written: a touched MAC's neighbor list is materialized on demand
+// with the back-edge appended, so the overlay is also a correct graph
+// view from the MAC side.
+//
+// An Overlay is cheap (one edge list plus one weight per touched MAC)
+// and is valid only as long as the base graph does not change; callers
+// must hold whatever read lock protects the base for the overlay's
+// lifetime.
+type Overlay struct {
+	base *Graph
+	node NodeID
+	name string
+
+	adj  []Halfedge // edges of the virtual node, into the base's MAC side
+	wdeg float64
+
+	// touched maps each MAC node the scan observed to its back-edge
+	// weight. Merged neighbor lists are materialized lazily in
+	// Neighbors — the Predict hot path never reads MAC adjacency, so
+	// eager copies would be pure waste.
+	touched map[NodeID]float64
+
+	skippedMACs int // readings whose MAC the base graph has never seen
+}
+
+// NewOverlay builds the overlay for one scan. Duplicate readings of the
+// same MAC keep the strongest RSS, mirroring Graph.AddRecord. The scan
+// must have at least one reading; a scan whose every MAC is unknown to
+// the base yields an overlay with KnownMACs() == 0, which callers should
+// treat as out-of-building.
+func NewOverlay(base *Graph, rec *dataset.Record) (*Overlay, error) {
+	if len(rec.Readings) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrEmptyRecord, rec.ID)
+	}
+	best := make(map[string]float64, len(rec.Readings))
+	for _, rd := range rec.Readings {
+		if cur, ok := best[rd.MAC]; !ok || rd.RSS > cur {
+			best[rd.MAC] = rd.RSS
+		}
+	}
+	ov := &Overlay{
+		base:    base,
+		node:    NodeID(base.NumNodes()),
+		name:    rec.ID,
+		touched: make(map[NodeID]float64, len(best)),
+	}
+	// Iterate in reading order (consuming the dedup map) so the edge
+	// order — and with it the alias-sampled randomness downstream — is
+	// deterministic for a given scan.
+	for _, rd := range rec.Readings {
+		rss, ok := best[rd.MAC]
+		if !ok {
+			continue // already consumed by the dedup pass
+		}
+		delete(best, rd.MAC)
+		mac := rd.MAC
+		// Validate the weight of every reading — including unknown MACs —
+		// so a record Predict accepts is exactly a record Absorb accepts
+		// (Graph.AddRecord validates all readings too).
+		w := base.weightFn(rss)
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: f(%v) = %v for MAC %q", ErrBadWeight, rss, w, mac)
+		}
+		mid, ok := base.MACNode(mac)
+		if !ok {
+			ov.skippedMACs++
+			continue
+		}
+		ov.adj = append(ov.adj, Halfedge{To: mid, Weight: w})
+		ov.wdeg += w
+		ov.touched[mid] = w
+	}
+	return ov, nil
+}
+
+// Node returns the ID of the virtual scan node.
+func (o *Overlay) Node() NodeID { return o.node }
+
+// KnownMACs returns how many distinct MACs of the scan exist in the base.
+func (o *Overlay) KnownMACs() int { return len(o.adj) }
+
+// SkippedMACs returns how many distinct MACs of the scan the base graph
+// has never seen.
+func (o *Overlay) SkippedMACs() int { return o.skippedMACs }
+
+// NumNodes returns the base slot count plus the one virtual node.
+func (o *Overlay) NumNodes() int { return o.base.NumNodes() + 1 }
+
+// Alive reports liveness; the virtual node is always alive.
+func (o *Overlay) Alive(id NodeID) bool {
+	if id == o.node {
+		return true
+	}
+	return o.base.Alive(id)
+}
+
+// Kind returns KindRecord for the virtual node, else the base kind.
+func (o *Overlay) Kind(id NodeID) NodeKind {
+	if id == o.node {
+		return KindRecord
+	}
+	return o.base.Kind(id)
+}
+
+// Name returns the scan's record ID for the virtual node, else the base
+// name.
+func (o *Overlay) Name(id NodeID) string {
+	if id == o.node {
+		return o.name
+	}
+	return o.base.Name(id)
+}
+
+// Neighbors returns the overlay-aware adjacency: the virtual node's edges
+// for the virtual node, base adjacency plus back-edge for MACs the scan
+// touched (materialized on demand), and the untouched base adjacency
+// otherwise.
+func (o *Overlay) Neighbors(id NodeID) []Halfedge {
+	if id == o.node {
+		return o.adj
+	}
+	if w, ok := o.touched[id]; ok {
+		back := o.base.Neighbors(id)
+		merged := make([]Halfedge, 0, len(back)+1)
+		merged = append(merged, back...)
+		return append(merged, Halfedge{To: o.node, Weight: w})
+	}
+	return o.base.Neighbors(id)
+}
+
+// Degree returns the overlay-aware live edge count at id.
+func (o *Overlay) Degree(id NodeID) int {
+	if id == o.node {
+		return len(o.adj)
+	}
+	if _, ok := o.touched[id]; ok {
+		return o.base.Degree(id) + 1
+	}
+	return o.base.Degree(id)
+}
+
+// WeightedDegree returns the overlay-aware weighted degree at id.
+func (o *Overlay) WeightedDegree(id NodeID) float64 {
+	if id == o.node {
+		return o.wdeg
+	}
+	if w, ok := o.touched[id]; ok {
+		return o.base.WeightedDegree(id) + w
+	}
+	return o.base.WeightedDegree(id)
+}

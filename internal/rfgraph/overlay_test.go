@@ -1,0 +1,141 @@
+package rfgraph
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// overlayBase builds a small trained-graph stand-in with two records and
+// three MACs.
+func overlayBase(t *testing.T) *Graph {
+	t.Helper()
+	g := New(nil)
+	recs := []dataset.Record{
+		{ID: "r0", Readings: []dataset.Reading{{MAC: "m0", RSS: -50}, {MAC: "m1", RSS: -60}}},
+		{ID: "r1", Readings: []dataset.Reading{{MAC: "m1", RSS: -55}, {MAC: "m2", RSS: -65}}},
+	}
+	if _, err := g.AddRecords(recs); err != nil {
+		t.Fatalf("AddRecords: %v", err)
+	}
+	return g
+}
+
+func TestOverlayVirtualNode(t *testing.T) {
+	g := overlayBase(t)
+	scan := dataset.Record{ID: "scan", Readings: []dataset.Reading{
+		{MAC: "m0", RSS: -40},
+		{MAC: "m2", RSS: -70},
+		{MAC: "unknown", RSS: -30},
+	}}
+	before := struct{ nodes, edges int }{g.NumNodes(), g.NumEdges()}
+	ov, err := NewOverlay(g, &scan)
+	if err != nil {
+		t.Fatalf("NewOverlay: %v", err)
+	}
+	if got, want := ov.Node(), NodeID(g.NumNodes()); got != want {
+		t.Errorf("virtual node = %d, want %d", got, want)
+	}
+	if ov.KnownMACs() != 2 || ov.SkippedMACs() != 1 {
+		t.Errorf("known/skipped = %d/%d, want 2/1", ov.KnownMACs(), ov.SkippedMACs())
+	}
+	if ov.NumNodes() != g.NumNodes()+1 {
+		t.Errorf("NumNodes = %d, want %d", ov.NumNodes(), g.NumNodes()+1)
+	}
+	if !ov.Alive(ov.Node()) || ov.Kind(ov.Node()) != KindRecord || ov.Name(ov.Node()) != "scan" {
+		t.Error("virtual node metadata wrong")
+	}
+	if ov.Degree(ov.Node()) != 2 {
+		t.Errorf("virtual degree = %d, want 2", ov.Degree(ov.Node()))
+	}
+	// Weights follow the base graph's weight function (RSS + 120).
+	var total float64
+	for _, he := range ov.Neighbors(ov.Node()) {
+		total += he.Weight
+	}
+	if want := (-40.0 + 120) + (-70.0 + 120); total != want {
+		t.Errorf("virtual weighted degree = %v, want %v", total, want)
+	}
+	if ov.WeightedDegree(ov.Node()) != total {
+		t.Errorf("WeightedDegree mismatch: %v vs %v", ov.WeightedDegree(ov.Node()), total)
+	}
+	// Base graph untouched.
+	if g.NumNodes() != before.nodes || g.NumEdges() != before.edges {
+		t.Errorf("overlay mutated base graph: %d/%d -> %d/%d",
+			before.nodes, before.edges, g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestOverlayBackEdges(t *testing.T) {
+	g := overlayBase(t)
+	scan := dataset.Record{ID: "scan", Readings: []dataset.Reading{{MAC: "m1", RSS: -45}}}
+	ov, err := NewOverlay(g, &scan)
+	if err != nil {
+		t.Fatalf("NewOverlay: %v", err)
+	}
+	m1, _ := g.MACNode("m1")
+	// Touched MAC sees the back-edge on the overlay but not on the base.
+	if ov.Degree(m1) != g.Degree(m1)+1 {
+		t.Errorf("overlay degree(m1) = %d, want base+1 = %d", ov.Degree(m1), g.Degree(m1)+1)
+	}
+	if want := g.WeightedDegree(m1) + (-45.0 + 120); ov.WeightedDegree(m1) != want {
+		t.Errorf("overlay wdeg(m1) = %v, want %v", ov.WeightedDegree(m1), want)
+	}
+	nbrs := ov.Neighbors(m1)
+	if nbrs[len(nbrs)-1].To != ov.Node() {
+		t.Error("back-edge to virtual node missing from touched MAC")
+	}
+	// Untouched MAC passes straight through to the base.
+	m0, _ := g.MACNode("m0")
+	if ov.Degree(m0) != g.Degree(m0) || ov.WeightedDegree(m0) != g.WeightedDegree(m0) {
+		t.Error("untouched MAC changed under overlay")
+	}
+}
+
+func TestOverlayDedupStrongestRSS(t *testing.T) {
+	g := overlayBase(t)
+	scan := dataset.Record{ID: "scan", Readings: []dataset.Reading{
+		{MAC: "m0", RSS: -80},
+		{MAC: "m0", RSS: -50}, // stronger; must win like AddRecord
+	}}
+	ov, err := NewOverlay(g, &scan)
+	if err != nil {
+		t.Fatalf("NewOverlay: %v", err)
+	}
+	if ov.Degree(ov.Node()) != 1 {
+		t.Fatalf("degree = %d, want 1 after dedup", ov.Degree(ov.Node()))
+	}
+	if w := ov.Neighbors(ov.Node())[0].Weight; w != -50.0+120 {
+		t.Errorf("dedup kept weight %v, want strongest (70)", w)
+	}
+}
+
+func TestOverlayErrors(t *testing.T) {
+	g := overlayBase(t)
+	empty := dataset.Record{ID: "empty"}
+	if _, err := NewOverlay(g, &empty); !errors.Is(err, ErrEmptyRecord) {
+		t.Errorf("empty scan error = %v, want ErrEmptyRecord", err)
+	}
+	bad := dataset.Record{ID: "bad", Readings: []dataset.Reading{{MAC: "m0", RSS: -500}}}
+	if _, err := NewOverlay(g, &bad); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("bad weight error = %v, want ErrBadWeight", err)
+	}
+	// A bad weight on an unknown MAC must reject too, so overlay-based
+	// Predict and AddRecord-based Absorb accept exactly the same records.
+	badUnknown := dataset.Record{ID: "bad2", Readings: []dataset.Reading{
+		{MAC: "m0", RSS: -50},
+		{MAC: "never-seen", RSS: -500},
+	}}
+	if _, err := NewOverlay(g, &badUnknown); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("bad weight on unknown MAC = %v, want ErrBadWeight", err)
+	}
+	alien := dataset.Record{ID: "alien", Readings: []dataset.Reading{{MAC: "nope", RSS: -50}}}
+	ov, err := NewOverlay(g, &alien)
+	if err != nil {
+		t.Fatalf("NewOverlay(alien): %v", err)
+	}
+	if ov.KnownMACs() != 0 || ov.SkippedMACs() != 1 {
+		t.Errorf("alien known/skipped = %d/%d, want 0/1", ov.KnownMACs(), ov.SkippedMACs())
+	}
+}

@@ -90,5 +90,17 @@ func (a *Alias) Draw(rng *rand.Rand) int {
 	return int(a.alias[i])
 }
 
+// DrawFast samples one outcome index using a Fast RNG. It is the
+// inference-hot-path sibling of Draw: one RNG step serves both the slot
+// choice (high 32 bits) and the coin flip (low bits).
+func (a *Alias) DrawFast(rng *Fast) int {
+	u := rng.Uint64()
+	i := int((uint64(uint32(u>>32)) * uint64(len(a.prob))) >> 32)
+	if float64(u&((1<<32)-1))/(1<<32) < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
 // Len returns the number of outcomes.
 func (a *Alias) Len() int { return len(a.prob) }

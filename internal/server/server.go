@@ -5,11 +5,22 @@
 //	GET  /v1/healthz              liveness probe
 //	GET  /v1/buildings            registered building names
 //	POST /v1/predict              classify one scan (JSON Record body)
+//	POST /v1/predict/batch        classify many scans (JSON array body)
 //	POST /v1/predict/{building}   classify within a known building
 //
 // Scans use the dataset.Record JSON shape:
 //
 //	{"id": "scan-1", "readings": [{"mac": "aa:bb:...", "rss": -61}, ...]}
+//
+// # Concurrency
+//
+// Every predict route is read-only against the trained models: core's
+// snapshot-overlay inference takes only a shared read lock, so the
+// net/http goroutine-per-request model gives near-linear scaling with
+// cores out of the box — no serialization on a model mutex. The batch
+// route additionally fans one request's scans out over a worker pool
+// (portfolio.PredictBatch), which keeps a single bulk client saturating
+// the machine without having to pipeline its own HTTP requests.
 package server
 
 import (
@@ -32,13 +43,36 @@ type PredictResponse struct {
 	Overlap  float64 `json:"overlap,omitempty"`
 }
 
+// BatchItemResponse is one entry of a batch reply: either a prediction or
+// a per-scan error (never both). The prediction is nested rather than
+// flattened so a legitimate zero value (floor 0) is never dropped by
+// omitempty.
+type BatchItemResponse struct {
+	ID     string           `json:"id"`
+	Result *PredictResponse `json:"result,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// BatchResponse is the JSON reply to a batch predict call. Per-scan
+// failures appear inline so one bad scan never fails the whole batch.
+type BatchResponse struct {
+	Results []BatchItemResponse `json:"results"`
+}
+
 // errorResponse is the JSON error shape.
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// maxBodyBytes bounds request bodies; a WiFi scan is a few KB at most.
+// maxBodyBytes bounds single-scan request bodies; a WiFi scan is a few KB
+// at most.
 const maxBodyBytes = 1 << 20
+
+// maxBatchBytes bounds batch request bodies (thousands of scans).
+const maxBatchBytes = 32 << 20
+
+// maxBatchScans caps how many scans one batch request may carry.
+const maxBatchScans = 10000
 
 // Handler builds the HTTP handler over a trained portfolio.
 func Handler(p *portfolio.Portfolio) http.Handler {
@@ -59,13 +93,42 @@ func Handler(p *portfolio.Portfolio) http.Handler {
 			writeError(w, predictStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, PredictResponse{
-			ID:       rec.ID,
-			Building: pred.Building,
-			Floor:    pred.Floor.Floor,
-			Distance: pred.Floor.Distance,
-			Overlap:  pred.Match.Overlap,
-		})
+		writeJSON(w, http.StatusOK, toPredictResponse(rec.ID, &pred))
+	})
+	mux.HandleFunc("POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		var recs []dataset.Record
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&recs); err != nil {
+			status := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, status, fmt.Errorf("decode batch: %w", err))
+			return
+		}
+		if len(recs) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("batch has no scans"))
+			return
+		}
+		if len(recs) > maxBatchScans {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch has %d scans, limit %d", len(recs), maxBatchScans))
+			return
+		}
+		preds, errs := p.PredictBatch(recs)
+		items := make([]BatchItemResponse, len(recs))
+		for i := range recs {
+			items[i].ID = recs[i].ID
+			if errs[i] != nil {
+				items[i].Error = errs[i].Error()
+				continue
+			}
+			resp := toPredictResponse(recs[i].ID, &preds[i])
+			items[i].Result = &resp
+		}
+		writeJSON(w, http.StatusOK, BatchResponse{Results: items})
 	})
 	mux.HandleFunc("POST /v1/predict/{building}", func(w http.ResponseWriter, r *http.Request) {
 		rec, ok := decodeScan(w, r)
@@ -83,14 +146,25 @@ func Handler(p *portfolio.Portfolio) http.Handler {
 			writeError(w, predictStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, PredictResponse{
-			ID:       rec.ID,
+		writeJSON(w, http.StatusOK, toPredictResponse(rec.ID, &portfolio.Prediction{
 			Building: name,
-			Floor:    pred.Floor,
-			Distance: pred.Distance,
-		})
+			Floor:    pred,
+		}))
 	})
 	return mux
+}
+
+// toPredictResponse maps one portfolio prediction onto the wire shape.
+// All three predict routes go through here so the field mapping cannot
+// drift between them.
+func toPredictResponse(id string, pred *portfolio.Prediction) PredictResponse {
+	return PredictResponse{
+		ID:       id,
+		Building: pred.Building,
+		Floor:    pred.Floor.Floor,
+		Distance: pred.Floor.Distance,
+		Overlap:  pred.Match.Overlap,
+	}
 }
 
 // decodeScan parses the request body into a Record, writing an HTTP error

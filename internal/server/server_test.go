@@ -133,6 +133,79 @@ func TestPredictWithinBuilding(t *testing.T) {
 	}
 }
 
+func TestPredictBatchEndpoint(t *testing.T) {
+	srv, tests := testServer(t)
+	var recs []dataset.Record
+	want := map[string]string{} // scan ID -> building
+	for name, pool := range tests {
+		for _, rec := range pool[:3] {
+			recs = append(recs, rec)
+			want[rec.ID] = name
+		}
+	}
+	// One alien scan: its slot must carry an error without failing the rest.
+	recs = append(recs, dataset.Record{ID: "alien", Readings: []dataset.Reading{
+		{MAC: "ff:ff:ff:ff:ff:01", RSS: -50},
+	}})
+	resp := postJSON(t, srv.URL+"/v1/predict/batch", recs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(br.Results) != len(recs) {
+		t.Fatalf("results = %d, want %d", len(br.Results), len(recs))
+	}
+	for i, item := range br.Results {
+		if item.ID != recs[i].ID {
+			t.Errorf("item %d id = %q, want %q (order must be preserved)", i, item.ID, recs[i].ID)
+		}
+		if building, ok := want[item.ID]; ok {
+			if item.Error != "" {
+				t.Errorf("scan %q: unexpected error %q", item.ID, item.Error)
+			}
+			if item.Result == nil {
+				t.Errorf("scan %q: missing result", item.ID)
+			} else if item.Result.Building != building {
+				t.Errorf("scan %q routed to %q, want %q", item.ID, item.Result.Building, building)
+			}
+		} else {
+			if item.Error == "" {
+				t.Errorf("alien scan %q: expected inline error", item.ID)
+			}
+			if item.Result != nil {
+				t.Errorf("alien scan %q: error and result are mutually exclusive", item.ID)
+			}
+		}
+	}
+}
+
+func TestPredictBatchBadRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, tt := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not an array", `{"id":"x"}`, http.StatusBadRequest},
+		{"empty batch", `[]`, http.StatusBadRequest},
+		{"invalid json", `[{`, http.StatusBadRequest},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/v1/predict/batch", "application/json", strings.NewReader(tt.body))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tt.want {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tt.want)
+			}
+		})
+	}
+}
+
 func TestPredictUnknownBuilding(t *testing.T) {
 	srv, tests := testServer(t)
 	var rec dataset.Record
