@@ -8,8 +8,12 @@
 package grafics
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 
@@ -18,8 +22,10 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/embed"
 	"repro/internal/experiment"
+	"repro/internal/portfolio"
 	"repro/internal/rfgraph"
 	"repro/internal/sampling"
+	"repro/internal/server"
 	"repro/internal/simulate"
 )
 
@@ -469,6 +475,49 @@ func BenchmarkPredictParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkClassifyBatchNDJSON measures the v2 streaming batch path end
+// to end: an NDJSON body of held-out scans posted to /v2/classify/batch,
+// classified in parallel chunks, and streamed back line by line. Reported
+// per op is one whole batch; scans/op gives the batch size.
+func BenchmarkClassifyBatchNDJSON(b *testing.B) {
+	corpus, err := simulate.Generate(simulate.Campus3F(40, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := dataset.Split(&corpus.Buildings[0], 0.7, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dataset.SelectLabels(train, 4, rng)
+	cfg := core.Config{}
+	cfg.Embed = embed.DefaultConfig()
+	cfg.Embed.SamplesPerEdge = 60
+	p := portfolio.New(cfg)
+	if err := p.AddBuilding(corpus.Buildings[0].Name, train); err != nil {
+		b.Fatal(err)
+	}
+	h := server.Handler(p)
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for i := range test {
+		if err := enc.Encode(test[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	raw := body.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v2/classify/batch", bytes.NewReader(raw))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	b.ReportMetric(float64(len(test)), "scans/op")
 }
 
 func BenchmarkClusterTrain(b *testing.B) {

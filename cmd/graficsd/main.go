@@ -1,25 +1,34 @@
 // Command graficsd serves floor identification over HTTP for a fleet of
 // buildings. It loads a corpus JSON (from datagen or a real collection),
-// trains one GRAFICS system per building, and exposes the prediction API
+// trains one GRAFICS system per building, and exposes the v1 and v2 APIs
 // of internal/server:
 //
 //	graficsd -corpus corpus.json -labels 4 -addr :8080
 //
+//	curl localhost:8080/v2/healthz
 //	curl localhost:8080/v1/buildings
-//	curl -X POST localhost:8080/v1/predict -d @scan.json
-//	curl -X POST localhost:8080/v1/predict/batch -d @scans.json
+//	curl -X POST localhost:8080/v2/classify -d @scan.json
+//	curl -X POST localhost:8080/v2/classify/batch --data-binary @scans.ndjson
+//	curl -X DELETE localhost:8080/v2/macs/aa:bb:cc:dd:ee:01
 //
-// Predictions are read-only against the trained models (snapshot-overlay
-// inference), so concurrent requests scale with cores.
+// Read-only classifications are snapshot-overlay inference against the
+// trained models, so concurrent requests scale with cores. Every request
+// runs under a context with -request-timeout; cancellation (timeout or
+// client disconnect) aborts in-flight batch work promptly. SIGINT/SIGTERM
+// drain in-flight requests before exit (graceful shutdown).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -43,6 +52,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "label-selection seed")
 	addr := fs.String("addr", ":8080", "listen address")
 	samples := fs.Int("samples-per-edge", 0, "E-LINE sample budget override")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,12 +83,45 @@ func run(args []string) error {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.Handler(p),
+		Handler:           withRequestTimeout(*reqTimeout, server.Handler(p)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("serving %d buildings on %s", len(corpus.Buildings), *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		return err
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d buildings on %s (v1 + v2)", len(corpus.Buildings), *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
 	}
+	stop() // a second signal kills immediately
+	log.Printf("shutting down: draining in-flight requests (up to %v)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("bye")
 	return nil
+}
+
+// withRequestTimeout applies a deadline to every request's context, so
+// the timeout propagates through the classification layers (and streaming
+// routes stop mid-batch) rather than being enforced only at the socket.
+func withRequestTimeout(d time.Duration, h http.Handler) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -18,6 +19,25 @@ import (
 	"repro/internal/embed"
 	"repro/internal/portfolio"
 )
+
+// meanConfidence drives any Classifier — a single building's System or a
+// whole Portfolio — over a pool of scans; both implement the same
+// context-first contract.
+func meanConfidence(ctx context.Context, c grafics.Classifier, pool []dataset.Record) float64 {
+	results, errs := c.ClassifyBatch(ctx, pool, grafics.WithoutEmbedding())
+	var sum float64
+	n := 0
+	for i := range results {
+		if errs[i] == nil {
+			sum += results[i].Confidence
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -50,7 +70,9 @@ func main() {
 	}
 
 	// Classify a stream of scans from random buildings, with no building
-	// hint: attribution + floor identification.
+	// hint: attribution + floor identification, with the v2 confidence
+	// signal alongside each decision.
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(77))
 	names := fleet.Buildings()
 	var okBuilding, okFloor, total int
@@ -59,31 +81,40 @@ func main() {
 		name := names[rng.Intn(len(names))]
 		pool := holdout[name]
 		scan := pool[rng.Intn(len(pool))]
-		pred, err := fleet.Predict(&scan)
+		routed, err := fleet.ClassifyRouted(ctx, &scan, grafics.WithoutEmbedding())
 		if err != nil {
 			fmt.Printf("  scan %-28s -> unresolvable: %v\n", scan.ID, err)
 			continue
 		}
 		total++
-		bOK := pred.Building == name
-		fOK := pred.Floor.Floor == scan.Floor
-		if bOK {
+		if routed.Building == name {
 			okBuilding++
 		}
-		if fOK {
+		if routed.Result.Floor == scan.Floor {
 			okFloor++
 		}
-		fmt.Printf("  scan from %-24s -> %-24s floor %d (true %d, overlap %.0f%%)\n",
-			name, pred.Building, pred.Floor.Floor, scan.Floor, pred.Match.Overlap*100)
+		fmt.Printf("  scan from %-24s -> %-24s floor %d (true %d, confidence %.2f, overlap %.0f%%)\n",
+			name, routed.Building, routed.Result.Floor, scan.Floor,
+			routed.Result.Confidence, routed.Match.Overlap*100)
 	}
 	fmt.Printf("\nbuilding attribution: %d/%d   floor identification: %d/%d\n",
 		okBuilding, total, okFloor, total)
+
+	// The fleet and any single building answer to the same Classifier
+	// interface.
+	pool := holdout[names[0]]
+	sys, err := fleet.System(names[0])
+	if err != nil {
+		log.Fatalf("system: %v", err)
+	}
+	fmt.Printf("mean confidence via Portfolio: %.2f, via System: %.2f\n",
+		meanConfidence(ctx, fleet, pool), meanConfidence(ctx, sys, pool))
 
 	// An out-of-district scan is rejected rather than misrouted.
 	alien := dataset.Record{ID: "tourist", Readings: []dataset.Reading{
 		{MAC: "de:ad:be:ef:00:01", RSS: -60},
 	}}
-	if _, err := fleet.Predict(&alien); err != nil {
+	if _, err := fleet.Classify(ctx, &alien); err != nil {
 		fmt.Printf("out-of-district scan correctly rejected: %v\n", err)
 	}
 }

@@ -5,8 +5,9 @@
 //
 //  1. train on the initial crowdsourced corpus;
 //
-//  2. absorb a stream of online scans into the graph (Absorb), including
-//     scans that introduce brand-new MACs — newly installed APs;
+//  2. absorb a stream of online scans into the graph (Classify with
+//     WithAbsorb), including scans that introduce brand-new MACs — newly
+//     installed APs;
 //
 //  3. retire a batch of MACs (decommissioned APs) with RemoveMAC;
 //
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,15 +48,16 @@ func main() {
 	}
 	fmt.Printf("phase 0 — trained: %+v\n", sys.Stats())
 
+	ctx := context.Background()
 	accuracy := func(pool []grafics.Record) float64 {
 		correct, total := 0, 0
 		for i := range pool {
-			pred, err := sys.Predict(&pool[i])
+			res, err := sys.Classify(ctx, &pool[i], grafics.WithoutEmbedding())
 			if err != nil {
 				continue
 			}
 			total++
-			if pred.Floor == pool[i].Floor {
+			if res.Floor == pool[i].Floor {
 				correct++
 			}
 		}
@@ -68,8 +71,10 @@ func main() {
 	stream, holdout := test[:half], test[half:]
 	fmt.Printf("phase 0 — holdout accuracy: %.1f%%\n\n", 100*accuracy(holdout))
 
-	// Phase 1: absorb online scans permanently. Every third scan also
-	// advertises a newly installed AP (a MAC the model has never seen).
+	// Phase 1: absorb online scans permanently — Classify with the
+	// WithAbsorb option keeps each scan (and its new MACs) in the graph.
+	// Every third scan also advertises a newly installed AP (a MAC the
+	// model has never seen).
 	newAPs := 0
 	for i := range stream {
 		scan := stream[i]
@@ -78,7 +83,7 @@ func main() {
 				grafics.Reading{MAC: fmt.Sprintf("new-ap-%03d", i), RSS: -55})
 			newAPs++
 		}
-		if _, err := sys.Absorb(&scan); err != nil {
+		if _, err := sys.Classify(ctx, &scan, grafics.WithAbsorb(), grafics.WithoutEmbedding()); err != nil {
 			log.Fatalf("absorb: %v", err)
 		}
 	}

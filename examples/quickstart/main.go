@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,17 +49,33 @@ func main() {
 	st := sys.Stats()
 	fmt.Printf("trained: %d record nodes, %d MAC nodes, %d edges\n", st.Records, st.MACs, st.Edges)
 
-	// 4. Online inference on every held-out scan.
+	// 4. Online inference on every held-out scan. Classify is the
+	// context-first entry point: it honors cancellation/deadlines and
+	// reports a confidence for the winning floor.
+	ctx := context.Background()
 	correct := 0
+	var confSum float64
 	for i := range test {
-		pred, err := sys.Predict(&test[i])
+		res, err := sys.Classify(ctx, &test[i], grafics.WithoutEmbedding())
 		if err != nil {
-			log.Fatalf("predict %s: %v", test[i].ID, err)
+			log.Fatalf("classify %s: %v", test[i].ID, err)
 		}
-		if pred.Floor == test[i].Floor {
+		confSum += res.Confidence
+		if res.Floor == test[i].Floor {
 			correct++
 		}
 	}
-	fmt.Printf("accuracy on %d held-out scans: %.1f%%\n",
-		len(test), 100*float64(correct)/float64(len(test)))
+	fmt.Printf("accuracy on %d held-out scans: %.1f%% (mean confidence %.2f)\n",
+		len(test), 100*float64(correct)/float64(len(test)), confSum/float64(len(test)))
+
+	// 5. Ask one scan for its full candidate ranking: WithTopK exposes
+	// the runner-up floors and their confidence shares.
+	res, err := sys.Classify(ctx, &test[0], grafics.WithTopK(-1), grafics.WithoutEmbedding())
+	if err != nil {
+		log.Fatalf("classify: %v", err)
+	}
+	fmt.Printf("scan %s candidates:\n", test[0].ID)
+	for _, c := range res.Candidates {
+		fmt.Printf("  floor %d  confidence %.3f  distance %.4f\n", c.Floor, c.Confidence, c.Distance)
+	}
 }

@@ -26,7 +26,21 @@
 //	sys := grafics.New(grafics.Config{})
 //	if err := sys.AddTraining(trainRecords); err != nil { ... }
 //	if err := sys.Fit(); err != nil { ... }
-//	pred, err := sys.Predict(&scan)   // pred.Floor is the answer
+//	res, err := sys.Classify(ctx, &scan)   // res.Floor is the answer
+//	// res.Confidence ∈ (0,1]; res.Candidates ranks runner-up floors
+//
+// Classify is the context-first inference entry point: it honors
+// cancellation and deadlines, and takes functional options —
+// [WithTopK] for ranked candidate floors, [WithAbsorb] to keep the scan
+// in the graph (the paper's crowd-growing deployment mode), [WithSeed]
+// for repeatable classifications, and [WithoutEmbedding] to skip
+// returning the embedding vector. ClassifyBatch fans a slice of scans
+// over a worker pool and aborts promptly when the context is cancelled.
+// Both [System] here and the multi-building portfolio implement the
+// [Classifier] interface.
+//
+// The older Predict/PredictBatch/Absorb methods remain as deprecated
+// wrappers over the same pipeline.
 //
 // Training records are [Record] values; set Labeled on the few records
 // whose Floor is known. See the examples directory for end-to-end
@@ -96,7 +110,44 @@ const (
 // documentation for the lifecycle.
 type System = core.System
 
-// Prediction is the outcome of classifying one record.
+// Classifier is the context-first classification contract implemented by
+// both [System] (one building) and the multi-building portfolio, so
+// applications can code against a single interface.
+type Classifier = core.Classifier
+
+// Result is the outcome of one Classify call: floor, confidence,
+// ranked candidate floors, and (unless opted out) the learned embedding.
+type Result = core.Result
+
+// Candidate is one ranked floor hypothesis within a Result.
+type Candidate = core.Candidate
+
+// Option customizes one Classify request.
+type Option = core.Option
+
+// Request bundles one scan with its resolved classification options.
+type Request = core.Request
+
+// WithTopK requests the k most likely floors as ranked Candidates
+// (negative k means every distinct floor; the default is 1).
+func WithTopK(k int) Option { return core.WithTopK(k) }
+
+// WithAbsorb keeps the classified scan (and any new MACs it introduced)
+// in the bipartite graph — the long-running crowdsourced deployment mode.
+func WithAbsorb() Option { return core.WithAbsorb() }
+
+// WithSeed fixes the randomness of the online embedding step, making the
+// classification deterministic and repeatable.
+func WithSeed(n int64) Option { return core.WithSeed(n) }
+
+// WithoutEmbedding omits the learned embedding from the Result.
+func WithoutEmbedding() Option { return core.WithoutEmbedding() }
+
+// NewRequest resolves opts against the defaults and binds them to rec.
+func NewRequest(rec *Record, opts ...Option) Request { return core.NewRequest(rec, opts...) }
+
+// Prediction is the legacy outcome shape of the deprecated
+// Predict/Absorb/PredictBatch wrappers; new code uses [Result].
 type Prediction = core.Prediction
 
 // GraphStats summarizes the system's bipartite graph.

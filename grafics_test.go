@@ -2,6 +2,7 @@ package grafics_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -47,6 +48,52 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	if acc := float64(correct) / float64(len(test)); acc < 0.8 {
 		t.Errorf("public API accuracy %v, want >= 0.8", acc)
+	}
+}
+
+// TestPublicAPIClassify exercises the context-first v2 entry point via
+// the facade: the Classifier interface, options, confidence bounds, and
+// cancellation.
+func TestPublicAPIClassify(t *testing.T) {
+	train, test := trainTestSplit(t, 6)
+	cfg := grafics.Config{}
+	cfg.Embed = grafics.DefaultEmbedConfig()
+	cfg.Embed.SamplesPerEdge = 40
+	sys := grafics.New(cfg)
+	if err := sys.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := sys.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	var c grafics.Classifier = sys
+	ctx := context.Background()
+	res, err := c.Classify(ctx, &test[0], grafics.WithTopK(-1), grafics.WithoutEmbedding())
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	if res.Confidence <= 0 || res.Confidence > 1 {
+		t.Errorf("confidence %v outside (0,1]", res.Confidence)
+	}
+	if len(res.Candidates) < 2 {
+		t.Errorf("candidates = %d, want every distinct floor", len(res.Candidates))
+	}
+	if res.Embedding != nil {
+		t.Error("WithoutEmbedding returned an embedding")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := c.Classify(cancelled, &test[0]); !errors.Is(err, context.Canceled) {
+		t.Errorf("Classify with cancelled ctx = %v, want context.Canceled", err)
+	}
+	results, errs := c.ClassifyBatch(ctx, test)
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("batch item %d: %v", i, errs[i])
+		}
+		if results[i].Confidence <= 0 {
+			t.Errorf("batch item %d confidence %v, want > 0", i, results[i].Confidence)
+		}
 	}
 }
 

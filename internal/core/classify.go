@@ -1,0 +1,416 @@
+// Context-first inference API (v2). Classify is the one entry point for
+// online inference: it carries a context for deadlines/cancellation,
+// accepts functional options, and returns a Result that — unlike the
+// legacy Prediction — exposes a confidence signal and runner-up floors.
+// Predict, PredictBatch, and Absorb remain as thin deprecated wrappers.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/linalg"
+	"repro/internal/par"
+	"repro/internal/rfgraph"
+)
+
+// Classifier is the context-first classification contract. Both System
+// (one building) and portfolio.Portfolio (a fleet, with MAC-overlap
+// attribution in front) implement it, so servers, examples, and
+// experiments can code against a single interface.
+type Classifier interface {
+	// Classify classifies one scan. It honors ctx cancellation and
+	// deadlines; on error the Result is the zero value.
+	Classify(ctx context.Context, rec *dataset.Record, opts ...Option) (Result, error)
+	// ClassifyBatch classifies many scans concurrently, returning
+	// per-record results and a parallel slice of errors (nil entries on
+	// success). Once ctx is done, unstarted records fail with ctx.Err().
+	ClassifyBatch(ctx context.Context, records []dataset.Record, opts ...Option) ([]Result, []error)
+}
+
+var _ Classifier = (*System)(nil)
+
+// options is the resolved option set of one classification request.
+type options struct {
+	topK        int
+	absorb      bool
+	seed        int64
+	seedSet     bool
+	noEmbedding bool
+}
+
+// defaultOptions returns the zero-option behavior: winner-only
+// candidates, read-only classification, sequence-derived randomness,
+// embedding included.
+func defaultOptions() options { return options{topK: 1} }
+
+// Option customizes one classification request.
+type Option func(*options)
+
+// WithTopK requests the k most likely floors as ranked Candidates
+// (negative k means every distinct floor; 0 is treated as the default).
+// The default is 1: only the winning floor.
+func WithTopK(k int) Option { return func(o *options) { o.topK = k } }
+
+// WithAbsorb keeps the classified scan (and any new MACs it introduced)
+// in the bipartite graph — the paper's long-running deployment mode where
+// the graph grows with the crowd. Absorbing classifications are exclusive
+// writers; read-only classifications (the default) run in parallel.
+func WithAbsorb() Option { return func(o *options) { o.absorb = true } }
+
+// WithSeed fixes the randomness of the online embedding step, making the
+// classification deterministic and repeatable. By default each request
+// draws a fresh seed from an internal sequence.
+func WithSeed(n int64) Option { return func(o *options) { o.seed = n; o.seedSet = true } }
+
+// WithoutEmbedding omits the learned ego embedding from the Result,
+// saving an allocation and response bytes when the caller only wants the
+// floor decision.
+func WithoutEmbedding() Option { return func(o *options) { o.noEmbedding = true } }
+
+// Request bundles one scan with its resolved classification options —
+// the unified request vocabulary shared by every inference layer.
+type Request struct {
+	// Record is the scan to classify.
+	Record *dataset.Record
+
+	opts options
+}
+
+// NewRequest resolves opts against the defaults and binds them to rec.
+func NewRequest(rec *dataset.Record, opts ...Option) Request {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return Request{Record: rec, opts: o}
+}
+
+// TopK reports the requested candidate count (negative means all
+// floors, 0 the default of 1).
+func (r Request) TopK() int { return r.opts.topK }
+
+// Absorb reports whether the request keeps the scan in the graph.
+func (r Request) Absorb() bool { return r.opts.absorb }
+
+// Seed reports the fixed embedding seed, if one was set.
+func (r Request) Seed() (int64, bool) { return r.opts.seed, r.opts.seedSet }
+
+// WantEmbedding reports whether the Result should carry the embedding.
+func (r Request) WantEmbedding() bool { return !r.opts.noEmbedding }
+
+// Candidate is one floor hypothesis: the floor, the nearest cluster that
+// carries it, and the share of the confidence mass it received.
+type Candidate struct {
+	// Floor is the candidate floor label.
+	Floor int
+	// ClusterIndex identifies the nearest cluster labeled with Floor.
+	ClusterIndex int
+	// Distance is the embedding-space distance to that cluster's centroid.
+	Distance float64
+	// Confidence is the floor's share of the distance-softmax mass,
+	// in (0,1]; confidences over all distinct floors sum to 1.
+	Confidence float64
+}
+
+// Result is the outcome of one classification. Floor, ClusterIndex,
+// Distance, and Embedding match what the legacy Prediction reported;
+// Confidence and Candidates are new.
+type Result struct {
+	// Floor is the predicted floor label (the top candidate's floor).
+	Floor int
+	// Confidence is the winning floor's share of the distance-softmax
+	// mass over all distinct floors, in (0,1]. 1 means either a
+	// single-floor model or an overwhelming margin.
+	Confidence float64
+	// Candidates ranks floors by descending confidence. Its length is
+	// min(TopK, distinct floors); the first entry is always the winner.
+	Candidates []Candidate
+	// ClusterIndex identifies the winning cluster.
+	ClusterIndex int
+	// Distance is the embedding-space distance to the winning centroid.
+	Distance float64
+	// Embedding is the scan's learned ego embedding (nil when the
+	// request opted out via WithoutEmbedding).
+	Embedding []float64
+}
+
+// Prediction converts the result to the legacy shape. It exists for the
+// deprecated Predict/Absorb wrappers and for callers migrating
+// incrementally.
+func (r Result) Prediction() Prediction {
+	return Prediction{
+		Floor:        r.Floor,
+		ClusterIndex: r.ClusterIndex,
+		Distance:     r.Distance,
+		Embedding:    r.Embedding,
+	}
+}
+
+// resultFromEgo classifies an ego embedding against the trained cluster
+// model and assembles the Result: the labeled clusters are collapsed to
+// the nearest cluster per distinct floor in one O(#clusters) pass, and
+// the per-floor distances are turned into a confidence distribution by a
+// stable softmax over negative distances,
+//
+//	conf(f) = exp(d_min - d_f) / Σ_g exp(d_min - d_g),
+//
+// so the nearest floor always holds the largest share and confidences
+// sum to 1. Ranking beyond the winner (a sort of the per-floor set) is
+// only paid when the request asked for more than one candidate, keeping
+// the default path as cheap as the legacy model.Predict. The caller
+// holds at least a read lock.
+func (s *System) resultFromEgo(ego []float64, o options) Result {
+	// rankedFloor is one floor's nearest labeled cluster.
+	type rankedFloor struct {
+		clusterIdx int
+		floor      int
+		dist       float64
+	}
+	// One pass over the clusters in index order: per-floor minimum plus
+	// the global winner, chosen with strictly-smaller-wins exactly like
+	// cluster.Model.Predict so the deprecated wrappers keep returning the
+	// identical floor, ties included.
+	var perFloor []rankedFloor
+	idxOf := make(map[int]int)
+	winner := -1
+	for i := range s.model.Clusters {
+		c := &s.model.Clusters[i]
+		if c.Label == cluster.Unlabeled {
+			continue
+		}
+		d := linalg.Distance(ego, c.Centroid)
+		j, ok := idxOf[c.Label]
+		if !ok {
+			j = len(perFloor)
+			idxOf[c.Label] = j
+			perFloor = append(perFloor, rankedFloor{clusterIdx: i, floor: c.Label, dist: d})
+		} else if d < perFloor[j].dist {
+			perFloor[j] = rankedFloor{clusterIdx: i, floor: c.Label, dist: d}
+		}
+		if winner == -1 || d < perFloor[winner].dist {
+			winner = j
+		}
+	}
+	if winner == -1 {
+		// No labeled cluster (possible only for a corrupted or hand-built
+		// snapshot): degrade like the legacy model.Predict did instead of
+		// panicking — Unlabeled floor, no cluster, infinite distance.
+		res := Result{Floor: cluster.Unlabeled, ClusterIndex: -1, Distance: math.Inf(1)}
+		if !o.noEmbedding {
+			res.Embedding = ego
+		}
+		return res
+	}
+	top := perFloor[winner]
+	var mass float64
+	for _, r := range perFloor {
+		mass += math.Exp(top.dist - r.dist)
+	}
+	k := o.topK
+	if k == 0 {
+		k = 1 // zero-value Request (Do without NewRequest) gets the default
+	}
+	if k < 0 || k > len(perFloor) {
+		k = len(perFloor)
+	}
+	var cands []Candidate
+	if k == 1 {
+		cands = []Candidate{{
+			Floor:        top.floor,
+			ClusterIndex: top.clusterIdx,
+			Distance:     top.dist,
+			Confidence:   1 / mass,
+		}}
+	} else {
+		// Ranking beyond the winner: the winner's floor is pinned first
+		// (it may tie on distance with a later floor), the rest sort by
+		// ascending distance.
+		sort.SliceStable(perFloor, func(a, b int) bool {
+			if perFloor[a].floor == top.floor {
+				return perFloor[b].floor != top.floor
+			}
+			if perFloor[b].floor == top.floor {
+				return false
+			}
+			return perFloor[a].dist < perFloor[b].dist
+		})
+		cands = make([]Candidate, k)
+		for i := 0; i < k; i++ {
+			cands[i] = Candidate{
+				Floor:        perFloor[i].floor,
+				ClusterIndex: perFloor[i].clusterIdx,
+				Distance:     perFloor[i].dist,
+				Confidence:   math.Exp(top.dist-perFloor[i].dist) / mass,
+			}
+		}
+	}
+	res := Result{
+		Floor:        cands[0].Floor,
+		Confidence:   cands[0].Confidence,
+		Candidates:   cands,
+		ClusterIndex: cands[0].ClusterIndex,
+		Distance:     cands[0].Distance,
+	}
+	if !o.noEmbedding {
+		res.Embedding = ego
+	}
+	return res
+}
+
+// incrementalFor resolves the embedding randomness of one request: a
+// fixed seed when the request set one (repeatable classifications),
+// otherwise the next value of the prediction sequence (seq), which
+// decorrelates successive requests.
+func (s *System) incrementalFor(o options, seq int64) embed.IncrementalConfig {
+	inc := s.cfg.Incremental
+	if o.seedSet {
+		inc.Seed += o.seed
+	} else {
+		inc.Seed += seq
+	}
+	return inc
+}
+
+// embedDetachedRLocked runs the read-only half of the §V pipeline: check
+// MAC overlap, layer the scan over the frozen graph as a virtual node
+// (rfgraph.Overlay), and embed it detachedly against the frozen model.
+// The caller holds at least s.mu.RLock; no shared state is written.
+func (s *System) embedDetachedRLocked(rec *dataset.Record, o options) ([]float64, error) {
+	if !s.trained {
+		return nil, ErrNotTrained
+	}
+	// Check MAC overlap before overlay construction so degenerate scans
+	// (empty, or sharing no MAC with training data) surface as
+	// ErrOutOfBuilding exactly as the write path reports them. Footnote 1
+	// of the paper: a sample containing only never-seen MACs was likely
+	// collected outside the building.
+	if s.knownMACs(rec) == 0 {
+		return nil, fmt.Errorf("%w: record %q", ErrOutOfBuilding, rec.ID)
+	}
+	ov, err := rfgraph.NewOverlay(s.graph, rec)
+	if err != nil {
+		return nil, fmt.Errorf("core: online overlay: %w", err)
+	}
+	inc := s.incrementalFor(o, s.predictSeq.Add(1))
+	ego, err := embed.EmbedDetachedEgo(ov, s.emb, ov.Node(), inc, s.neg)
+	if err != nil {
+		return nil, fmt.Errorf("core: online embedding: %w", err)
+	}
+	return ego, nil
+}
+
+// Classify classifies one scan through the §V online-inference pipeline.
+// By default it is read-only — the scan is layered over the frozen graph
+// as a virtual node and embedded against the frozen model under a shared
+// read lock, so any number of classifications run in parallel. With
+// WithAbsorb the scan is kept in the graph instead (an exclusive write).
+// Classify returns ctx.Err() when ctx is already done; the embedding
+// step itself is sub-millisecond and runs to completion once started.
+func (s *System) Classify(ctx context.Context, rec *dataset.Record, opts ...Option) (Result, error) {
+	return s.Do(ctx, NewRequest(rec, opts...))
+}
+
+// Do executes a prebuilt Request; Classify is sugar over NewRequest + Do.
+func (s *System) Do(ctx context.Context, req Request) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if req.opts.absorb {
+		return s.absorbClassify(ctx, req.Record, req.opts)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := ctx.Err(); err != nil { // the lock wait may have outlived ctx
+		return Result{}, err
+	}
+	return s.classifyRLocked(req.Record, req.opts)
+}
+
+// classifyRLocked is the read-only classification path. The caller holds
+// at least s.mu.RLock; no shared state is written.
+func (s *System) classifyRLocked(rec *dataset.Record, o options) (Result, error) {
+	ego, err := s.embedDetachedRLocked(rec, o)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.resultFromEgo(ego, o), nil
+}
+
+// absorbClassify is the write path behind WithAbsorb: classify the scan
+// and keep it (and any new MACs it introduced) in the bipartite graph.
+// On error the graph is rolled back to its prior state.
+func (s *System) absorbClassify(ctx context.Context, rec *dataset.Record, o options) (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if !s.trained {
+		return Result{}, ErrNotTrained
+	}
+	if s.knownMACs(rec) == 0 {
+		return Result{}, fmt.Errorf("%w: record %q", ErrOutOfBuilding, rec.ID)
+	}
+	seq := s.predictSeq.Add(1)
+	// Give the node a unique internal name so repeated absorbs of the
+	// same scan do not collide.
+	insert := *rec
+	insert.ID = fmt.Sprintf("online-%d-%s", seq, rec.ID)
+	newMACs := make(map[string]struct{})
+	for _, rd := range insert.Readings {
+		if _, ok := s.graph.MACNode(rd.MAC); !ok {
+			newMACs[rd.MAC] = struct{}{}
+		}
+	}
+	id, err := s.graph.AddRecord(&insert)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: online insert: %w", err)
+	}
+	// Any failure past this point must undo the insertion — including the
+	// MAC nodes it introduced — so a failed absorb leaves no residue.
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		_ = s.graph.RemoveRecord(insert.ID)
+		for mac := range newMACs {
+			_ = s.graph.RemoveMAC(mac)
+		}
+	}()
+	inc := s.incrementalFor(o, seq)
+	if err := embed.EmbedNewNode(s.graph, s.emb, id, inc); err != nil {
+		return Result{}, fmt.Errorf("core: online embedding: %w", err)
+	}
+	ego := append([]float64(nil), s.emb.EgoOf(id)...)
+	committed = true
+	s.refreshSampler()
+	return s.resultFromEgo(ego, o), nil
+}
+
+// ClassifyBatch classifies each record concurrently over a
+// GOMAXPROCS-sized worker pool of read-only classifiers, returning
+// per-record results and a parallel slice of errors (nil entries on
+// success). Once ctx is done, workers stop claiming records and every
+// unstarted record fails with ctx.Err(), so a cancelled batch returns
+// promptly. Options apply to every record (WithAbsorb serializes the
+// batch on the write lock).
+func (s *System) ClassifyBatch(ctx context.Context, records []dataset.Record, opts ...Option) ([]Result, []error) {
+	results := make([]Result, len(records))
+	errs := make([]error, len(records))
+	req := NewRequest(nil, opts...)
+	par.ForEachCtxFill(ctx, len(records), func(i int) {
+		r := req
+		r.Record = &records[i]
+		results[i], errs[i] = s.Do(ctx, r)
+	}, func(i int, err error) {
+		errs[i] = err
+	})
+	return results, errs
+}

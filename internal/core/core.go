@@ -9,17 +9,20 @@
 //
 // A System is read-mostly. Once Fit has run, the bipartite graph, the
 // embedding tables, and the cluster model form a frozen snapshot that
-// Predict/PredictBatch consult under a shared read lock: each prediction
-// layers a virtual scan node over the frozen graph (rfgraph.Overlay) and
-// embeds it detachedly (embed.EmbedDetached), writing nothing, so any
-// number of predictions run in parallel. The exclusive writers are
-// AddTraining, Fit, Absorb, RemoveMAC, and Load: they take the write lock,
-// mutate the graph/embedding in place, and publish the new snapshot to
-// subsequent readers when the lock is released. PredictBatch fans work out
-// over a GOMAXPROCS-sized worker pool of such readers.
+// Classify/ClassifyBatch consult under a shared read lock: each
+// classification layers a virtual scan node over the frozen graph
+// (rfgraph.Overlay) and embeds it detachedly (embed.EmbedDetached),
+// writing nothing, so any number of classifications run in parallel. The
+// exclusive writers are AddTraining, Fit, absorbing classifications
+// (WithAbsorb), RemoveMAC, and Load: they take the write lock, mutate the
+// graph/embedding in place, and publish the new snapshot to subsequent
+// readers when the lock is released. ClassifyBatch fans work out over a
+// GOMAXPROCS-sized worker pool of such readers and honors context
+// cancellation (par.ForEachCtx).
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,7 +31,6 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/embed"
-	"repro/internal/par"
 	"repro/internal/rfgraph"
 )
 
@@ -100,8 +102,9 @@ var (
 
 // System is a GRAFICS floor-identification model. Create with New, feed
 // training records with AddTraining, train with Fit, then classify online
-// records with Predict or Absorb. A System is safe for concurrent use;
-// see the package documentation for the reader/writer split.
+// records with Classify (read-only by default; WithAbsorb keeps the scan
+// in the graph). A System is safe for concurrent use; see the package
+// documentation for the reader/writer split.
 type System struct {
 	mu sync.RWMutex
 
@@ -222,7 +225,9 @@ func (s *System) Trained() bool {
 	return s.trained
 }
 
-// Prediction is the outcome of classifying one record.
+// Prediction is the legacy outcome of classifying one record, kept for
+// the deprecated Predict/Absorb/PredictBatch wrappers. New code should
+// use Classify and Result, which add confidence and candidate floors.
 type Prediction struct {
 	// Floor is the predicted floor label.
 	Floor int
@@ -250,121 +255,58 @@ func (s *System) knownMACs(rec *dataset.Record) int {
 	return n
 }
 
-// predictRLocked runs the §V online-inference pipeline against a read-only
-// overlay of the frozen model. The caller holds at least s.mu.RLock; no
-// shared state is written. On error the returned Prediction is the zero
-// value.
-func (s *System) predictRLocked(rec *dataset.Record) (Prediction, error) {
-	if !s.trained {
-		return Prediction{}, ErrNotTrained
-	}
-	// Check MAC overlap before overlay construction so degenerate scans
-	// (empty, or sharing no MAC with training data) surface as
-	// ErrOutOfBuilding exactly as Absorb — and the pre-overlay Predict —
-	// report them. Footnote 1 of the paper: a sample containing only
-	// never-seen MACs was likely collected outside the building.
-	if s.knownMACs(rec) == 0 {
-		return Prediction{}, fmt.Errorf("%w: record %q", ErrOutOfBuilding, rec.ID)
-	}
-	ov, err := rfgraph.NewOverlay(s.graph, rec)
-	if err != nil {
-		return Prediction{}, fmt.Errorf("core: online overlay: %w", err)
-	}
-	inc := s.cfg.Incremental
-	inc.Seed += s.predictSeq.Add(1) // decorrelate successive predictions
-	ego, err := embed.EmbedDetachedEgo(ov, s.emb, ov.Node(), inc, s.neg)
-	if err != nil {
-		return Prediction{}, fmt.Errorf("core: online embedding: %w", err)
-	}
-	floor, clusterIdx, dist := s.model.Predict(ego)
-	return Prediction{
-		Floor:        floor,
-		ClusterIndex: clusterIdx,
-		Distance:     dist,
-		Embedding:    ego,
-	}, nil
-}
-
-// Predict classifies an online record without modifying the system: the
-// scan is layered over the frozen graph as a virtual node, embedded
-// against the frozen model, and classified. Predict only takes a read
-// lock, so concurrent predictions proceed in parallel. On error the
-// returned Prediction is the zero value and the system is unchanged.
+// Predict classifies an online record without modifying the system.
+//
+// Deprecated: Use Classify, which adds context cancellation, a
+// confidence signal, and top-K candidate floors. Predict is
+// Classify(context.Background(), rec) reduced to the legacy Prediction
+// shape; behavior and errors are unchanged.
 func (s *System) Predict(rec *dataset.Record) (Prediction, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.predictRLocked(rec)
+	res, err := s.Classify(context.Background(), rec)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return res.Prediction(), nil
 }
 
-// Absorb classifies an online record and keeps it (and any new MACs it
-// introduced) in the bipartite graph — the paper's long-running deployment
-// mode where the graph grows with the crowd. Absorb is an exclusive
-// writer. On error the returned Prediction is the zero value and the
-// graph is rolled back to its prior state.
+// Absorb classifies an online record and keeps it in the bipartite graph.
+//
+// Deprecated: Use Classify with WithAbsorb, which adds context
+// cancellation, a confidence signal, and top-K candidate floors. Absorb
+// is Classify(context.Background(), rec, WithAbsorb()) reduced to the
+// legacy Prediction shape; behavior and errors are unchanged.
 func (s *System) Absorb(rec *dataset.Record) (Prediction, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.trained {
-		return Prediction{}, ErrNotTrained
-	}
-	if s.knownMACs(rec) == 0 {
-		return Prediction{}, fmt.Errorf("%w: record %q", ErrOutOfBuilding, rec.ID)
-	}
-	seq := s.predictSeq.Add(1)
-	// Give the node a unique internal name so repeated absorbs of the
-	// same scan do not collide.
-	insert := *rec
-	insert.ID = fmt.Sprintf("online-%d-%s", seq, rec.ID)
-	newMACs := make(map[string]struct{})
-	for _, rd := range insert.Readings {
-		if _, ok := s.graph.MACNode(rd.MAC); !ok {
-			newMACs[rd.MAC] = struct{}{}
-		}
-	}
-	id, err := s.graph.AddRecord(&insert)
+	res, err := s.Classify(context.Background(), rec, WithAbsorb())
 	if err != nil {
-		return Prediction{}, fmt.Errorf("core: online insert: %w", err)
+		return Prediction{}, err
 	}
-	// Any failure past this point must undo the insertion — including the
-	// MAC nodes it introduced — so a failed Absorb leaves no residue.
-	committed := false
-	defer func() {
-		if committed {
-			return
-		}
-		_ = s.graph.RemoveRecord(insert.ID)
-		for mac := range newMACs {
-			_ = s.graph.RemoveMAC(mac)
-		}
-	}()
-	inc := s.cfg.Incremental
-	inc.Seed += seq
-	if err := embed.EmbedNewNode(s.graph, s.emb, id, inc); err != nil {
-		return Prediction{}, fmt.Errorf("core: online embedding: %w", err)
-	}
-	ego := s.emb.EgoOf(id)
-	floor, clusterIdx, dist := s.model.Predict(ego)
-	committed = true
-	s.refreshSampler()
-	return Prediction{
-		Floor:        floor,
-		ClusterIndex: clusterIdx,
-		Distance:     dist,
-		Embedding:    append([]float64(nil), ego...),
-	}, nil
+	return res.Prediction(), nil
 }
 
 // PredictBatch classifies each record, returning per-record predictions
-// and a parallel slice of errors (nil entries on success). Records are
-// classified concurrently by a GOMAXPROCS-sized worker pool; each worker
-// holds only a read lock, so the batch scales with cores.
+// and a parallel slice of errors (nil entries on success).
+//
+// Deprecated: Use ClassifyBatch, which adds cancellation so a batch
+// aborts promptly on timeout or client disconnect. PredictBatch is
+// ClassifyBatch(context.Background(), records) reduced to the legacy
+// Prediction shape; behavior and errors are unchanged.
 func (s *System) PredictBatch(records []dataset.Record) ([]Prediction, []error) {
+	results, errs := s.ClassifyBatch(context.Background(), records)
 	preds := make([]Prediction, len(records))
-	errs := make([]error, len(records))
-	par.ForEach(len(records), func(i int) {
-		preds[i], errs[i] = s.Predict(&records[i])
-	})
+	for i := range results {
+		if errs[i] == nil {
+			preds[i] = results[i].Prediction()
+		}
+	}
 	return preds, errs
+}
+
+// HasMAC reports whether the graph currently holds a node for mac.
+func (s *System) HasMAC(mac string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.graph.MACNode(mac)
+	return ok
 }
 
 // RemoveMAC retires an access point from the graph (environment churn).

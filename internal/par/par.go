@@ -1,9 +1,10 @@
-// Package par holds the tiny fan-out helper shared by the batch
-// prediction paths: run n independent tasks over a GOMAXPROCS-sized
-// worker pool.
+// Package par holds the tiny fan-out helpers shared by the batch
+// classification paths: run n independent tasks over a GOMAXPROCS-sized
+// worker pool, with or without context-based cancellation.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,4 +41,65 @@ func ForEach(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForEachCtx is ForEach with cancellation: workers stop claiming new
+// indices once ctx is done, so a long batch aborts promptly on timeout or
+// client disconnect instead of grinding through the remaining work. fn is
+// never invoked for unclaimed indices; callers that need a per-item
+// verdict for every slot should record which indices ran and fill the
+// rest with the returned error. ForEachCtx returns ctx.Err() as observed
+// after all claimed work finished (nil when the batch completed).
+func ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ForEachCtxFill is ForEachCtx for callers that need a per-index verdict
+// on every slot: indices never claimed because ctx was done are passed to
+// fill with the context's error, so a cancelled batch still reports a
+// complete parallel error slice. Exactly one of fn(i) / fill(i, err) runs
+// for each index.
+func ForEachCtxFill(ctx context.Context, n int, fn func(i int), fill func(i int, err error)) error {
+	started := make([]bool, n)
+	err := ForEachCtx(ctx, n, func(i int) {
+		started[i] = true
+		fn(i)
+	})
+	if err != nil {
+		for i := range started {
+			if !started[i] {
+				fill(i, err)
+			}
+		}
+	}
+	return err
 }

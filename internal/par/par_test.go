@@ -1,0 +1,95 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsAll(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000} {
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, n)
+		ForEach(n, func(i int) {
+			hits.Add(1)
+			seen[i].Store(true)
+		})
+		if int(hits.Load()) != n {
+			t.Errorf("n=%d: %d calls", n, hits.Load())
+		}
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Errorf("n=%d: index %d skipped", n, i)
+			}
+		}
+	}
+}
+
+func TestForEachCtxCompletes(t *testing.T) {
+	var hits atomic.Int64
+	if err := ForEachCtx(context.Background(), 100, func(i int) { hits.Add(1) }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if hits.Load() != 100 {
+		t.Errorf("%d calls, want 100", hits.Load())
+	}
+}
+
+func TestForEachCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var hits atomic.Int64
+	err := ForEachCtx(ctx, 10000, func(i int) { hits.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers check ctx before claiming, so a dead context runs (almost)
+	// nothing: at most one in-flight claim per worker.
+	if hits.Load() > 64 {
+		t.Errorf("%d tasks ran under a cancelled context", hits.Load())
+	}
+}
+
+func TestForEachCtxCancelsMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var hits atomic.Int64
+	const n = 100000
+	err := ForEachCtx(ctx, n, func(i int) {
+		if hits.Add(1) == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := hits.Load(); got == n {
+		t.Error("cancellation did not stop the batch")
+	}
+}
+
+func TestForEachCtxFillCoversEverySlot(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 50000
+	ran := make([]atomic.Int32, n)
+	var calls atomic.Int64
+	err := ForEachCtxFill(ctx, n, func(i int) {
+		ran[i].Add(1)
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+	}, func(i int, err error) {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("fill(%d) err = %v, want context.Canceled", i, err)
+		}
+		ran[i].Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times, want exactly once (fn xor fill)", i, got)
+		}
+	}
+}

@@ -7,9 +7,11 @@
 package portfolio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -22,9 +24,35 @@ var (
 	ErrNoBuildings     = errors.New("portfolio: no buildings registered")
 	ErrUnknownBuilding = errors.New("portfolio: unknown building")
 	ErrDuplicateName   = errors.New("portfolio: building already registered")
+	ErrReservedName    = errors.New("portfolio: building name is reserved")
 	ErrUnattributable  = errors.New("portfolio: scan matches no registered building")
 	ErrAmbiguousMatch  = errors.New("portfolio: scan matches multiple buildings equally")
+	ErrUnknownMAC      = errors.New("portfolio: no building knows that MAC")
 )
+
+// reservedNames are building names that collide with literal HTTP route
+// segments: a building called "batch" would be shadowed by the
+// /v1/predict/batch route and therefore unreachable via
+// /v1/predict/{building}. Registration rejects them outright.
+var reservedNames = map[string]struct{}{
+	"batch": {},
+}
+
+// validateName rejects names the HTTP surface cannot address: reserved
+// literal route segments, the empty name, and names containing a path
+// separator (a "/" cannot appear inside one route segment). Anything
+// else — spaces included — reaches the routes percent-encoded.
+func validateName(name string) error {
+	if _, bad := reservedNames[name]; bad {
+		return fmt.Errorf("%w: %q collides with a literal route", ErrReservedName, name)
+	}
+	// "." and ".." are path-cleaned away by the mux before routing, so a
+	// building by either name could never be reached.
+	if name == "" || name == "." || name == ".." || strings.Contains(name, "/") {
+		return fmt.Errorf("%w: %q is not addressable as a route segment", ErrReservedName, name)
+	}
+	return nil
+}
 
 // Match is the result of building attribution for one scan.
 type Match struct {
@@ -56,8 +84,13 @@ func New(cfg core.Config) *Portfolio {
 }
 
 // AddBuilding registers a building's training records (already labeled per
-// the usual budget) and trains its System.
+// the usual budget) and trains its System. Names that cannot be addressed
+// by the HTTP surface (reserved literals like "batch", the empty name, or
+// names containing a path separator) are rejected with ErrReservedName.
 func (p *Portfolio) AddBuilding(name string, train []dataset.Record) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, dup := p.systems[name]; dup {
@@ -153,7 +186,159 @@ func (p *Portfolio) Attribute(rec *dataset.Record, minOverlap float64) (Match, e
 	return best, nil
 }
 
-// Prediction is a building-plus-floor classification.
+// Routed is a fleet classification: the attributed building plus the
+// floor-level Result from that building's System.
+type Routed struct {
+	// Building is the attributed building name.
+	Building string
+	// Match carries the attribution diagnostics (overlap, runner-up).
+	Match Match
+	// Result is the floor classification within that building.
+	Result core.Result
+}
+
+var _ core.Classifier = (*Portfolio)(nil)
+
+// Classify implements core.Classifier: the scan is attributed to a
+// building by MAC overlap and classified by that building's System. The
+// attribution itself is available via ClassifyRouted; options are passed
+// through to the building's Classify (WithAbsorb grows that building's
+// graph and registers any new MACs with the attribution index).
+func (p *Portfolio) Classify(ctx context.Context, rec *dataset.Record, opts ...core.Option) (core.Result, error) {
+	routed, err := p.ClassifyRouted(ctx, rec, opts...)
+	return routed.Result, err
+}
+
+// ClassifyRouted is Classify keeping the building attribution: which
+// building won, at what MAC overlap, and the floor Result within it.
+func (p *Portfolio) ClassifyRouted(ctx context.Context, rec *dataset.Record, opts ...core.Option) (Routed, error) {
+	if err := ctx.Err(); err != nil {
+		return Routed{}, err
+	}
+	match, err := p.Attribute(rec, 0)
+	if err != nil {
+		return Routed{}, err
+	}
+	sys, err := p.System(match.Building)
+	if err != nil {
+		return Routed{}, err
+	}
+	req := core.NewRequest(rec, opts...)
+	res, err := sys.Do(ctx, req)
+	if err != nil {
+		return Routed{}, fmt.Errorf("portfolio: building %q: %w", match.Building, err)
+	}
+	if req.Absorb() {
+		// The absorbed scan's MACs (including newly installed APs) now
+		// belong to the building's graph; keep the attribution index in
+		// step so future scans seeing those APs route correctly.
+		p.registerMACs(match.Building, rec)
+	}
+	return Routed{Building: match.Building, Match: match, Result: res}, nil
+}
+
+// registerMACs adds a scan's MACs to a building's attribution set. Only
+// MACs the building's graph actually holds are indexed: between the
+// absorb and this call a concurrent RemoveMAC may have retired one, and
+// indexing it anyway would leave the attribution set claiming a phantom
+// AP. RemoveMAC mutates graph and index under the same p.mu, so checking
+// the graph here closes that window.
+func (p *Portfolio) registerMACs(building string, rec *dataset.Record) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	macs, ok := p.macIndex[building]
+	if !ok {
+		return
+	}
+	sys := p.systems[building]
+	for _, rd := range rec.Readings {
+		if sys.HasMAC(rd.MAC) {
+			macs[rd.MAC] = struct{}{}
+		}
+	}
+}
+
+// ClassifyBatch implements core.Classifier: attribution and floor
+// inference for many scans over a GOMAXPROCS-sized worker pool, both
+// under shared read locks, so the batch scales with cores. Once ctx is
+// done, workers stop claiming records and every unstarted record fails
+// with ctx.Err(), so a cancelled batch returns promptly.
+func (p *Portfolio) ClassifyBatch(ctx context.Context, records []dataset.Record, opts ...core.Option) ([]core.Result, []error) {
+	routed, errs := p.ClassifyRoutedBatch(ctx, records, opts...)
+	results := make([]core.Result, len(records))
+	for i := range routed {
+		results[i] = routed[i].Result
+	}
+	return results, errs
+}
+
+// ClassifyRoutedBatch is ClassifyBatch keeping per-record building
+// attributions.
+func (p *Portfolio) ClassifyRoutedBatch(ctx context.Context, records []dataset.Record, opts ...core.Option) ([]Routed, []error) {
+	routed := make([]Routed, len(records))
+	errs := make([]error, len(records))
+	par.ForEachCtxFill(ctx, len(records), func(i int) {
+		routed[i], errs[i] = p.ClassifyRouted(ctx, &records[i], opts...)
+	}, func(i int, err error) {
+		errs[i] = err
+	})
+	return routed, errs
+}
+
+// RemoveMAC retires an access point fleet-wide (AP churn): every building
+// whose MAC set knows the address drops it from both its graph and the
+// attribution index. It returns how many buildings were affected;
+// ErrUnknownMAC means none were.
+func (p *Portfolio) RemoveMAC(mac string) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	affected := 0
+	for name, macs := range p.macIndex {
+		if _, ok := macs[mac]; !ok {
+			continue
+		}
+		// A graph that no longer holds the MAC (index drift) just means
+		// there is nothing left to remove there; drop the index entry and
+		// keep going rather than aborting the fleet-wide removal.
+		if err := p.systems[name].RemoveMAC(mac); err == nil {
+			affected++
+		}
+		delete(macs, mac)
+	}
+	if affected == 0 {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownMAC, mac)
+	}
+	return affected, nil
+}
+
+// BuildingStats pairs a building name with its graph statistics.
+type BuildingStats struct {
+	Building string
+	core.GraphStats
+}
+
+// Stats returns per-building graph statistics, sorted by building name.
+func (p *Portfolio) Stats() []BuildingStats {
+	p.mu.RLock()
+	names := make([]string, 0, len(p.systems))
+	systems := make([]*core.System, 0, len(p.systems))
+	for name := range p.systems {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		systems = append(systems, p.systems[name])
+	}
+	p.mu.RUnlock()
+	out := make([]BuildingStats, len(names))
+	for i, name := range names {
+		out[i] = BuildingStats{Building: name, GraphStats: systems[i].Stats()}
+	}
+	return out
+}
+
+// Prediction is the legacy building-plus-floor classification, kept for
+// the deprecated Predict/PredictBatch wrappers.
 type Prediction struct {
 	Building string
 	Match    Match
@@ -161,32 +346,35 @@ type Prediction struct {
 }
 
 // Predict attributes the scan to a building and classifies its floor.
+//
+// Deprecated: Use Classify (or ClassifyRouted to keep the attribution),
+// which adds context cancellation, confidence, and top-K candidates.
+// Behavior and errors are unchanged.
 func (p *Portfolio) Predict(rec *dataset.Record) (Prediction, error) {
-	match, err := p.Attribute(rec, 0)
+	routed, err := p.ClassifyRouted(context.Background(), rec)
 	if err != nil {
 		return Prediction{}, err
 	}
-	sys, err := p.System(match.Building)
-	if err != nil {
-		return Prediction{}, err
-	}
-	floor, err := sys.Predict(rec)
-	if err != nil {
-		return Prediction{}, fmt.Errorf("portfolio: building %q: %w", match.Building, err)
-	}
-	return Prediction{Building: match.Building, Match: match, Floor: floor}, nil
+	return routed.legacy(), nil
 }
 
-// PredictBatch attributes and classifies many scans concurrently,
-// returning per-record predictions and a parallel slice of errors (nil
-// entries on success). Attribution and floor inference both run under
-// shared read locks, so a batch spread over a GOMAXPROCS-sized worker
-// pool scales with cores.
+// legacy converts a Routed to the deprecated Prediction shape.
+func (r Routed) legacy() Prediction {
+	return Prediction{Building: r.Building, Match: r.Match, Floor: r.Result.Prediction()}
+}
+
+// PredictBatch attributes and classifies many scans concurrently.
+//
+// Deprecated: Use ClassifyBatch (or ClassifyRoutedBatch), which adds
+// cancellation so a batch aborts promptly on timeout or client
+// disconnect. Behavior and errors are unchanged.
 func (p *Portfolio) PredictBatch(records []dataset.Record) ([]Prediction, []error) {
+	routed, errs := p.ClassifyRoutedBatch(context.Background(), records)
 	preds := make([]Prediction, len(records))
-	errs := make([]error, len(records))
-	par.ForEach(len(records), func(i int) {
-		preds[i], errs[i] = p.Predict(&records[i])
-	})
+	for i := range routed {
+		if errs[i] == nil {
+			preds[i] = routed[i].legacy()
+		}
+	}
 	return preds, errs
 }

@@ -1,6 +1,7 @@
 package portfolio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -63,6 +64,31 @@ func TestDuplicateBuilding(t *testing.T) {
 	name := p.Buildings()[0]
 	if err := p.AddBuilding(name, nil); !errors.Is(err, ErrDuplicateName) {
 		t.Errorf("duplicate = %v, want ErrDuplicateName", err)
+	}
+}
+
+// TestReservedBuildingNames is the regression test for the route-collision
+// bug: a building literally named "batch" is unreachable through
+// POST /v1/predict/{building} because the literal /v1/predict/batch route
+// shadows it, so registration must refuse such names (and other names the
+// HTTP surface cannot address).
+func TestReservedBuildingNames(t *testing.T) {
+	p := New(core.Config{})
+	for _, name := range []string{"batch", "", "a/b", ".", ".."} {
+		if err := p.AddBuilding(name, nil); !errors.Is(err, ErrReservedName) {
+			t.Errorf("AddBuilding(%q) = %v, want ErrReservedName", name, err)
+		}
+	}
+	// Names that percent-encode into a route segment stay legal — real
+	// corpora contain spaces ("North Tower"); only the literal-route
+	// collision and un-encodable names are rejected.
+	for _, name := range []string{"North Tower", "tab\tname", "ünïcode"} {
+		if err := p.AddBuilding(name, nil); errors.Is(err, ErrReservedName) {
+			t.Errorf("AddBuilding(%q) rejected as reserved; only validation, not training, should fail", name)
+		}
+	}
+	if len(p.Buildings()) != 0 {
+		t.Errorf("invalid registrations persisted: %v", p.Buildings())
 	}
 }
 
@@ -219,6 +245,139 @@ func TestPredictBatchPortfolio(t *testing.T) {
 		}
 		if pred.Building != preds[i].Building {
 			t.Errorf("scan %q: batch building %q vs sequential %q", recs[i].ID, preds[i].Building, pred.Building)
+		}
+	}
+}
+
+func TestClassifyRouted(t *testing.T) {
+	p, tests := fleet(t, 2, 8)
+	ctx := context.Background()
+	for name, pool := range tests {
+		routed, err := p.ClassifyRouted(ctx, &pool[0], core.WithTopK(-1))
+		if err != nil {
+			t.Fatalf("ClassifyRouted: %v", err)
+		}
+		if routed.Building != name {
+			t.Errorf("routed to %q, want %q", routed.Building, name)
+		}
+		if routed.Result.Confidence <= 0 || routed.Result.Confidence > 1 {
+			t.Errorf("confidence %v outside (0,1]", routed.Result.Confidence)
+		}
+		if len(routed.Result.Candidates) < 2 {
+			t.Errorf("candidates = %d, want every distinct floor", len(routed.Result.Candidates))
+		}
+	}
+	// The interface entry point agrees on the floor-level result shape.
+	var c core.Classifier = p
+	for _, pool := range tests {
+		res, err := c.Classify(ctx, &pool[1])
+		if err != nil {
+			t.Fatalf("Classify via interface: %v", err)
+		}
+		if res.Confidence <= 0 {
+			t.Errorf("confidence %v, want > 0", res.Confidence)
+		}
+		break
+	}
+}
+
+func TestClassifyBatchCancelledPortfolio(t *testing.T) {
+	p, tests := fleet(t, 2, 9)
+	var recs []dataset.Record
+	for _, pool := range tests {
+		for i := 0; i < 30; i++ {
+			recs = append(recs, pool...)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs := p.ClassifyBatch(ctx, recs)
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("item %d error = %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+// TestAbsorbUpdatesAttribution verifies that absorbing a scan through the
+// portfolio registers its new MACs with the attribution index: a later
+// scan seeing only the new APs still routes to the right building.
+func TestAbsorbUpdatesAttribution(t *testing.T) {
+	p, tests := fleet(t, 2, 10)
+	ctx := context.Background()
+	var name string
+	var pool []dataset.Record
+	for n, recs := range tests {
+		name, pool = n, recs
+		break
+	}
+	scan := pool[0]
+	scan.Readings = append(append([]dataset.Reading(nil), scan.Readings...),
+		dataset.Reading{MAC: "new-ap-01", RSS: -50},
+		dataset.Reading{MAC: "new-ap-02", RSS: -55},
+	)
+	routed, err := p.ClassifyRouted(ctx, &scan, core.WithAbsorb())
+	if err != nil {
+		t.Fatalf("absorbing ClassifyRouted: %v", err)
+	}
+	if routed.Building != name {
+		t.Fatalf("absorbed into %q, want %q", routed.Building, name)
+	}
+	// A scan composed of the new APs plus one known MAC must attribute to
+	// the same building with full overlap.
+	probe := dataset.Record{ID: "probe", Readings: []dataset.Reading{
+		{MAC: "new-ap-01", RSS: -52},
+		{MAC: "new-ap-02", RSS: -57},
+		{MAC: pool[0].Readings[0].MAC, RSS: pool[0].Readings[0].RSS},
+	}}
+	m, err := p.Attribute(&probe, 0)
+	if err != nil {
+		t.Fatalf("Attribute after absorb: %v", err)
+	}
+	if m.Building != name {
+		t.Errorf("probe attributed to %q, want %q", m.Building, name)
+	}
+	if m.Overlap != 1 {
+		t.Errorf("probe overlap %v, want 1 (new APs registered)", m.Overlap)
+	}
+}
+
+func TestRemoveMACFleetWide(t *testing.T) {
+	p, tests := fleet(t, 2, 11)
+	var mac string
+	for _, pool := range tests {
+		mac = pool[0].Readings[0].MAC
+		break
+	}
+	// BSSIDs are globally unique in the simulation, so exactly one
+	// building knows this MAC.
+	n, err := p.RemoveMAC(mac)
+	if err != nil {
+		t.Fatalf("RemoveMAC: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("affected %d buildings, want 1", n)
+	}
+	if _, err := p.RemoveMAC(mac); !errors.Is(err, ErrUnknownMAC) {
+		t.Errorf("second RemoveMAC = %v, want ErrUnknownMAC", err)
+	}
+	if _, err := p.RemoveMAC("never-seen"); !errors.Is(err, ErrUnknownMAC) {
+		t.Errorf("RemoveMAC(unknown) = %v, want ErrUnknownMAC", err)
+	}
+}
+
+func TestPortfolioStats(t *testing.T) {
+	p, _ := fleet(t, 3, 12)
+	stats := p.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("stats for %d buildings, want 3", len(stats))
+	}
+	for i, s := range stats {
+		if s.Records == 0 || s.MACs == 0 || s.Edges == 0 {
+			t.Errorf("building %q has empty stats: %+v", s.Building, s.GraphStats)
+		}
+		if i > 0 && stats[i-1].Building >= s.Building {
+			t.Errorf("stats not sorted by name at %d", i)
 		}
 	}
 }

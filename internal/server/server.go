@@ -1,12 +1,24 @@
 // Package server exposes a trained GRAFICS portfolio over HTTP for
 // deployment behind the smart-city applications the paper motivates
-// (navigation, geofencing, robot rescue). The API is deliberately small:
+// (navigation, geofencing, robot rescue).
 //
-//	GET  /v1/healthz              liveness probe
+// The v1 surface is read-only and kept for compatibility:
+//
+//	GET  /v1/healthz              readiness probe (503 until a building is trained)
 //	GET  /v1/buildings            registered building names
 //	POST /v1/predict              classify one scan (JSON Record body)
 //	POST /v1/predict/batch        classify many scans (JSON array body)
 //	POST /v1/predict/{building}   classify within a known building
+//
+// The v2 surface is built on the context-first Classify API and adds
+// confidence, top-K candidates, writes, and streaming (see v2.go):
+//
+//	GET    /v2/healthz            readiness probe
+//	POST   /v2/classify           classify one scan (options in body)
+//	POST   /v2/classify/batch     classify many scans, NDJSON streaming reply
+//	POST   /v2/absorb             classify and keep the scan in the graph
+//	DELETE /v2/macs/{mac}         retire an access point fleet-wide
+//	GET    /v2/stats              per-building graph statistics
 //
 // Scans use the dataset.Record JSON shape:
 //
@@ -14,16 +26,19 @@
 //
 // # Concurrency
 //
-// Every predict route is read-only against the trained models: core's
+// Every classify route is read-only against the trained models: core's
 // snapshot-overlay inference takes only a shared read lock, so the
 // net/http goroutine-per-request model gives near-linear scaling with
 // cores out of the box — no serialization on a model mutex. The batch
-// route additionally fans one request's scans out over a worker pool
-// (portfolio.PredictBatch), which keeps a single bulk client saturating
-// the machine without having to pipeline its own HTTP requests.
+// routes additionally fan one request's scans out over a worker pool
+// (portfolio.ClassifyRoutedBatch), which keeps a single bulk client
+// saturating the machine without having to pipeline its own HTTP
+// requests. Request contexts propagate into the classification layer, so
+// timeouts and client disconnects abort in-flight batches promptly.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -74,12 +89,11 @@ const maxBatchBytes = 32 << 20
 // maxBatchScans caps how many scans one batch request may carry.
 const maxBatchScans = 10000
 
-// Handler builds the HTTP handler over a trained portfolio.
+// Handler builds the HTTP handler (v1 and v2 surfaces) over a trained
+// portfolio.
 func Handler(p *portfolio.Portfolio) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /v1/healthz", healthz(p))
 	mux.HandleFunc("GET /v1/buildings", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, p.Buildings())
 	})
@@ -88,12 +102,12 @@ func Handler(p *portfolio.Portfolio) http.Handler {
 		if !ok {
 			return
 		}
-		pred, err := p.Predict(rec)
+		routed, err := p.ClassifyRouted(r.Context(), rec)
 		if err != nil {
 			writeError(w, predictStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, toPredictResponse(rec.ID, &pred))
+		writeJSON(w, http.StatusOK, toPredictResponse(rec.ID, &routed))
 	})
 	mux.HandleFunc("POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
 		var recs []dataset.Record
@@ -117,7 +131,14 @@ func Handler(p *portfolio.Portfolio) http.Handler {
 				fmt.Errorf("batch has %d scans, limit %d", len(recs), maxBatchScans))
 			return
 		}
-		preds, errs := p.PredictBatch(recs)
+		routed, errs := p.ClassifyRoutedBatch(r.Context(), recs)
+		// A batch cut short by the request deadline (or a vanished
+		// client) is a failure, not a 200 full of error strings — match
+		// the single-scan route's status mapping.
+		if err := r.Context().Err(); err != nil {
+			writeError(w, predictStatus(err), err)
+			return
+		}
 		items := make([]BatchItemResponse, len(recs))
 		for i := range recs {
 			items[i].ID = recs[i].ID
@@ -125,7 +146,7 @@ func Handler(p *portfolio.Portfolio) http.Handler {
 				items[i].Error = errs[i].Error()
 				continue
 			}
-			resp := toPredictResponse(recs[i].ID, &preds[i])
+			resp := toPredictResponse(recs[i].ID, &routed[i])
 			items[i].Result = &resp
 		}
 		writeJSON(w, http.StatusOK, BatchResponse{Results: items})
@@ -141,29 +162,44 @@ func Handler(p *portfolio.Portfolio) http.Handler {
 			writeError(w, http.StatusNotFound, err)
 			return
 		}
-		pred, err := sys.Predict(rec)
+		res, err := sys.Classify(r.Context(), rec)
 		if err != nil {
 			writeError(w, predictStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, toPredictResponse(rec.ID, &portfolio.Prediction{
+		writeJSON(w, http.StatusOK, toPredictResponse(rec.ID, &portfolio.Routed{
 			Building: name,
-			Floor:    pred,
+			Result:   res,
 		}))
 	})
+	registerV2(mux, p)
 	return mux
 }
 
-// toPredictResponse maps one portfolio prediction onto the wire shape.
-// All three predict routes go through here so the field mapping cannot
-// drift between them.
-func toPredictResponse(id string, pred *portfolio.Prediction) PredictResponse {
+// healthz reports readiness, not just liveness: a portfolio with no
+// trained buildings answers 503 so load balancers don't route traffic to
+// cold instances that would reject every scan.
+func healthz(p *portfolio.Portfolio) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := len(p.Buildings())
+		status, state := http.StatusOK, "ok"
+		if n == 0 {
+			status, state = http.StatusServiceUnavailable, "empty"
+		}
+		writeJSON(w, status, map[string]any{"status": state, "buildings": n})
+	}
+}
+
+// toPredictResponse maps one routed classification onto the v1 wire
+// shape. All three predict routes go through here so the field mapping
+// cannot drift between them.
+func toPredictResponse(id string, routed *portfolio.Routed) PredictResponse {
 	return PredictResponse{
 		ID:       id,
-		Building: pred.Building,
-		Floor:    pred.Floor.Floor,
-		Distance: pred.Floor.Distance,
-		Overlap:  pred.Match.Overlap,
+		Building: routed.Building,
+		Floor:    routed.Result.Floor,
+		Distance: routed.Result.Distance,
+		Overlap:  routed.Match.Overlap,
 	}
 }
 
@@ -184,6 +220,11 @@ func decodeScan(w http.ResponseWriter, r *http.Request) (*dataset.Record, bool) 
 	return &rec, true
 }
 
+// statusClientClosedRequest is nginx's non-standard code for a request
+// whose client went away; the reply is never seen, the code only serves
+// access logs.
+const statusClientClosedRequest = 499
+
 // predictStatus maps domain errors to HTTP status codes.
 func predictStatus(err error) int {
 	switch {
@@ -195,6 +236,10 @@ func predictStatus(err error) int {
 	case errors.Is(err, portfolio.ErrNoBuildings),
 		errors.Is(err, core.ErrNotTrained):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	default:
 		return http.StatusInternalServerError
 	}

@@ -16,9 +16,9 @@ import (
 	"repro/internal/simulate"
 )
 
-// testServer spins up a handler over a two-building portfolio and returns
-// held-out records per building.
-func testServer(t *testing.T) (*httptest.Server, map[string][]dataset.Record) {
+// testPortfolio trains a two-building portfolio and returns held-out
+// records per building.
+func testPortfolio(t *testing.T) (*portfolio.Portfolio, map[string][]dataset.Record) {
 	t.Helper()
 	params := simulate.MicrosoftLike(2, 40, 9)
 	params.FloorsMin, params.FloorsMax = 3, 4
@@ -44,6 +44,14 @@ func testServer(t *testing.T) (*httptest.Server, map[string][]dataset.Record) {
 		}
 		tests[b.Name] = test
 	}
+	return p, tests
+}
+
+// testServer spins up a handler over a two-building portfolio and returns
+// held-out records per building.
+func testServer(t *testing.T) (*httptest.Server, map[string][]dataset.Record) {
+	t.Helper()
+	p, tests := testPortfolio(t)
 	srv := httptest.NewServer(Handler(p))
 	t.Cleanup(srv.Close)
 	return srv, tests
@@ -65,13 +73,42 @@ func postJSON(t *testing.T, url string, body any) *http.Response {
 
 func TestHealthz(t *testing.T) {
 	srv, _ := testServer(t)
-	resp, err := http.Get(srv.URL + "/v1/healthz")
-	if err != nil {
-		t.Fatalf("GET: %v", err)
+	for _, path := range []string{"/v1/healthz", "/v2/healthz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+		var body struct {
+			Status    string `json:"status"`
+			Buildings int    `json:"buildings"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, resp.StatusCode)
+		}
+		if body.Status != "ok" || body.Buildings != 2 {
+			t.Errorf("%s body = %+v, want ok with 2 buildings", path, body)
+		}
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("status = %d, want 200", resp.StatusCode)
+}
+
+// TestHealthzNotReady: a portfolio with no trained buildings must answer
+// 503 so load balancers don't route scans to cold instances.
+func TestHealthzNotReady(t *testing.T) {
+	srv := httptest.NewServer(Handler(portfolio.New(core.Config{})))
+	defer srv.Close()
+	for _, path := range []string{"/v1/healthz", "/v2/healthz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s status = %d, want 503", path, resp.StatusCode)
+		}
 	}
 }
 

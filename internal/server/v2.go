@@ -1,0 +1,379 @@
+// The /v2 HTTP surface, built on the context-first Classify API. It
+// extends v1 with a confidence signal and top-K candidate floors, write
+// operations (absorb, MAC retirement), fleet statistics, and an NDJSON
+// streaming batch route that never buffers whole responses in memory and
+// aborts promptly when the client disconnects.
+
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/portfolio"
+)
+
+// ClassifyRequest is the v2 classify body: the scan fields plus inline
+// options.
+type ClassifyRequest struct {
+	ID       string            `json:"id"`
+	Readings []dataset.Reading `json:"readings"`
+	// TopK requests the k most likely floors as ranked candidates
+	// (0 means 1: winner only; negative means every distinct floor).
+	TopK int `json:"top_k,omitempty"`
+	// Absorb keeps the classified scan in the building's graph.
+	Absorb bool `json:"absorb,omitempty"`
+	// Floor and Labeled mirror dataset.Record's persisted fields so a
+	// scan file produced by datagen or json.Marshal round-trips through
+	// this route; both are ignored — an online scan carries no trusted
+	// label.
+	Floor   int  `json:"floor,omitempty"`
+	Labeled bool `json:"labeled,omitempty"`
+}
+
+// CandidateResponse is one ranked floor hypothesis.
+type CandidateResponse struct {
+	Floor      int     `json:"floor"`
+	Confidence float64 `json:"confidence"`
+	Distance   float64 `json:"distance"`
+}
+
+// ClassifyResponse is the v2 classify reply. Candidates are sorted by
+// descending confidence; the first one restates the winning floor.
+type ClassifyResponse struct {
+	ID         string              `json:"id"`
+	Building   string              `json:"building"`
+	Floor      int                 `json:"floor"`
+	Confidence float64             `json:"confidence"`
+	Candidates []CandidateResponse `json:"candidates"`
+	Distance   float64             `json:"distance"`
+	Overlap    float64             `json:"overlap,omitempty"`
+	Absorbed   bool                `json:"absorbed,omitempty"`
+}
+
+// StreamItem is one NDJSON line of a batch reply: either a result or a
+// per-scan error, never both.
+type StreamItem struct {
+	ID     string            `json:"id"`
+	Result *ClassifyResponse `json:"result,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// StatsResponse is the v2 stats reply.
+type StatsResponse struct {
+	Buildings   int                 `json:"buildings"`
+	Records     int                 `json:"records"`
+	MACs        int                 `json:"macs"`
+	Edges       int                 `json:"edges"`
+	PerBuilding []BuildingStatsItem `json:"per_building"`
+}
+
+// BuildingStatsItem is one building's graph statistics.
+type BuildingStatsItem struct {
+	Building string `json:"building"`
+	Records  int    `json:"records"`
+	MACs     int    `json:"macs"`
+	Edges    int    `json:"edges"`
+}
+
+// ndjsonChunkSize is how many scans the batch route classifies (in
+// parallel) between writes: large enough to saturate the worker pool,
+// small enough that results stream out steadily and cancellation is
+// noticed quickly.
+const ndjsonChunkSize = 64
+
+// registerV2 mounts the v2 routes on mux.
+func registerV2(mux *http.ServeMux, p *portfolio.Portfolio) {
+	mux.HandleFunc("GET /v2/healthz", healthz(p))
+	mux.HandleFunc("POST /v2/classify", classifyV2(p, false))
+	mux.HandleFunc("POST /v2/absorb", classifyV2(p, true))
+	mux.HandleFunc("POST /v2/classify/batch", classifyBatchV2(p))
+	mux.HandleFunc("DELETE /v2/macs/{mac}", func(w http.ResponseWriter, r *http.Request) {
+		mac := r.PathValue("mac")
+		n, err := p.RemoveMAC(mac)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, portfolio.ErrUnknownMAC) {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"mac": mac, "buildings": n})
+	})
+	mux.HandleFunc("GET /v2/stats", func(w http.ResponseWriter, r *http.Request) {
+		per := p.Stats()
+		resp := StatsResponse{Buildings: len(per), PerBuilding: make([]BuildingStatsItem, len(per))}
+		for i, b := range per {
+			resp.PerBuilding[i] = BuildingStatsItem{
+				Building: b.Building, Records: b.Records, MACs: b.MACs, Edges: b.Edges,
+			}
+			resp.Records += b.Records
+			resp.MACs += b.MACs
+			resp.Edges += b.Edges
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+// optionsOf translates wire options to core options.
+func optionsOf(topK int, absorb bool) []core.Option {
+	opts := []core.Option{core.WithoutEmbedding()}
+	if topK != 0 {
+		opts = append(opts, core.WithTopK(topK))
+	}
+	if absorb {
+		opts = append(opts, core.WithAbsorb())
+	}
+	return opts
+}
+
+// toClassifyResponse maps one routed classification onto the v2 wire
+// shape.
+func toClassifyResponse(id string, routed *portfolio.Routed, absorbed bool) ClassifyResponse {
+	resp := ClassifyResponse{
+		ID:         id,
+		Building:   routed.Building,
+		Floor:      routed.Result.Floor,
+		Confidence: routed.Result.Confidence,
+		Candidates: make([]CandidateResponse, len(routed.Result.Candidates)),
+		Distance:   routed.Result.Distance,
+		Overlap:    routed.Match.Overlap,
+		Absorbed:   absorbed,
+	}
+	for i, c := range routed.Result.Candidates {
+		resp.Candidates[i] = CandidateResponse{Floor: c.Floor, Confidence: c.Confidence, Distance: c.Distance}
+	}
+	return resp
+}
+
+// classifyV2 serves POST /v2/classify and POST /v2/absorb (the latter
+// forces the absorb option, making the write intent explicit in the
+// route).
+func classifyV2(p *portfolio.Portfolio, forceAbsorb bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req ClassifyRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode scan: %w", err))
+			return
+		}
+		if len(req.Readings) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("scan has no readings"))
+			return
+		}
+		absorb := req.Absorb || forceAbsorb
+		rec := &dataset.Record{ID: req.ID, Readings: req.Readings}
+		routed, err := p.ClassifyRouted(r.Context(), rec, optionsOf(req.TopK, absorb)...)
+		if err != nil {
+			writeError(w, predictStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toClassifyResponse(req.ID, &routed, absorb))
+	}
+}
+
+// classifyBatchV2 serves POST /v2/classify/batch. The body is either a
+// JSON array of scans or an NDJSON stream of scans; options come from
+// the query string (?top_k=3&absorb=true) since they apply batch-wide.
+// The whole body is decoded and validated first — size limits and
+// malformed scans reject the request before any scan is classified or
+// absorbed — and only then does classification start, chunk by chunk.
+// The reply is NDJSON, one StreamItem per scan in request order, flushed
+// per chunk, so large batches never buffer a 32 MB response in memory.
+// Once the request context is cancelled (timeout or client disconnect),
+// classification stops claiming scans and the handler stops writing.
+func classifyBatchV2(p *portfolio.Portfolio) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		topK, err := queryInt(r, "top_k")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		absorb, err := queryBool(r, "absorb")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts := optionsOf(topK, absorb)
+
+		next, err := batchReader(w, r)
+		if err != nil {
+			writeError(w, decodeStatus(err), err)
+			return
+		}
+		// Decode phase: everything is validated before any work happens,
+		// so a batch that will be rejected absorbs nothing. Memory is
+		// bounded by maxBatchBytes regardless.
+		var recs []dataset.Record
+		for {
+			rec, err := next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				writeError(w, decodeStatus(err), fmt.Errorf("decode batch: %w", err))
+				return
+			}
+			recs = append(recs, *rec)
+			if len(recs) > maxBatchScans {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("batch exceeds %d scans", maxBatchScans))
+				return
+			}
+		}
+		if len(recs) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("batch has no scans"))
+			return
+		}
+
+		ctx := r.Context()
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		wroteAny := false
+		// streamError emits a terminal error: as a status code if nothing
+		// was written yet (so a pre-stream timeout is a real 504, not an
+		// empty 200), as a final NDJSON line otherwise.
+		streamError := func(status int, err error) {
+			if !wroteAny {
+				writeError(w, status, err)
+				return
+			}
+			_ = enc.Encode(StreamItem{Error: err.Error()})
+		}
+		for start := 0; start < len(recs); start += ndjsonChunkSize {
+			if err := ctx.Err(); err != nil {
+				// Client gone or deadline hit: report and stop writing.
+				streamError(predictStatus(err), err)
+				return
+			}
+			chunk := recs[start:min(start+ndjsonChunkSize, len(recs))]
+			routed, errs := p.ClassifyRoutedBatch(ctx, chunk, opts...)
+			for i := range chunk {
+				item := StreamItem{ID: chunk[i].ID}
+				if errs[i] != nil {
+					item.Error = errs[i].Error()
+				} else {
+					resp := toClassifyResponse(chunk[i].ID, &routed[i], absorb)
+					item.Result = &resp
+				}
+				if !wroteAny {
+					w.Header().Set("Content-Type", "application/x-ndjson")
+					wroteAny = true
+				}
+				if err := enc.Encode(item); err != nil {
+					return
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// batchReader returns an iterator over the scans of a batch body,
+// accepting either a JSON array or an NDJSON stream (detected from the
+// first non-space byte). The iterator yields io.EOF after the last scan.
+func batchReader(w http.ResponseWriter, r *http.Request) (func() (*dataset.Record, error), error) {
+	br := bufio.NewReader(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+	first, err := peekNonSpace(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, errors.New("batch has no scans")
+		}
+		return nil, fmt.Errorf("read batch: %w", err)
+	}
+	dec := json.NewDecoder(br)
+	dec.DisallowUnknownFields()
+	array := first == '['
+	if array {
+		if _, err := dec.Token(); err != nil { // consume '['
+			return nil, fmt.Errorf("decode batch: %w", err)
+		}
+	}
+	return func() (*dataset.Record, error) {
+		if array && !dec.More() {
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, fmt.Errorf("unterminated array: %w", err)
+			}
+			return nil, io.EOF
+		}
+		// Scans decode as ClassifyRequest so both v2 body shapes parse:
+		// dataset.Record fields and single-classify fields. Batch options
+		// are batch-wide (query string); a scan that carries its own
+		// top_k/absorb is rejected outright rather than silently
+		// stripped, so explicit write intent can never be dropped.
+		var req ClassifyRequest
+		if err := dec.Decode(&req); err != nil {
+			return nil, err // io.EOF ends an NDJSON stream
+		}
+		if req.TopK != 0 || req.Absorb {
+			return nil, fmt.Errorf("scan %q: per-scan options are not supported in a batch; use query parameters (?top_k=&absorb=)", req.ID)
+		}
+		return &dataset.Record{ID: req.ID, Readings: req.Readings}, nil
+	}, nil
+}
+
+// peekNonSpace returns the first non-whitespace byte without consuming it.
+func peekNonSpace(br *bufio.Reader) (byte, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		default:
+			return b, br.UnreadByte()
+		}
+	}
+}
+
+// decodeStatus maps a batch decode error to its HTTP status: an
+// over-limit body is 413 (matching the v1 batch route), anything else
+// malformed is 400.
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// queryInt parses an optional integer query parameter (0 when absent).
+func queryInt(r *http.Request, key string) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("query %s: %w", key, err)
+	}
+	return n, nil
+}
+
+// queryBool parses an optional boolean query parameter (false when
+// absent); malformed values are an error rather than silently false, so
+// a typo cannot flip a write into a read.
+func queryBool(r *http.Request, key string) (bool, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return false, nil
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, fmt.Errorf("query %s: %w", key, err)
+	}
+	return v, nil
+}
