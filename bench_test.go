@@ -9,6 +9,7 @@ package grafics
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -16,17 +17,20 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/embed"
 	"repro/internal/experiment"
+	"repro/internal/lifecycle"
 	"repro/internal/portfolio"
 	"repro/internal/rfgraph"
 	"repro/internal/sampling"
 	"repro/internal/server"
 	"repro/internal/simulate"
+	"repro/internal/wal"
 )
 
 // benchScale is the corpus scale used by the figure benches.
@@ -518,6 +522,107 @@ func BenchmarkClassifyBatchNDJSON(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(test)), "scans/op")
+}
+
+// BenchmarkWALAppend measures the absorb journal's append cost — the
+// durability tax added to every absorbed scan — with and without
+// per-append fsync.
+func BenchmarkWALAppend(b *testing.B) {
+	readings := make([]dataset.Reading, 20)
+	for i := range readings {
+		readings[i] = dataset.Reading{MAC: fmt.Sprintf("aa:bb:cc:dd:%02x:%02x", i/256, i%256), RSS: -40 - float64(i)}
+	}
+	rec := wal.Record{Building: "bench", Scan: dataset.Record{ID: "scan-1", Readings: readings}}
+	for _, tc := range []struct {
+		name string
+		sync int
+	}{{"fsyncEvery", 1}, {"fsyncNever", -1}} {
+		b.Run(tc.name, func(b *testing.B) {
+			l, err := wal.Open(wal.Options{Dir: b.TempDir(), SyncEvery: tc.sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHotSwapClassify measures classify throughput while background
+// refits continuously retrain and hot-swap the model underneath the
+// readers — the lifecycle subsystem's "reads never stall" claim. The
+// swaps/op metric confirms swaps actually happened during the
+// measurement.
+func BenchmarkHotSwapClassify(b *testing.B) {
+	corpus, err := simulate.Generate(simulate.Campus3F(40, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := dataset.Split(&corpus.Buildings[0], 0.7, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dataset.SelectLabels(train, 4, rng)
+	cfg := core.Config{}
+	cfg.Embed = embed.DefaultConfig()
+	cfg.Embed.SamplesPerEdge = 60
+	m, err := lifecycle.Open(cfg, lifecycle.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	const name = "campus"
+	if err := m.Portfolio().AddBuilding(name, train); err != nil {
+		b.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	swapperDone := make(chan struct{})
+	var swaps atomic.Int64
+	go func() {
+		defer close(swapperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			started, err := m.ForceRefit(name)
+			if err != nil || len(started) == 0 {
+				continue
+			}
+			for m.Refitting() {
+				select {
+				case <-stop:
+					return
+				case <-time.After(200 * time.Microsecond):
+				}
+			}
+			swaps.Add(1)
+		}
+	}()
+
+	ctx := context.Background()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)) % len(test)
+			if _, err := m.Classify(ctx, &test[i], core.WithoutEmbedding()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-swapperDone
+	b.ReportMetric(float64(swaps.Load())/float64(b.N), "swaps/op")
 }
 
 func BenchmarkClusterTrain(b *testing.B) {

@@ -3,13 +3,30 @@
 // trains one GRAFICS system per building, and exposes the v1 and v2 APIs
 // of internal/server:
 //
-//	graficsd -corpus corpus.json -labels 4 -addr :8080
+//	graficsd -corpus corpus.json -labels 4 -addr :8080 -state-dir /var/lib/grafics
 //
 //	curl localhost:8080/v2/healthz
 //	curl localhost:8080/v1/buildings
 //	curl -X POST localhost:8080/v2/classify -d @scan.json
 //	curl -X POST localhost:8080/v2/classify/batch --data-binary @scans.ndjson
 //	curl -X DELETE localhost:8080/v2/macs/aa:bb:cc:dd:ee:01
+//	curl -X POST localhost:8080/v2/admin/snapshot
+//	curl localhost:8080/v2/admin/lifecycle
+//
+// # Durability and freshness
+//
+// With -state-dir, every absorbed scan is journaled to a write-ahead log
+// before the response is sent, and the fleet is periodically captured in
+// a portfolio snapshot. On boot the daemon warm-restarts: it restores the
+// snapshot, replays the WAL tail, and only trains from -corpus the
+// buildings the snapshot does not know (a cold start trains everything
+// and writes the initial snapshot). Graceful shutdown takes a final
+// snapshot; a SIGKILL loses at most the absorb that was mid-append.
+//
+// -refit-after N and -refit-max-age D set the staleness policy: once a
+// building has absorbed N scans since its last fit (or its model is older
+// than D), it is re-fitted on the accumulated corpus in the background
+// and the new model is hot-swapped in while requests continue.
 //
 // Read-only classifications are snapshot-overlay inference against the
 // trained models, so concurrent requests scale with cores. Every request
@@ -34,8 +51,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/embed"
-	"repro/internal/portfolio"
+	"repro/internal/lifecycle"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -45,56 +63,151 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// app is a fully assembled daemon: the HTTP handler, the lifecycle
+// manager behind it, and the serving parameters. Split from run so tests
+// can boot, "kill", and reboot the daemon in-process.
+type app struct {
+	handler      http.Handler
+	manager      *lifecycle.Manager
+	addr         string
+	drainTimeout time.Duration
+	stateDir     string
+	buildings    int
+}
+
+// newApp parses flags, restores or trains the fleet, and wires the
+// lifecycle-managed handler.
+func newApp(args []string, logf func(string, ...any)) (*app, error) {
 	fs := flag.NewFlagSet("graficsd", flag.ContinueOnError)
-	corpusPath := fs.String("corpus", "", "corpus JSON path (required)")
+	corpusPath := fs.String("corpus", "", "corpus JSON path (optional when -state-dir holds a snapshot)")
 	labels := fs.Int("labels", 4, "labeled records per floor used for training")
 	seed := fs.Int64("seed", 1, "label-selection seed")
 	addr := fs.String("addr", ":8080", "listen address")
 	samples := fs.Int("samples-per-edge", 0, "E-LINE sample budget override")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	stateDir := fs.String("state-dir", "", "durable state directory (snapshots + absorb WAL); empty keeps models in memory only")
+	refitAfter := fs.Int("refit-after", 0, "background-refit a building after this many absorbed scans (0 disables)")
+	refitRatio := fs.Float64("refit-overlay-ratio", 0, "background-refit once absorbed scans exceed this fraction of the fitted corpus (0 disables)")
+	refitMaxAge := fs.Duration("refit-max-age", 0, "background-refit a building whose model is older than this (0 disables)")
+	walSync := fs.Int("wal-sync", 1, "fsync the absorb WAL every n appends (negative disables fsync)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, err
 	}
-	if *corpusPath == "" {
-		return fmt.Errorf("-corpus is required")
-	}
-	corpus, err := dataset.LoadFile(*corpusPath)
-	if err != nil {
-		return err
-	}
+
 	cfg := core.Config{}
 	cfg.Embed = embed.DefaultConfig()
 	if *samples > 0 {
 		cfg.Embed.SamplesPerEdge = *samples
 	}
-	p := portfolio.New(cfg)
-	for i := range corpus.Buildings {
-		b := &corpus.Buildings[i]
-		records := append([]dataset.Record(nil), b.Records...)
-		rng := rand.New(rand.NewSource(*seed + int64(i)))
-		granted := dataset.SelectLabels(records, *labels, rng)
-		start := time.Now()
-		if err := p.AddBuilding(b.Name, records); err != nil {
-			return fmt.Errorf("train %s: %w", b.Name, err)
+	m, err := lifecycle.Open(cfg, lifecycle.Options{
+		StateDir: *stateDir,
+		WAL:      walOptions(*walSync),
+		Policy: lifecycle.Policy{
+			RefitAfterAbsorbs: *refitAfter,
+			MaxOverlayRatio:   *refitRatio,
+			MaxModelAge:       *refitMaxAge,
+		},
+		Logf: logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := m.Portfolio()
+	restored := make(map[string]bool)
+	for _, name := range p.Buildings() {
+		restored[name] = true
+	}
+	if len(restored) > 0 {
+		logf("warm restart: %d buildings restored from %s", len(restored), *stateDir)
+	}
+
+	trained := 0
+	if *corpusPath != "" {
+		corpus, err := dataset.LoadFile(*corpusPath)
+		if err != nil {
+			m.Close()
+			return nil, err
 		}
-		log.Printf("trained %s: %d records, %d labels, %v", b.Name, len(records), granted, time.Since(start).Round(time.Millisecond))
+		for i := range corpus.Buildings {
+			b := &corpus.Buildings[i]
+			if restored[b.Name] {
+				logf("skipping %s: already restored from snapshot", b.Name)
+				continue
+			}
+			records := append([]dataset.Record(nil), b.Records...)
+			rng := rand.New(rand.NewSource(*seed + int64(i)))
+			granted := dataset.SelectLabels(records, *labels, rng)
+			start := time.Now()
+			if err := p.AddBuilding(b.Name, records); err != nil {
+				m.Close()
+				return nil, fmt.Errorf("train %s: %w", b.Name, err)
+			}
+			trained++
+			logf("trained %s: %d records, %d labels, %v", b.Name, len(records), granted, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	buildings := len(p.Buildings())
+	if buildings == 0 {
+		m.Close()
+		return nil, fmt.Errorf("no buildings: provide -corpus or a -state-dir with a snapshot")
+	}
+	// A cold start (or new buildings) with durability enabled writes the
+	// snapshot immediately, so a crash before the first absorb already
+	// warm-restarts.
+	if *stateDir != "" && trained > 0 {
+		if err := m.Snapshot(); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("initial snapshot: %w", err)
+		}
+	}
+	return &app{
+		handler:      withRequestTimeout(*reqTimeout, server.HandlerWithLifecycle(m)),
+		manager:      m,
+		addr:         *addr,
+		drainTimeout: *drainTimeout,
+		stateDir:     *stateDir,
+		buildings:    buildings,
+	}, nil
+}
+
+// walOptions maps the -wal-sync flag onto wal.Options (the Dir is
+// derived from the state dir by the lifecycle manager).
+func walOptions(syncEvery int) wal.Options {
+	return wal.Options{SyncEvery: syncEvery}
+}
+
+// shutdown finalizes the lifecycle state: a last snapshot (when durable),
+// then manager close (waits for in-flight refits, closes the WAL).
+func (a *app) shutdown(logf func(string, ...any)) error {
+	if a.stateDir != "" {
+		if err := a.manager.Snapshot(); err != nil {
+			logf("final snapshot failed (WAL still covers the absorbs): %v", err)
+		}
+	}
+	return a.manager.Close()
+}
+
+func run(args []string) error {
+	a, err := newApp(args, log.Printf)
+	if err != nil {
+		return err
 	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           withRequestTimeout(*reqTimeout, server.Handler(p)),
+		Addr:              a.addr,
+		Handler:           a.handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving %d buildings on %s (v1 + v2)", len(corpus.Buildings), *addr)
+		log.Printf("serving %d buildings on %s (v1 + v2)", a.buildings, a.addr)
 		errCh <- srv.ListenAndServe()
 	}()
 	select {
 	case err := <-errCh:
+		a.shutdown(log.Printf)
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
@@ -102,11 +215,17 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately
-	log.Printf("shutting down: draining in-flight requests (up to %v)", *drainTimeout)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	log.Printf("shutting down: draining in-flight requests (up to %v)", a.drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), a.drainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
+	drainErr := srv.Shutdown(shutdownCtx)
+	// Finalize the lifecycle even when the drain timed out: the final
+	// snapshot and WAL close must not be hostage to a stuck request.
+	if err := a.shutdown(log.Printf); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("shutdown: %w", drainErr)
 	}
 	log.Printf("bye")
 	return nil

@@ -4,6 +4,11 @@
 // (BSSIDs are globally unique) and then identifies the floor with that
 // building's GRAFICS model.
 //
+// The fleet runs under the durable model lifecycle: it lives in a state
+// directory, absorbed scans are journaled to a write-ahead log, and the
+// example finishes by killing the fleet without ceremony and
+// warm-restarting it from disk — the crowd-grown graph survives.
+//
 //	go run ./examples/cityfleet
 package main
 
@@ -12,12 +17,13 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	grafics "repro"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/embed"
-	"repro/internal/portfolio"
 )
 
 // meanConfidence drives any Classifier — a single building's System or a
@@ -50,9 +56,19 @@ func main() {
 		log.Fatalf("generate corpus: %v", err)
 	}
 
+	// The fleet lives in a state directory: snapshots plus an absorb WAL.
+	stateDir := filepath.Join(os.TempDir(), "grafics-cityfleet-state")
+	os.RemoveAll(stateDir) // fresh demo run
 	cfg := core.Config{}
 	cfg.Embed = embed.DefaultConfig()
-	fleet := portfolio.New(cfg)
+	mgr, err := grafics.OpenLifecycle(cfg, grafics.LifecycleOptions{
+		StateDir: stateDir,
+		Policy:   grafics.LifecyclePolicy{RefitAfterAbsorbs: 200},
+	})
+	if err != nil {
+		log.Fatalf("open lifecycle: %v", err)
+	}
+	fleet := mgr.Portfolio()
 	holdout := map[string][]dataset.Record{}
 	for i := range corpus.Buildings {
 		b := &corpus.Buildings[i]
@@ -117,4 +133,34 @@ func main() {
 	if _, err := fleet.Classify(ctx, &alien); err != nil {
 		fmt.Printf("out-of-district scan correctly rejected: %v\n", err)
 	}
+
+	// Durability: snapshot the trained fleet, then crowd-grow it through
+	// the lifecycle manager — each absorb is journaled to the WAL before
+	// it is acknowledged.
+	if err := mgr.Snapshot(); err != nil {
+		log.Fatalf("snapshot: %v", err)
+	}
+	absorbed := 0
+	for i := 0; i < 8; i++ {
+		name := names[rng.Intn(len(names))]
+		pool := holdout[name]
+		scan := pool[rng.Intn(len(pool))]
+		scan.ID = fmt.Sprintf("crowd-%d", i)
+		if _, err := mgr.Classify(ctx, &scan, grafics.WithAbsorb()); err == nil {
+			absorbed++
+		}
+	}
+	fmt.Printf("\nabsorbed %d crowd scans; WAL holds %d journaled records\n",
+		absorbed, mgr.Status().WALRecords)
+
+	// Kill the fleet without ceremony — no close, no final snapshot — and
+	// warm-restart from the state dir: snapshot restore + WAL replay.
+	mgr = nil
+	restarted, err := grafics.OpenLifecycle(cfg, grafics.LifecycleOptions{StateDir: stateDir})
+	if err != nil {
+		log.Fatalf("warm restart: %v", err)
+	}
+	defer restarted.Close()
+	fmt.Printf("warm restart: %d buildings restored, %d absorbs replayed from the WAL\n",
+		len(restarted.Portfolio().Buildings()), restarted.Status().Replayed)
 }

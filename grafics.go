@@ -42,6 +42,13 @@
 // The older Predict/PredictBatch/Absorb methods remain as deprecated
 // wrappers over the same pipeline.
 //
+// For long-running deployments, [OpenLifecycle] wraps a fleet
+// ([Portfolio]) with the durable model lifecycle: absorbed scans are
+// journaled to a write-ahead log and captured in portfolio snapshots
+// (surviving crashes and restarts), and stale models are re-fitted on
+// the accumulated corpus in the background and hot-swapped in while
+// classifications continue.
+//
 // Training records are [Record] values; set Labeled on the few records
 // whose Floor is known. See the examples directory for end-to-end
 // programs, including a synthetic-corpus generator for experimentation.
@@ -53,8 +60,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/embed"
+	"repro/internal/lifecycle"
+	"repro/internal/portfolio"
 	"repro/internal/rfgraph"
 	"repro/internal/simulate"
+	"repro/internal/wal"
 )
 
 // Reading is one sensed access point in a scan: MAC address and RSS (dBm).
@@ -179,6 +189,64 @@ func Load(r io.Reader) (*System, error) { return core.Load(r) }
 
 // LoadFile reads a trained System from a file.
 func LoadFile(path string) (*System, error) { return core.LoadFile(path) }
+
+// Portfolio routes scans across a fleet of buildings: attribution by MAC
+// overlap first, then floor identification within the winning building.
+// Portfolio.Save/LoadPortfolio persist the whole fleet (manifest plus one
+// snapshot per building) under a state directory.
+type Portfolio = portfolio.Portfolio
+
+// Routed is a fleet classification: the attributed building plus the
+// floor Result within it.
+type Routed = portfolio.Routed
+
+// NewPortfolio returns an empty fleet; cfg configures every building.
+func NewPortfolio(cfg Config) *Portfolio { return portfolio.New(cfg) }
+
+// LoadPortfolio restores a fleet previously written with Portfolio.Save.
+func LoadPortfolio(dir string, cfg Config) (*Portfolio, error) {
+	return portfolio.LoadPortfolio(dir, cfg)
+}
+
+// LifecycleManager wraps a Portfolio with the durable model lifecycle:
+// every absorb is journaled to a write-ahead log, staleness is tracked
+// per building, and stale models are re-fitted in the background and
+// hot-swapped in while reads continue. See internal/lifecycle.
+type LifecycleManager = lifecycle.Manager
+
+// LifecycleOptions configures OpenLifecycle (state directory, WAL
+// tuning, refit policy).
+type LifecycleOptions = lifecycle.Options
+
+// LifecyclePolicy sets the staleness thresholds that trigger a
+// background refit: absorbed-since-fit count, overlay/anchor ratio, and
+// model age.
+type LifecyclePolicy = lifecycle.Policy
+
+// LifecycleStatus is the fleet-wide lifecycle state (staleness, WAL,
+// snapshot, and refit progress per building).
+type LifecycleStatus = lifecycle.Status
+
+// OpenLifecycle restores (or cold-starts) a lifecycle-managed fleet:
+// with a state directory it loads the latest portfolio snapshot, replays
+// the write-ahead log tail, and opens the journal for new absorbs.
+func OpenLifecycle(cfg Config, opts LifecycleOptions) (*LifecycleManager, error) {
+	return lifecycle.Open(cfg, opts)
+}
+
+// WALOptions tunes the absorb write-ahead log (segment size, fsync
+// policy).
+type WALOptions = wal.Options
+
+// WALRecord is one journaled absorb: building attribution plus the scan.
+type WALRecord = wal.Record
+
+// ReplayWAL reads every complete record of an absorb journal in append
+// order, stopping cleanly at a torn tail; see the wal package for the
+// recovery semantics.
+func ReplayWAL(dir string, fn func(WALRecord) error) (int, error) {
+	return wal.Replay(dir, fn)
+}
 
 // SimulateParams configures the synthetic crowdsourced-corpus generator
 // that stands in for the paper's proprietary datasets (see DESIGN.md §2).

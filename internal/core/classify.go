@@ -390,6 +390,14 @@ func (s *System) absorbClassify(ctx context.Context, rec *dataset.Record, o opti
 	}
 	ego := append([]float64(nil), s.emb.EgoOf(id)...)
 	committed = true
+	// Remember the kept record (under its uniquified ID) so Save can
+	// persist the crowd-grown graph and a refit can train on it. MACs the
+	// scan just (re)introduced are live again: a previously retired AP
+	// that reappears in the crowd is treated as re-installed.
+	s.absorbed = append(s.absorbed, insert)
+	for mac := range newMACs {
+		delete(s.retired, mac)
+	}
 	s.refreshSampler()
 	return s.resultFromEgo(ego, o), nil
 }

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -124,6 +125,30 @@ type System struct {
 	trainRecords []dataset.Record
 	trainNodes   []rfgraph.NodeID
 
+	// absorbed holds the records kept by WithAbsorb classifications, in
+	// insertion order and under their uniquified internal IDs. It is what
+	// makes Save/Load lossless for a crowd-grown system — re-inserting
+	// trainRecords then absorbed reproduces the exact node numbering the
+	// saved embedding tables index — and what a refit uses as the
+	// accumulated corpus.
+	absorbed []dataset.Record
+
+	// retired holds MACs removed via RemoveMAC whose readings still
+	// appear in the accumulated records. Rebuilding a graph from those
+	// records (Load, refit) would silently resurrect the retired APs;
+	// this set is what lets the rebuild re-apply the removals. A retired
+	// MAC that reappears in an absorbed scan (AP re-installed) leaves the
+	// set.
+	retired map[string]struct{}
+
+	// retireLog records every RemoveMAC with its position in the absorb
+	// stream. Node numbering depends on the interleaving: a retired MAC
+	// re-introduced by a later absorb occupies a fresh slot, so Load must
+	// replay retirements at their original positions — not just at the
+	// end — for the rebuilt slots to line up with the saved embedding
+	// rows.
+	retireLog []RetireEvent
+
 	// predictSeq decorrelates the randomness of successive predictions
 	// and names absorbed records. Atomic so read-locked predictions can
 	// advance it without contending on mu.
@@ -134,8 +159,9 @@ type System struct {
 func New(cfg Config) *System {
 	cfg = cfg.normalized()
 	return &System{
-		cfg:   cfg,
-		graph: rfgraph.New(cfg.Weight.Func()),
+		cfg:     cfg,
+		graph:   rfgraph.New(cfg.Weight.Func()),
+		retired: make(map[string]struct{}),
 	}
 }
 
@@ -309,16 +335,52 @@ func (s *System) HasMAC(mac string) bool {
 	return ok
 }
 
+// RetireEvent is one RemoveMAC in the system's history: the MAC and how
+// many records had been absorbed when it was retired (the position that
+// lets a snapshot replay the retirement at the right point).
+type RetireEvent struct {
+	MAC string
+	// After is the absorbed-record count at retirement time: the event
+	// applies after absorbed[0:After] and before absorbed[After].
+	After int
+}
+
 // RemoveMAC retires an access point from the graph (environment churn).
-// The embeddings and clusters are not retrained.
+// The embeddings and clusters are not retrained. The retirement is
+// remembered (see RetiredMACs) so snapshot restores and refits, which
+// rebuild the graph from the accumulated records, re-apply it instead of
+// resurrecting the AP.
 func (s *System) RemoveMAC(mac string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.graph.RemoveMAC(mac); err != nil {
 		return err
 	}
+	s.retired[mac] = struct{}{}
+	s.retireLog = append(s.retireLog, RetireEvent{MAC: mac, After: len(s.absorbed)})
 	s.refreshSampler()
 	return nil
+}
+
+// RetiredMACs returns the MACs removed via RemoveMAC that have not since
+// reappeared in an absorbed scan, sorted for determinism.
+func (s *System) RetiredMACs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedMACs(s.retired)
+}
+
+// sortedMACs flattens a MAC set into a sorted slice.
+func sortedMACs(set map[string]struct{}) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for mac := range set {
+		out = append(out, mac)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // TrainingAssignments returns the virtual floor label that clustering gave
@@ -351,6 +413,58 @@ func (s *System) TrainingRecords() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.trainRecords)
+}
+
+// AbsorbedRecords returns how many records WithAbsorb classifications
+// have kept in the graph since Fit (or since the snapshot this system was
+// loaded from was taken).
+func (s *System) AbsorbedRecords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.absorbed)
+}
+
+// AbsorbedSince returns copies of the absorbed records from index n
+// onward, in insertion order. Pairing it with AbsorbedRecords lets a
+// caller drain exactly the absorbs that arrived after a point in time —
+// the model-lifecycle manager uses this to replay the absorbs that landed
+// while a background refit was training.
+func (s *System) AbsorbedSince(n int) []dataset.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(s.absorbed) {
+		return nil
+	}
+	return append([]dataset.Record(nil), s.absorbed[n:]...)
+}
+
+// CorpusRecords returns copies of every record the model has accumulated:
+// the training records in insertion order, then the absorbed records in
+// absorption order. This is the corpus a refit trains on — absorbed
+// records participate as unlabeled crowd scans exactly like the bulk of
+// the original training set.
+func (s *System) CorpusRecords() []dataset.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]dataset.Record, 0, len(s.trainRecords)+len(s.absorbed))
+	out = append(out, s.trainRecords...)
+	out = append(out, s.absorbed...)
+	return out
+}
+
+// MACs returns the MAC addresses currently in the graph, in node order.
+func (s *System) MACs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.graph.MACNodes()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = s.graph.Name(id)
+	}
+	return out
 }
 
 // ClusterModel exposes the trained clustering (read-only) for diagnostics

@@ -12,12 +12,22 @@ import (
 )
 
 // snapshot is the serialized form of a trained System. The bipartite graph
-// is not stored directly: re-inserting the training records in order
-// reproduces the exact node numbering, so only the records, the learned
-// vectors, and the cluster model are needed.
+// is not stored directly: replaying its history — the training records,
+// then the absorbed records interleaved with the RemoveMAC events at
+// their original positions (RetireLog) — reproduces the exact node
+// numbering, so only the records, the events, the learned vectors, and
+// the cluster model are needed. The interleaving matters: a retired MAC
+// re-introduced by a later absorb occupies a fresh node slot, which a
+// retire-at-the-end replay would not reproduce. Nodes is the node-slot
+// count at save time, checked after the rebuild as an alignment
+// invariant. The new fields decode as zero from snapshots written before
+// they existed, which skips the corresponding replay steps.
 type snapshot struct {
 	Config       Config
 	TrainRecords []dataset.Record
+	Absorbed     []dataset.Record
+	RetireLog    []RetireEvent
+	Nodes        int
 	Dim          int
 	Ego          [][]float64
 	Ctx          [][]float64
@@ -36,6 +46,9 @@ func (s *System) Save(w io.Writer) error {
 	snap := snapshot{
 		Config:       s.cfg,
 		TrainRecords: s.trainRecords,
+		Absorbed:     s.absorbed,
+		RetireLog:    s.retireLog,
+		Nodes:        s.graph.NumNodes(),
 		Dim:          s.emb.Dim,
 		Ego:          s.emb.Ego,
 		Ctx:          s.emb.Ctx,
@@ -60,6 +73,42 @@ func Load(r io.Reader) (*System, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Replay the crowd history after the training records: absorbed scans
+	// in absorption order, with the RemoveMAC events applied at their
+	// original positions in that stream. The learned vectors are already
+	// present in the Ego/Ctx tables at the matching node slots, so no
+	// re-embedding happens and a loaded system classifies identically to
+	// the one that was saved.
+	events := snap.RetireLog
+	for i := 0; i <= len(snap.Absorbed); i++ {
+		for len(events) > 0 && events[0].After <= i {
+			mac := events[0].MAC
+			events = events[1:]
+			if err := s.graph.RemoveMAC(mac); err != nil {
+				return nil, fmt.Errorf("core: replay retirement of %q: %w", mac, err)
+			}
+			s.retired[mac] = struct{}{}
+			s.retireLog = append(s.retireLog, RetireEvent{MAC: mac, After: i})
+		}
+		if i == len(snap.Absorbed) {
+			break
+		}
+		rec := &snap.Absorbed[i]
+		// Mirror absorbClassify: MACs this scan (re)introduces are live
+		// again and leave the retirement set.
+		for _, rd := range rec.Readings {
+			if _, ok := s.graph.MACNode(rd.MAC); !ok {
+				delete(s.retired, rd.MAC)
+			}
+		}
+		if _, err := s.graph.AddRecord(rec); err != nil {
+			return nil, fmt.Errorf("core: rebuild absorbed record %d (%s): %w", i, rec.ID, err)
+		}
+	}
+	s.absorbed = snap.Absorbed
+	if snap.Nodes != 0 && s.graph.NumNodes() != snap.Nodes {
+		return nil, fmt.Errorf("core: rebuilt graph has %d node slots, snapshot had %d; embeddings would misalign", s.graph.NumNodes(), snap.Nodes)
+	}
 	if len(snap.Ego) < s.graph.NumNodes() {
 		return nil, fmt.Errorf("core: snapshot has %d embeddings for %d nodes", len(snap.Ego), s.graph.NumNodes())
 	}

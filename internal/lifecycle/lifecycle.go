@@ -1,0 +1,718 @@
+// Package lifecycle manages the durability and freshness of a crowd-grown
+// GRAFICS portfolio — the deployment mode of the paper where every
+// classified scan can be absorbed to enrich the graph. It closes two gaps
+// that a bare portfolio leaves open in production:
+//
+// Durability. Absorbed scans live only in process memory; a restart
+// discards the crowd corpus. The Manager journals every absorb to an
+// append-only write-ahead log (internal/wal) before acknowledging it, and
+// periodically captures the whole fleet in a portfolio snapshot (manifest
+// plus per-building gobs under a state directory). Open restores the
+// snapshot and replays the WAL tail, so a SIGKILL loses at most the
+// absorb that was mid-append.
+//
+// Freshness. Absorbed scans are embedded against the frozen model and
+// never re-trained, so the E-LINE model drifts away from the graph it
+// serves. The Manager tracks per-building staleness — absorbed-since-fit
+// count, overlay/anchor record ratio, and model age — and when a Policy
+// threshold trips it re-Fits the building in a background goroutine on a
+// copy of the accumulated corpus, then atomically hot-swaps the new
+// core.System into the portfolio while classifications continue against
+// the old one. After a successful swap it snapshots the fleet and
+// truncates the WAL, bounding the log by the refit cadence.
+//
+// All writes (absorbs) must flow through the Manager for the journal to
+// be complete; reads may use the Manager or the portfolio directly.
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/portfolio"
+	"repro/internal/wal"
+)
+
+// Policy sets the staleness thresholds that trigger a background refit.
+// A zero value for any threshold disables that trigger; the zero Policy
+// never refits on its own (ForceRefit still works).
+type Policy struct {
+	// RefitAfterAbsorbs refits a building once it has absorbed this many
+	// scans since its last fit.
+	RefitAfterAbsorbs int `json:"refit_after_absorbs,omitempty"`
+	// MaxOverlayRatio refits once absorbed-since-fit records exceed this
+	// fraction of the records the model was fitted on — the share of the
+	// graph the frozen embedding has never trained on.
+	MaxOverlayRatio float64 `json:"max_overlay_ratio,omitempty"`
+	// MaxModelAge refits a building whose last fit is older than this.
+	MaxModelAge time.Duration `json:"max_model_age,omitempty"`
+	// CheckInterval is how often the age trigger is evaluated (count and
+	// ratio triggers are evaluated on every absorb). 0 means a minute.
+	CheckInterval time.Duration `json:"check_interval,omitempty"`
+}
+
+// enabled reports whether any automatic trigger is configured.
+func (p Policy) enabled() bool {
+	return p.RefitAfterAbsorbs > 0 || p.MaxOverlayRatio > 0 || p.MaxModelAge > 0
+}
+
+// Options configures a Manager.
+type Options struct {
+	// StateDir is where snapshots (manifest + per-building gobs) and the
+	// WAL (a wal/ subdirectory) live. Empty disables durability: no
+	// journal, no snapshots — the Manager still refits per Policy.
+	StateDir string
+	// WAL tunes the write-ahead log; Dir is derived from StateDir and
+	// ignored if set.
+	WAL wal.Options
+	// Policy sets the refit triggers.
+	Policy Policy
+	// Logf receives operational log lines (refit started/finished,
+	// snapshot written, replay progress). Nil discards them.
+	Logf func(format string, args ...any)
+	// Now overrides the clock, for tests. Nil means time.Now.
+	Now func() time.Time
+}
+
+// walSubdir is the WAL directory under StateDir.
+const walSubdir = "wal"
+
+// buildingState is the Manager's per-building refit bookkeeping.
+// Staleness itself (absorbed-since-fit, record counts) is read from the
+// live core.System, which is authoritative by construction: a refit
+// starts a fresh absorb ledger and a snapshot restore repopulates it.
+type buildingState struct {
+	lastFit       time.Time
+	refitting     bool
+	refits        int
+	lastRefitErr  string
+	lastRefitTime time.Duration
+}
+
+// Manager wraps a portfolio with the durable model lifecycle. It
+// implements core.Classifier; absorbing classifications are journaled and
+// counted toward the refit policy. Safe for concurrent use.
+type Manager struct {
+	p        *portfolio.Portfolio
+	log      *wal.Log // nil when StateDir is empty
+	stateDir string
+	policy   Policy
+	logf     func(string, ...any)
+	now      func() time.Time
+
+	// mu coordinates writers: absorbs (journal + graph write) hold it
+	// shared; snapshotting, WAL truncation, and the hot-swap's drain
+	// phase hold it exclusively. Read-only classifications never touch
+	// it, so they continue through snapshots and swaps.
+	mu sync.RWMutex
+
+	// stmu guards st, the snapshot counters, and closing. The refitting
+	// flag and wg.Add live under it so startRefit cannot race Close's
+	// wg.Wait (the WaitGroup-reuse misuse the sync docs forbid).
+	stmu         sync.Mutex
+	st           map[string]*buildingState
+	snapshots    int
+	lastSnapshot time.Time
+	replayed     int // WAL records replayed at Open
+	closing      bool
+
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// Open restores (or cold-starts) a managed portfolio. With a StateDir, it
+// loads the portfolio snapshot if one exists (cold start otherwise),
+// replays the WAL tail — every absorb acknowledged after the last
+// snapshot — into the restored models, and opens the journal for new
+// absorbs. cfg configures buildings registered after the restore.
+func Open(cfg core.Config, opts Options) (*Manager, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	if opts.Policy.CheckInterval <= 0 {
+		opts.Policy.CheckInterval = time.Minute
+	}
+
+	p := portfolio.New(cfg)
+	var jrnl *wal.Log
+	replayed := 0
+	if opts.StateDir != "" {
+		restored, err := portfolio.LoadPortfolio(opts.StateDir, cfg)
+		switch {
+		case err == nil:
+			p = restored
+			logf("lifecycle: restored %d buildings from %s", len(p.Buildings()), opts.StateDir)
+		case errors.Is(err, portfolio.ErrNoManifest):
+			logf("lifecycle: no snapshot in %s, cold start", opts.StateDir)
+		default:
+			return nil, err
+		}
+		walDir := opts.WAL
+		walDir.Dir = walPath(opts.StateDir)
+		// Replay before opening: the journal's torn tail, if any, is the
+		// crash point, and Open would add a fresh segment after it.
+		ctx := context.Background()
+		skipped := 0
+		n, err := wal.Replay(walDir.Dir, func(r wal.Record) error {
+			if r.RetireMAC != "" {
+				// ErrUnknownMAC just means no restored building holds the
+				// AP anymore (e.g. retired again after a re-absorb) —
+				// already the desired end state.
+				if _, rerr := p.RemoveMAC(r.RetireMAC); rerr != nil && !errors.Is(rerr, portfolio.ErrUnknownMAC) {
+					skipped++
+					logf("lifecycle: replay: skipping retirement of %q: %v", r.RetireMAC, rerr)
+				} else {
+					replayed++
+				}
+				return nil
+			}
+			if _, aerr := p.AbsorbBuilding(ctx, r.Building, &r.Scan); aerr != nil {
+				// A record for a building the snapshot doesn't know (or a
+				// scan the restored model rejects) cannot be replayed;
+				// dropping it beats refusing to boot the whole fleet.
+				skipped++
+				logf("lifecycle: replay: skipping %q for %q: %v", r.Scan.ID, r.Building, aerr)
+			} else {
+				replayed++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lifecycle: wal replay: %w", err)
+		}
+		if n > 0 {
+			logf("lifecycle: replayed %d/%d journaled absorbs", replayed, n)
+		}
+		jrnl, err = wal.Open(walDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m := &Manager{
+		p:        p,
+		log:      jrnl,
+		stateDir: opts.StateDir,
+		policy:   opts.Policy,
+		logf:     logf,
+		now:      now,
+		st:       make(map[string]*buildingState),
+		replayed: replayed,
+		stop:     make(chan struct{}),
+	}
+	// Fold a non-trivial replay into a fresh snapshot right away:
+	// otherwise a crash-looping process re-replays (and re-grows) the WAL
+	// on every boot, unbounded, since nothing else truncates it until a
+	// graceful shutdown or a refit. Failure is non-fatal — the WAL still
+	// holds the records.
+	if m.stateDir != "" && replayed > 0 {
+		if err := m.Snapshot(); err != nil {
+			logf("lifecycle: post-replay snapshot failed: %v", err)
+		}
+	}
+	// A fleet restored with a deep WAL may already be past a threshold;
+	// catch up instead of waiting for the next absorb.
+	for _, name := range p.Buildings() {
+		m.maybeRefit(name)
+	}
+	if m.policy.MaxModelAge > 0 {
+		m.wg.Add(1)
+		go m.ageLoop()
+	}
+	return m, nil
+}
+
+// walPath returns the WAL directory under a state dir.
+func walPath(stateDir string) string { return filepath.Join(stateDir, walSubdir) }
+
+// Portfolio returns the managed portfolio, for registration
+// (AddBuilding) and read paths that want to skip the Manager.
+func (m *Manager) Portfolio() *portfolio.Portfolio { return m.p }
+
+// state returns (creating if needed) the bookkeeping for a building. The
+// caller must not hold stmu.
+func (m *Manager) state(name string) *buildingState {
+	m.stmu.Lock()
+	defer m.stmu.Unlock()
+	bs, ok := m.st[name]
+	if !ok {
+		bs = &buildingState{lastFit: m.now()}
+		m.st[name] = bs
+	}
+	return bs
+}
+
+var _ core.Classifier = (*Manager)(nil)
+
+// Classify implements core.Classifier. Read-only classifications pass
+// straight through to the portfolio; absorbing ones are journaled to the
+// WAL before the call returns and counted toward the refit policy.
+func (m *Manager) Classify(ctx context.Context, rec *dataset.Record, opts ...core.Option) (core.Result, error) {
+	routed, err := m.ClassifyRouted(ctx, rec, opts...)
+	return routed.Result, err
+}
+
+// ClassifyRouted is Classify keeping the building attribution.
+func (m *Manager) ClassifyRouted(ctx context.Context, rec *dataset.Record, opts ...core.Option) (portfolio.Routed, error) {
+	if !core.NewRequest(rec, opts...).Absorb() {
+		return m.p.ClassifyRouted(ctx, rec, opts...)
+	}
+	routed, err := func() (portfolio.Routed, error) {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		routed, err := m.p.ClassifyRouted(ctx, rec, opts...)
+		if err == nil {
+			err = m.journal(wal.Record{Building: routed.Building, Scan: *rec})
+		}
+		return routed, err
+	}()
+	if err == nil {
+		m.maybeRefit(routed.Building)
+	}
+	return routed, err
+}
+
+// ClassifyBatch implements core.Classifier for batches.
+func (m *Manager) ClassifyBatch(ctx context.Context, records []dataset.Record, opts ...core.Option) ([]core.Result, []error) {
+	routed, errs := m.ClassifyRoutedBatch(ctx, records, opts...)
+	results := make([]core.Result, len(records))
+	for i := range routed {
+		results[i] = routed[i].Result
+	}
+	return results, errs
+}
+
+// ClassifyRoutedBatch is ClassifyBatch keeping per-record attributions.
+// For absorbing batches every successful record is journaled; the refit
+// check runs once per touched building after the batch.
+func (m *Manager) ClassifyRoutedBatch(ctx context.Context, records []dataset.Record, opts ...core.Option) ([]portfolio.Routed, []error) {
+	if !core.NewRequest(nil, opts...).Absorb() {
+		return m.p.ClassifyRoutedBatch(ctx, records, opts...)
+	}
+	touched := make(map[string]struct{})
+	routed, errs := func() ([]portfolio.Routed, []error) {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		routed, errs := m.p.ClassifyRoutedBatch(ctx, records, opts...)
+		for i := range routed {
+			if errs[i] == nil {
+				errs[i] = m.journal(wal.Record{Building: routed[i].Building, Scan: records[i]})
+			}
+			if errs[i] == nil {
+				touched[routed[i].Building] = struct{}{}
+			}
+		}
+		return routed, errs
+	}()
+	for name := range touched {
+		m.maybeRefit(name)
+	}
+	return routed, errs
+}
+
+// AbsorbBuilding absorbs a scan into a named building (no attribution),
+// journaled like any other absorb.
+func (m *Manager) AbsorbBuilding(ctx context.Context, building string, rec *dataset.Record, opts ...core.Option) (core.Result, error) {
+	res, err := func() (core.Result, error) {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		res, err := m.p.AbsorbBuilding(ctx, building, rec, opts...)
+		if err == nil {
+			err = m.journal(wal.Record{Building: building, Scan: *rec})
+		}
+		return res, err
+	}()
+	if err == nil {
+		m.maybeRefit(building)
+	}
+	return res, err
+}
+
+// RemoveMAC retires an access point fleet-wide, journaled so the
+// retirement survives a crash exactly like an absorb does (snapshot
+// restores and refits re-apply it from the per-building retirement sets;
+// the WAL covers the window since the last snapshot).
+func (m *Manager) RemoveMAC(mac string) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n, err := m.p.RemoveMAC(mac)
+	if err == nil {
+		err = m.journal(wal.Record{RetireMAC: mac})
+	}
+	return n, err
+}
+
+// journal appends one write to the WAL. The caller holds m.mu (shared),
+// which orders the append strictly before any snapshot's WAL truncation.
+// An append failure is returned so the caller fails the request instead
+// of acknowledging a write that would not survive a crash: the write did
+// land in memory (and the next snapshot would capture it), but the
+// durability contract is journal-before-ack, and a client retry after
+// the error at worst duplicates a crowd scan.
+func (m *Manager) journal(rec wal.Record) error {
+	if m.log == nil {
+		return nil
+	}
+	if err := m.log.Append(rec); err != nil {
+		what := "absorb " + rec.Scan.ID
+		if rec.RetireMAC != "" {
+			what = "retirement of " + rec.RetireMAC
+		}
+		m.logf("lifecycle: WAL append failed, %s applied in memory but not durable: %v", what, err)
+		return fmt.Errorf("lifecycle: journal: %w", err)
+	}
+	return nil
+}
+
+// Snapshot captures the whole fleet under the state directory and
+// truncates the WAL. It blocks absorbs (exclusive writer lock) for the
+// duration, so every journaled absorb is either inside the snapshot or
+// appended after the truncation — never lost between the two; read-only
+// classifications continue throughout. Snapshot is a no-op without a
+// state directory.
+func (m *Manager) Snapshot() error {
+	if m.stateDir == "" {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snapshotLocked()
+}
+
+// snapshotLocked writes the snapshot and truncates the WAL. The caller
+// holds m.mu exclusively.
+func (m *Manager) snapshotLocked() error {
+	if m.stateDir == "" {
+		return nil
+	}
+	start := m.now()
+	if err := m.p.Save(m.stateDir); err != nil {
+		return err
+	}
+	// Only a captured journal may be dropped: if Reset fails the WAL just
+	// replays extra (now snapshotted) absorbs on the next boot, which
+	// re-absorb as duplicates rather than losing data.
+	if m.log != nil {
+		if err := m.log.Reset(); err != nil {
+			m.logf("lifecycle: WAL truncate after snapshot failed: %v", err)
+		}
+	}
+	m.stmu.Lock()
+	m.snapshots++
+	m.lastSnapshot = m.now()
+	m.stmu.Unlock()
+	m.logf("lifecycle: snapshot of %d buildings written to %s in %v",
+		len(m.p.Buildings()), m.stateDir, m.now().Sub(start).Round(time.Millisecond))
+	return nil
+}
+
+// staleness evaluates the policy for one building. It returns the trigger
+// description, or "" if the building is fresh.
+func (m *Manager) staleness(name string, bs *buildingState) string {
+	sys, err := m.p.System(name)
+	if err != nil {
+		return ""
+	}
+	absorbed := sys.AbsorbedRecords()
+	if n := m.policy.RefitAfterAbsorbs; n > 0 && absorbed >= n {
+		return fmt.Sprintf("absorbed %d >= %d", absorbed, n)
+	}
+	if r := m.policy.MaxOverlayRatio; r > 0 {
+		if train := sys.TrainingRecords(); train > 0 && float64(absorbed)/float64(train) >= r {
+			return fmt.Sprintf("overlay ratio %.3f >= %.3f", float64(absorbed)/float64(train), r)
+		}
+	}
+	if a := m.policy.MaxModelAge; a > 0 {
+		m.stmu.Lock()
+		age := m.now().Sub(bs.lastFit)
+		m.stmu.Unlock()
+		if age >= a {
+			return fmt.Sprintf("model age %v >= %v", age.Round(time.Second), a)
+		}
+	}
+	return ""
+}
+
+// maybeRefit starts a background refit of name if the policy says so and
+// none is already running.
+func (m *Manager) maybeRefit(name string) {
+	if !m.policy.enabled() {
+		return
+	}
+	bs := m.state(name)
+	why := m.staleness(name, bs)
+	if why == "" {
+		return
+	}
+	m.startRefit(name, bs, why)
+}
+
+// startRefit flips the refitting flag and launches the background refit
+// goroutine; it is a no-op if one is already running or the manager is
+// closing. The flag, the closing check, and wg.Add happen under one lock
+// so a refit can never be launched after Close's wg.Wait has started.
+func (m *Manager) startRefit(name string, bs *buildingState, why string) bool {
+	m.stmu.Lock()
+	if m.closing || bs.refitting {
+		m.stmu.Unlock()
+		return false
+	}
+	bs.refitting = true
+	m.wg.Add(1)
+	m.stmu.Unlock()
+	m.logf("lifecycle: refit of %q starting (%s)", name, why)
+	go m.refit(name, bs)
+	return true
+}
+
+// ForceRefit triggers a refit regardless of thresholds. An empty name
+// refits every registered building. It returns the buildings whose refit
+// was started (already-running ones are skipped).
+func (m *Manager) ForceRefit(name string) ([]string, error) {
+	names := []string{name}
+	if name == "" {
+		names = m.p.Buildings()
+	} else if _, err := m.p.System(name); err != nil {
+		return nil, err
+	}
+	var started []string
+	for _, n := range names {
+		if m.startRefit(n, m.state(n), "forced") {
+			started = append(started, n)
+		}
+	}
+	return started, nil
+}
+
+// refit retrains one building on its accumulated corpus and hot-swaps the
+// result in. The expensive Fit runs without any lifecycle lock held:
+// classifications and absorbs continue against the old model. The final
+// drain-swap-snapshot runs under the exclusive writer lock, so the
+// absorbs that raced with training are replayed into the new model before
+// it goes live and the post-swap snapshot + WAL truncation observe a
+// quiescent journal.
+func (m *Manager) refit(name string, bs *buildingState) {
+	defer m.wg.Done()
+	start := m.now()
+	err := m.refitOnce(name)
+
+	m.stmu.Lock()
+	bs.refitting = false
+	bs.lastRefitTime = m.now().Sub(start)
+	if err != nil {
+		bs.lastRefitErr = err.Error()
+	} else {
+		bs.lastRefitErr = ""
+		bs.refits++
+		bs.lastFit = m.now()
+	}
+	m.stmu.Unlock()
+	if err != nil {
+		m.logf("lifecycle: refit of %q failed after %v: %v", name, m.now().Sub(start).Round(time.Millisecond), err)
+		return
+	}
+	m.logf("lifecycle: refit of %q done in %v", name, m.now().Sub(start).Round(time.Millisecond))
+}
+
+// refitOnce performs one refit cycle for a building.
+func (m *Manager) refitOnce(name string) error {
+	sys, err := m.p.System(name)
+	if err != nil {
+		return err
+	}
+	// Copy the accumulated corpus (training + absorbed records) and
+	// derive how many absorbs it covers from that one atomic snapshot —
+	// reading the absorb count separately would open a window where a
+	// racing absorb lands in neither the corpus nor the drain tail. The
+	// training count is immutable once a system is fitted, so the
+	// subtraction is exact.
+	corpus := sys.CorpusRecords()
+	drained := len(corpus) - sys.TrainingRecords()
+
+	next := core.New(sys.Config())
+	if err := next.AddTraining(corpus); err != nil {
+		return fmt.Errorf("refit %q: %w", name, err)
+	}
+	// Re-apply AP retirements before training: the corpus records still
+	// reference retired MACs, and without this the refit would resurrect
+	// them — in the graph, in the embedding, and in the attribution index
+	// rebuilt at swap time.
+	for _, mac := range sys.RetiredMACs() {
+		if err := next.RemoveMAC(mac); err != nil {
+			return fmt.Errorf("refit %q: re-apply retirement of %q: %w", name, mac, err)
+		}
+	}
+	if err := next.Fit(); err != nil {
+		return fmt.Errorf("refit %q: %w", name, err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Drain: absorbs that landed while Fit was running exist in the old
+	// model and the WAL but not in the new fit; replay them so the swap
+	// loses nothing. New absorbs are blocked (m.mu held exclusively), so
+	// the tail is final.
+	ctx := context.Background()
+	for _, rec := range sys.AbsorbedSince(drained) {
+		if _, err := next.Classify(ctx, &rec, core.WithAbsorb()); err != nil {
+			// The corpus is a superset of the old model's, so this is
+			// near-impossible; the scan stays journaled for the next boot.
+			m.logf("lifecycle: refit %q: could not carry absorbed %q forward: %v", name, rec.ID, err)
+		}
+	}
+	// Retirements that landed while Fit was running (or that a replayed
+	// tail absorb re-introduced out of order) are settled against the old
+	// system's final retirement set, which tracks retire-then-reabsorb
+	// sequences.
+	for _, mac := range sys.RetiredMACs() {
+		if next.HasMAC(mac) {
+			if err := next.RemoveMAC(mac); err != nil {
+				m.logf("lifecycle: refit %q: could not carry retirement of %q forward: %v", name, mac, err)
+			}
+		}
+	}
+	if err := m.p.ReplaceSystem(name, next); err != nil {
+		return fmt.Errorf("refit %q: %w", name, err)
+	}
+	// Persist the new fit. Failure is not fatal to the swap: the model is
+	// live, the WAL still holds the absorbs, and the next snapshot
+	// retries.
+	if m.stateDir != "" {
+		if err := m.snapshotLocked(); err != nil {
+			m.logf("lifecycle: post-refit snapshot failed: %v", err)
+		}
+	}
+	return nil
+}
+
+// ageLoop evaluates the age trigger on a timer.
+func (m *Manager) ageLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.policy.CheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			for _, name := range m.p.Buildings() {
+				m.maybeRefit(name)
+			}
+		}
+	}
+}
+
+// Close stops the background triggers, waits for any in-flight refit to
+// finish, and closes the journal. It does not snapshot; callers wanting a
+// final snapshot (graceful shutdown) call Snapshot first.
+func (m *Manager) Close() error {
+	m.stmu.Lock()
+	m.closing = true
+	m.stmu.Unlock()
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+	if m.log == nil {
+		return nil
+	}
+	return m.log.Close()
+}
+
+// BuildingStatus is one building's lifecycle state.
+type BuildingStatus struct {
+	Building string `json:"building"`
+	// TrainingRecords is the size of the corpus the live model was fitted
+	// on; AbsorbedSinceFit counts crowd scans layered on top of it since.
+	TrainingRecords  int     `json:"training_records"`
+	AbsorbedSinceFit int     `json:"absorbed_since_fit"`
+	OverlayRatio     float64 `json:"overlay_ratio"`
+	// LastFit is when the live model was fitted (process start or restore
+	// time for models that have not refitted yet).
+	LastFit   time.Time `json:"last_fit"`
+	Refitting bool      `json:"refitting"`
+	Refits    int       `json:"refits"`
+	// LastRefitError is the most recent refit failure, empty after a
+	// success.
+	LastRefitError    string        `json:"last_refit_error,omitempty"`
+	LastRefitDuration time.Duration `json:"last_refit_duration_ns,omitempty"`
+}
+
+// Status is the fleet-wide lifecycle state, served by the admin API.
+type Status struct {
+	StateDir string `json:"state_dir,omitempty"`
+	Policy   Policy `json:"policy"`
+	// WALRecords counts absorbs journaled since the last truncation;
+	// WALSegments/WALBytes describe the on-disk log.
+	WALRecords  int   `json:"wal_records"`
+	WALSegments int   `json:"wal_segments"`
+	WALBytes    int64 `json:"wal_bytes"`
+	// Replayed counts the journaled absorbs recovered at startup.
+	Replayed     int              `json:"replayed"`
+	Snapshots    int              `json:"snapshots"`
+	LastSnapshot time.Time        `json:"last_snapshot"`
+	Buildings    []BuildingStatus `json:"buildings"`
+}
+
+// Status reports the current lifecycle state of every building.
+func (m *Manager) Status() Status {
+	st := Status{StateDir: m.stateDir, Policy: m.policy}
+	if m.log != nil {
+		st.WALRecords = m.log.Appended()
+		if ws, err := m.log.Stats(); err == nil {
+			st.WALSegments = ws.Segments
+			st.WALBytes = ws.Bytes
+		}
+	}
+	for _, name := range m.p.Buildings() {
+		sys, err := m.p.System(name)
+		if err != nil {
+			continue
+		}
+		bs := m.state(name)
+		b := BuildingStatus{
+			Building:         name,
+			TrainingRecords:  sys.TrainingRecords(),
+			AbsorbedSinceFit: sys.AbsorbedRecords(),
+		}
+		if b.TrainingRecords > 0 {
+			b.OverlayRatio = float64(b.AbsorbedSinceFit) / float64(b.TrainingRecords)
+		}
+		m.stmu.Lock()
+		b.LastFit = bs.lastFit
+		b.Refitting = bs.refitting
+		b.Refits = bs.refits
+		b.LastRefitError = bs.lastRefitErr
+		b.LastRefitDuration = bs.lastRefitTime
+		m.stmu.Unlock()
+		st.Buildings = append(st.Buildings, b)
+	}
+	m.stmu.Lock()
+	st.Replayed = m.replayed
+	st.Snapshots = m.snapshots
+	st.LastSnapshot = m.lastSnapshot
+	m.stmu.Unlock()
+	return st
+}
+
+// Refitting reports whether any building currently has a refit running.
+func (m *Manager) Refitting() bool {
+	m.stmu.Lock()
+	defer m.stmu.Unlock()
+	for _, bs := range m.st {
+		if bs.refitting {
+			return true
+		}
+	}
+	return false
+}

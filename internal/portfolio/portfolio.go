@@ -137,6 +137,48 @@ func (p *Portfolio) System(name string) (*core.System, error) {
 	return sys, nil
 }
 
+// ReplaceSystem atomically swaps in a new System for a registered
+// building — the hot-swap behind background refits. Classifications in
+// flight on the old System finish against it; every classification that
+// attributes after the swap routes to the new one. The attribution MAC
+// index is rebuilt from the new system's graph so routing and model can
+// never disagree.
+func (p *Portfolio) ReplaceSystem(name string, sys *core.System) error {
+	if !sys.Trained() {
+		return fmt.Errorf("portfolio: replacement for %q: %w", name, core.ErrNotTrained)
+	}
+	macs := make(map[string]struct{})
+	for _, mac := range sys.MACs() {
+		macs[mac] = struct{}{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.systems[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownBuilding, name)
+	}
+	p.systems[name] = sys
+	p.macIndex[name] = macs
+	return nil
+}
+
+// AbsorbBuilding classifies a scan directly against a named building with
+// WithAbsorb forced, keeping the attribution MAC index in step — the
+// warm-restart path, where the write-ahead log already knows which
+// building each journaled scan belongs to and re-attribution by overlap
+// could misroute a scan whose building has since grown.
+func (p *Portfolio) AbsorbBuilding(ctx context.Context, name string, rec *dataset.Record, opts ...core.Option) (core.Result, error) {
+	sys, err := p.System(name)
+	if err != nil {
+		return core.Result{}, err
+	}
+	res, err := sys.Classify(ctx, rec, append(append([]core.Option(nil), opts...), core.WithAbsorb())...)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("portfolio: building %q: %w", name, err)
+	}
+	p.registerMACs(name, rec)
+	return res, nil
+}
+
 // Attribute determines which building a scan was taken in by MAC overlap.
 // It requires a strict winner with at least minOverlap (use 0 for any
 // positive overlap).

@@ -20,6 +20,14 @@
 //	DELETE /v2/macs/{mac}         retire an access point fleet-wide
 //	GET    /v2/stats              per-building graph statistics
 //
+// With a lifecycle manager attached (HandlerWithLifecycle), absorbs are
+// journaled to the write-ahead log before the response is sent, and the
+// admin surface is mounted (see admin.go):
+//
+//	POST /v2/admin/snapshot       capture the fleet under the state dir, truncate the WAL
+//	POST /v2/admin/refit          force a background refit (?building=, default all)
+//	GET  /v2/admin/lifecycle      staleness, WAL, snapshot, and refit status
+//
 // Scans use the dataset.Record JSON shape:
 //
 //	{"id": "scan-1", "readings": [{"mac": "aa:bb:...", "rss": -61}, ...]}
@@ -46,7 +54,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/lifecycle"
 	"repro/internal/portfolio"
+)
+
+// Router is the write-path entry point the HTTP surface talks to:
+// classification (absorbs included) and AP retirement.
+// portfolio.Portfolio implements it directly; lifecycle.Manager wraps it
+// with write-ahead journaling and refit accounting, so when a lifecycle
+// manager is attached every write taken over HTTP is durable.
+type Router interface {
+	ClassifyRouted(ctx context.Context, rec *dataset.Record, opts ...core.Option) (portfolio.Routed, error)
+	ClassifyRoutedBatch(ctx context.Context, records []dataset.Record, opts ...core.Option) ([]portfolio.Routed, []error)
+	RemoveMAC(mac string) (int, error)
+}
+
+var (
+	_ Router = (*portfolio.Portfolio)(nil)
+	_ Router = (*lifecycle.Manager)(nil)
 )
 
 // PredictResponse is the JSON reply to a predict call.
@@ -90,8 +115,23 @@ const maxBatchBytes = 32 << 20
 const maxBatchScans = 10000
 
 // Handler builds the HTTP handler (v1 and v2 surfaces) over a trained
-// portfolio.
+// portfolio. Absorbs taken through this handler live only in process
+// memory; use HandlerWithLifecycle for the durable deployment.
 func Handler(p *portfolio.Portfolio) http.Handler {
+	return buildHandler(p, p, nil)
+}
+
+// HandlerWithLifecycle builds the HTTP handler over a lifecycle-managed
+// portfolio: absorbs are journaled to the manager's WAL, refit policy
+// counters advance, and the /v2/admin routes (snapshot, refit,
+// lifecycle status) are mounted.
+func HandlerWithLifecycle(m *lifecycle.Manager) http.Handler {
+	return buildHandler(m.Portfolio(), m, m)
+}
+
+// buildHandler mounts every route over the portfolio (registration-level
+// reads) and the router (classification, absorbs).
+func buildHandler(p *portfolio.Portfolio, rt Router, m *lifecycle.Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", healthz(p))
 	mux.HandleFunc("GET /v1/buildings", func(w http.ResponseWriter, r *http.Request) {
@@ -102,7 +142,7 @@ func Handler(p *portfolio.Portfolio) http.Handler {
 		if !ok {
 			return
 		}
-		routed, err := p.ClassifyRouted(r.Context(), rec)
+		routed, err := rt.ClassifyRouted(r.Context(), rec)
 		if err != nil {
 			writeError(w, predictStatus(err), err)
 			return
@@ -131,7 +171,7 @@ func Handler(p *portfolio.Portfolio) http.Handler {
 				fmt.Errorf("batch has %d scans, limit %d", len(recs), maxBatchScans))
 			return
 		}
-		routed, errs := p.ClassifyRoutedBatch(r.Context(), recs)
+		routed, errs := rt.ClassifyRoutedBatch(r.Context(), recs)
 		// A batch cut short by the request deadline (or a vanished
 		// client) is a failure, not a 200 full of error strings — match
 		// the single-scan route's status mapping.
@@ -172,7 +212,10 @@ func Handler(p *portfolio.Portfolio) http.Handler {
 			Result:   res,
 		}))
 	})
-	registerV2(mux, p)
+	registerV2(mux, p, rt)
+	if m != nil {
+		registerAdmin(mux, m)
+	}
 	return mux
 }
 

@@ -89,15 +89,17 @@ type BuildingStatsItem struct {
 // noticed quickly.
 const ndjsonChunkSize = 64
 
-// registerV2 mounts the v2 routes on mux.
-func registerV2(mux *http.ServeMux, p *portfolio.Portfolio) {
+// registerV2 mounts the v2 routes on mux. Classification goes through rt
+// so an attached lifecycle manager sees (and journals) every absorb;
+// fleet-level reads and MAC retirement address the portfolio directly.
+func registerV2(mux *http.ServeMux, p *portfolio.Portfolio, rt Router) {
 	mux.HandleFunc("GET /v2/healthz", healthz(p))
-	mux.HandleFunc("POST /v2/classify", classifyV2(p, false))
-	mux.HandleFunc("POST /v2/absorb", classifyV2(p, true))
-	mux.HandleFunc("POST /v2/classify/batch", classifyBatchV2(p))
+	mux.HandleFunc("POST /v2/classify", classifyV2(rt, false))
+	mux.HandleFunc("POST /v2/absorb", classifyV2(rt, true))
+	mux.HandleFunc("POST /v2/classify/batch", classifyBatchV2(rt))
 	mux.HandleFunc("DELETE /v2/macs/{mac}", func(w http.ResponseWriter, r *http.Request) {
 		mac := r.PathValue("mac")
-		n, err := p.RemoveMAC(mac)
+		n, err := rt.RemoveMAC(mac)
 		if err != nil {
 			status := http.StatusInternalServerError
 			if errors.Is(err, portfolio.ErrUnknownMAC) {
@@ -157,7 +159,7 @@ func toClassifyResponse(id string, routed *portfolio.Routed, absorbed bool) Clas
 // classifyV2 serves POST /v2/classify and POST /v2/absorb (the latter
 // forces the absorb option, making the write intent explicit in the
 // route).
-func classifyV2(p *portfolio.Portfolio, forceAbsorb bool) http.HandlerFunc {
+func classifyV2(rt Router, forceAbsorb bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req ClassifyRequest
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -172,7 +174,7 @@ func classifyV2(p *portfolio.Portfolio, forceAbsorb bool) http.HandlerFunc {
 		}
 		absorb := req.Absorb || forceAbsorb
 		rec := &dataset.Record{ID: req.ID, Readings: req.Readings}
-		routed, err := p.ClassifyRouted(r.Context(), rec, optionsOf(req.TopK, absorb)...)
+		routed, err := rt.ClassifyRouted(r.Context(), rec, optionsOf(req.TopK, absorb)...)
 		if err != nil {
 			writeError(w, predictStatus(err), err)
 			return
@@ -191,7 +193,7 @@ func classifyV2(p *portfolio.Portfolio, forceAbsorb bool) http.HandlerFunc {
 // per chunk, so large batches never buffer a 32 MB response in memory.
 // Once the request context is cancelled (timeout or client disconnect),
 // classification stops claiming scans and the handler stops writing.
-func classifyBatchV2(p *portfolio.Portfolio) http.HandlerFunc {
+func classifyBatchV2(rt Router) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		topK, err := queryInt(r, "top_k")
 		if err != nil {
@@ -256,7 +258,7 @@ func classifyBatchV2(p *portfolio.Portfolio) http.HandlerFunc {
 				return
 			}
 			chunk := recs[start:min(start+ndjsonChunkSize, len(recs))]
-			routed, errs := p.ClassifyRoutedBatch(ctx, chunk, opts...)
+			routed, errs := rt.ClassifyRoutedBatch(ctx, chunk, opts...)
 			for i := range chunk {
 				item := StreamItem{ID: chunk[i].ID}
 				if errs[i] != nil {

@@ -1,0 +1,436 @@
+// Package wal implements the append-only write-ahead log that makes
+// crowd-grown GRAFICS models durable. Every absorbed scan is journaled as
+// a length-prefixed, CRC-checksummed gob frame before it is acknowledged;
+// after a crash, Replay recovers every complete record and stops cleanly
+// at a torn tail (the half-written frame of the interrupted append).
+//
+// The log is a directory of numbered segment files. Append rotates to a
+// fresh segment once the current one exceeds SegmentMaxBytes, and Open
+// always starts a new segment rather than appending to a possibly-torn
+// tail, so recovery never has to repair a file in place. Reset deletes
+// every segment — the caller does this after the absorbed records have
+// been captured by a model snapshot, bounding the log's size by the
+// snapshot cadence.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Record is one journaled write. An absorb carries the scan and the
+// building it was attributed to, so replay can route it back to the
+// right model; an AP retirement carries only the MAC. Exactly one of the
+// two shapes is set.
+type Record struct {
+	// Building is the attributed building name (absorbs only).
+	Building string
+	// Scan is the absorbed scan as the client sent it (absorbs only).
+	Scan dataset.Record
+	// RetireMAC, when non-empty, marks this record as a fleet-wide AP
+	// retirement instead of an absorb.
+	RetireMAC string
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the log directory (created if missing). Required.
+	Dir string
+	// SegmentMaxBytes rotates to a new segment file once the current one
+	// exceeds this size. 0 means DefaultSegmentMaxBytes.
+	SegmentMaxBytes int64
+	// SyncEvery fsyncs the segment after every n-th append: 1 (the
+	// default) syncs every append — an acknowledged absorb survives power
+	// loss; larger values amortize the fsync over n appends; negative
+	// disables fsync entirely (the OS flushes on its own schedule).
+	SyncEvery int
+}
+
+// DefaultSegmentMaxBytes is the segment rotation threshold (8 MiB).
+const DefaultSegmentMaxBytes = 8 << 20
+
+// segment file naming: wal-00000042.log.
+const (
+	segPrefix = "wal-"
+	segSuffix = ".log"
+)
+
+// frame layout: 4-byte little-endian payload length, 4-byte CRC-32 (IEEE)
+// of the payload, then the gob-encoded Record payload.
+const frameHeader = 8
+
+// maxFrameBytes bounds a single frame so a corrupted length prefix cannot
+// make replay attempt a multi-gigabyte allocation.
+const maxFrameBytes = 16 << 20
+
+// ErrCorrupt marks a frame whose checksum or length is invalid somewhere
+// other than the final segment's tail — real corruption, not a torn
+// append.
+var ErrCorrupt = errors.New("wal: corrupt frame")
+
+// Log is an open write-ahead log. It is safe for concurrent use.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	seg      int   // current segment index
+	segSize  int64 // bytes written to the current segment
+	appended int   // records appended since Open/Reset
+	unsynced int   // appends since the last fsync
+	closed   bool
+}
+
+// Open creates (or reuses) the log directory and starts a fresh segment
+// after the highest existing one. Existing segments are left untouched
+// for Replay.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if opts.SegmentMaxBytes <= 0 {
+		opts.SegmentMaxBytes = DefaultSegmentMaxBytes
+	}
+	if opts.SyncEvery == 0 {
+		opts.SyncEvery = 1
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	segs, err := segments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	if len(segs) > 0 {
+		next = segs[len(segs)-1] + 1
+	}
+	l := &Log{opts: opts, seg: next - 1}
+	if err := l.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// segPath returns the file path of segment i.
+func segPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", segPrefix, i, segSuffix))
+}
+
+// segments lists the existing segment indices in ascending order.
+func segments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || len(name) != len(segPrefix)+8+len(segSuffix) {
+			continue
+		}
+		var i int
+		if _, err := fmt.Sscanf(name, segPrefix+"%08d"+segSuffix, &i); err != nil {
+			continue
+		}
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// rotateLocked closes the current segment (if any) and opens the next
+// one. The caller holds l.mu (or is Open, pre-publication).
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: close segment: %w", err)
+		}
+		l.f = nil
+	}
+	l.seg++
+	f, err := os.OpenFile(segPath(l.opts.Dir, l.seg), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	// Persist the new directory entry (unless fsync is disabled): a
+	// synced frame inside a file whose dirent was lost to a power cut is
+	// as gone as an unsynced frame.
+	if l.opts.SyncEvery >= 0 {
+		if err := syncDir(l.opts.Dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	l.f = f
+	l.segSize = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so recent renames/creates in it survive
+// power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// syncLocked flushes pending appends to stable storage per the policy.
+func (l *Log) syncLocked() error {
+	if l.unsynced == 0 || l.opts.SyncEvery < 0 || l.f == nil {
+		l.unsynced = 0
+		return nil
+	}
+	l.unsynced = 0
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Append journals one record. The frame is written with a single Write
+// call so a crash leaves at worst one torn frame at the tail of the final
+// segment, which Replay skips cleanly.
+func (l *Log) Append(rec Record) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
+		return fmt.Errorf("wal: encode record: %w", err)
+	}
+	// Enforce the same bound Replay enforces: a frame accepted here but
+	// rejected at recovery would be an absorb acknowledged as durable and
+	// then dropped (or, worse, mistaken for corruption) on the next boot.
+	if payload.Len() > maxFrameBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", payload.Len(), maxFrameBytes)
+	}
+	frame := make([]byte, frameHeader+payload.Len())
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(frame[frameHeader:], payload.Bytes())
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	// A failed Reset can leave the log without an open segment; recover
+	// by rotating to a fresh one instead of wedging every future append.
+	if l.f == nil {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if l.segSize > 0 && l.segSize+int64(len(frame)) > l.opts.SegmentMaxBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.segSize += int64(len(frame))
+	l.appended++
+	l.unsynced++
+	if l.opts.SyncEvery > 0 && l.unsynced >= l.opts.SyncEvery {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Sync forces pending appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.unsynced = 1 // force
+	return l.syncLocked()
+}
+
+// Appended returns the number of records appended since Open or the last
+// Reset.
+func (l *Log) Appended() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Stats describes the on-disk state of the log.
+type Stats struct {
+	// Segments is the number of segment files on disk.
+	Segments int
+	// Bytes is their total size.
+	Bytes int64
+}
+
+// Stats reports the on-disk segment count and size.
+func (l *Log) Stats() (Stats, error) {
+	l.mu.Lock()
+	dir := l.opts.Dir
+	l.mu.Unlock()
+	segs, err := segments(dir)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{Segments: len(segs)}
+	for _, i := range segs {
+		if fi, err := os.Stat(segPath(dir, i)); err == nil {
+			st.Bytes += fi.Size()
+		}
+	}
+	return st, nil
+}
+
+// Reset deletes every segment and starts fresh at segment 0. The caller
+// invokes it after a model snapshot has captured everything the log
+// holds; an absorb acknowledged after Reset returns lands in the new
+// segment and is therefore never lost.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: close segment: %w", err)
+		}
+		l.f = nil
+	}
+	segs, err := segments(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, i := range segs {
+		if err := os.Remove(segPath(l.opts.Dir, i)); err != nil {
+			return fmt.Errorf("wal: remove segment: %w", err)
+		}
+	}
+	l.seg = -1
+	l.appended = 0
+	l.unsynced = 0
+	return l.rotateLocked()
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	if err := l.syncLocked(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Replay reads every complete record in dir, in append order, invoking fn
+// for each. A torn tail — a truncated or checksum-failing frame at the
+// end of the final segment, the signature of a crash mid-append — ends
+// replay cleanly; the same damage in any earlier segment returns
+// ErrCorrupt, because an append-only log can only be torn at its very
+// end. A missing directory replays zero records. Replay returns the
+// number of records delivered; fn returning an error aborts with that
+// error.
+func Replay(dir string, fn func(Record) error) (int, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for si, seg := range segs {
+		final := si == len(segs)-1
+		n, err := replaySegment(segPath(dir, seg), final, fn)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// replaySegment replays one segment file. When final is true, a torn or
+// corrupt tail stops cleanly instead of failing.
+func replaySegment(path string, final bool, fn func(Record) error) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	n := 0
+	var header [frameHeader]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil // clean end of segment
+			}
+			// Partial header: torn tail.
+			return n, tornErr(final, path, "truncated frame header")
+		}
+		size := binary.LittleEndian.Uint32(header[0:4])
+		want := binary.LittleEndian.Uint32(header[4:8])
+		if size > maxFrameBytes {
+			return n, tornErr(final, path, "implausible frame length")
+		}
+		if cap(payload) < int(size) {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return n, tornErr(final, path, "truncated frame payload")
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return n, tornErr(final, path, "checksum mismatch")
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			// The payload passed its checksum, so this is a frame from an
+			// incompatible writer rather than disk damage; surface it even
+			// at the tail.
+			return n, fmt.Errorf("%w: %s: decode: %v", ErrCorrupt, filepath.Base(path), err)
+		}
+		if err := fn(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// tornErr returns nil for a torn tail in the final segment (clean stop)
+// and ErrCorrupt anywhere else.
+func tornErr(final bool, path, what string) error {
+	if final {
+		return nil
+	}
+	return fmt.Errorf("%w: %s: %s in non-final segment", ErrCorrupt, filepath.Base(path), what)
+}

@@ -1,0 +1,240 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// testRecord builds a distinguishable WAL record.
+func testRecord(i int) Record {
+	return Record{
+		Building: fmt.Sprintf("bldg-%d", i%3),
+		Scan: dataset.Record{
+			ID: fmt.Sprintf("scan-%d", i),
+			Readings: []dataset.Reading{
+				{MAC: fmt.Sprintf("aa:bb:cc:dd:ee:%02x", i%256), RSS: -40 - float64(i%50)},
+				{MAC: "aa:bb:cc:dd:ee:ff", RSS: -70},
+			},
+		},
+	}
+}
+
+// collect replays dir into a slice.
+func collect(t *testing.T, dir string) []Record {
+	t.Helper()
+	var out []Record
+	n, err := Replay(dir, func(r Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if n != len(out) {
+		t.Fatalf("replay reported %d records, delivered %d", n, len(out))
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if got := l.Appended(); got != n {
+		t.Fatalf("Appended = %d, want %d", got, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		want := testRecord(i)
+		if r.Building != want.Building || r.Scan.ID != want.Scan.ID ||
+			len(r.Scan.Readings) != len(want.Scan.Readings) ||
+			r.Scan.Readings[0] != want.Scan.Readings[0] {
+			t.Fatalf("record %d: got %+v, want %+v", i, r, want)
+		}
+	}
+}
+
+func TestSegmentRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := l.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation to produce multiple segments, got %d", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen appends to a fresh segment; earlier records survive.
+	l2, err := Open(Options{Dir: dir, SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 14; i++ {
+		if err := l2.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir)
+	if len(got) != 14 {
+		t.Fatalf("replayed %d records across reopen, want 14", len(got))
+	}
+	for i, r := range got {
+		if r.Scan.ID != testRecord(i).Scan.ID {
+			t.Fatalf("record %d out of order: %s", i, r.Scan.ID)
+		}
+	}
+}
+
+// TestTornTailRecovery simulates a crash mid-append by truncating the
+// final segment inside its last frame: replay must deliver every complete
+// record and stop cleanly.
+func TestTornTailRecovery(t *testing.T) {
+	for _, cut := range []int64{1, 3, 9} { // inside header, inside header, inside payload
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 8
+			for i := 0; i < n; i++ {
+				if err := l.Append(testRecord(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			segs, err := segments(dir)
+			if err != nil || len(segs) != 1 {
+				t.Fatalf("segments = %v, err %v", segs, err)
+			}
+			path := segPath(dir, segs[0])
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Chop the tail so the final frame is incomplete.
+			if err := os.Truncate(path, fi.Size()-cut); err != nil {
+				t.Fatal(err)
+			}
+			got := collect(t, dir)
+			if len(got) != n-1 {
+				t.Fatalf("replayed %d records after torn tail, want %d", len(got), n-1)
+			}
+		})
+	}
+}
+
+// TestCorruptMidSegmentFails flips a payload byte in a non-final segment:
+// that is real corruption, not a torn tail, and must surface as
+// ErrCorrupt.
+func TestCorruptMidSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentMaxBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need multiple segments, got %d", len(segs))
+	}
+	path := segPath(dir, segs[0])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[frameHeader+2] ^= 0xff // corrupt first frame's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(dir, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestResetDropsEverything(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentMaxBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Appended(); got != 0 {
+		t.Fatalf("Appended after Reset = %d, want 0", got)
+	}
+	// Appends after Reset are the only survivors.
+	if err := l.Append(testRecord(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, dir)
+	if len(got) != 1 || got[0].Scan.ID != "scan-99" {
+		t.Fatalf("replay after Reset = %+v, want only scan-99", got)
+	}
+}
+
+func TestReplayMissingDirIsEmpty(t *testing.T) {
+	n, err := Replay(filepath.Join(t.TempDir(), "nope"), func(Record) error {
+		t.Fatal("unexpected record")
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("replay of missing dir: n=%d err=%v", n, err)
+	}
+}
