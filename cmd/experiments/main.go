@@ -53,7 +53,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "figure to reproduce: 1, 6, 8, 9, 11, 12, 13, 14, 15, 16, 17, or all")
-	scaleName := fs.String("scale", "harness", "corpus scale: harness | full")
+	scaleName := fs.String("scale", "harness", "corpus scale: tiny | harness | full")
 	seed := fs.Int64("seed", 1, "root seed")
 	tsvDir := fs.String("tsv", "", "when set with -fig 6, write per-method t-SNE projections as TSV into this directory")
 	if err := fs.Parse(args); err != nil {
@@ -61,12 +61,16 @@ func run(args []string) error {
 	}
 	var scale experiment.Scale
 	switch *scaleName {
+	case "tiny":
+		// Smoke scale for CI and tests: every figure completes in seconds
+		// on a tiny synthetic corpus (the numbers are not paper-faithful).
+		scale = experiment.Scale{MicrosoftBuildings: 2, RecordsPerFloor: 25, SamplesPerEdge: 25, Repetitions: 1}
 	case "harness":
 		scale = experiment.ScaleHarness()
 	case "full":
 		scale = experiment.ScalePaper()
 	default:
-		return fmt.Errorf("unknown scale %q (want harness or full)", *scaleName)
+		return fmt.Errorf("unknown scale %q (want tiny, harness, or full)", *scaleName)
 	}
 
 	runners := map[string]func() error{

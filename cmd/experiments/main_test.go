@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunTinyScaleSmoke drives the CLI through every fast figure on the
+// tiny synthetic corpus — the first coverage this binary has had. Figures
+// 11 and 15 sweep full label/dimension grids and take minutes even at
+// tiny scale; their computation is unit-tested with restricted sweeps in
+// internal/experiment (TestFig11SmallSweep, TestFigures), so the CLI
+// smoke covers them only when GRAFICS_SLOW_TESTS=1.
+func TestRunTinyScaleSmoke(t *testing.T) {
+	figs := "1,6,8,9,12,13,14,16,17"
+	if os.Getenv("GRAFICS_SLOW_TESTS") == "1" {
+		figs += ",11,15"
+	}
+	if err := run([]string{"-fig", figs, "-scale", "tiny", "-seed", "3"}); err != nil {
+		t.Fatalf("run(-fig %s -scale tiny): %v", figs, err)
+	}
+}
+
+// TestRunWritesTSNE covers the -tsv export path of figure 6.
+func TestRunWritesTSNE(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "6", "-scale", "tiny", "-tsv", dir}); err != nil {
+		t.Fatalf("run(-fig 6 -tsv): %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no TSV files written")
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "fig6-") || !strings.HasSuffix(e.Name(), ".tsv") {
+			t.Errorf("unexpected file %q", e.Name())
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("ReadFile(%s): %v", e.Name(), err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 2 || lines[0] != "x\ty\tfloor" {
+			t.Errorf("%s: malformed TSV (header %q, %d lines)", e.Name(), lines[0], len(lines))
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}

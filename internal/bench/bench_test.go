@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func TestWorkloadDeterministic(t *testing.T) {
+	spec := WorkloadSpec{Buildings: 2, RecordsPerFloor: 12, Queries: 40, Seed: 9}
+	a, err := NewWorkload(spec)
+	if err != nil {
+		t.Fatalf("NewWorkload: %v", err)
+	}
+	b, err := NewWorkload(spec)
+	if err != nil {
+		t.Fatalf("NewWorkload: %v", err)
+	}
+	if len(a.Buildings) != 2 {
+		t.Fatalf("buildings = %d, want 2", len(a.Buildings))
+	}
+	if len(a.Queries) == 0 || len(a.Queries) > spec.Queries {
+		t.Fatalf("queries = %d, want in (0,%d]", len(a.Queries), spec.Queries)
+	}
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatalf("query counts differ: %d vs %d", len(a.Queries), len(b.Queries))
+	}
+	for i := range a.Queries {
+		if a.Queries[i].ID != b.Queries[i].ID {
+			t.Fatalf("query %d differs: %s vs %s — workload not deterministic", i, a.Queries[i].ID, b.Queries[i].ID)
+		}
+	}
+	// A different seed must actually change the workload.
+	spec.Seed = 10
+	c, err := NewWorkload(spec)
+	if err != nil {
+		t.Fatalf("NewWorkload: %v", err)
+	}
+	same := len(a.Queries) == len(c.Queries)
+	if same {
+		for i := range a.Queries {
+			if a.Queries[i].ID != c.Queries[i].ID {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seed change left the workload identical")
+	}
+}
+
+func TestWorkloadDefaults(t *testing.T) {
+	w, err := NewWorkload(WorkloadSpec{})
+	if err != nil {
+		t.Fatalf("NewWorkload(zero): %v", err)
+	}
+	def := DefaultWorkloadSpec()
+	if w.Spec != def {
+		t.Errorf("normalized spec %+v, want defaults %+v", w.Spec, def)
+	}
+}
+
+// queries returns a tiny synthetic pool for driver tests; the driver
+// never looks inside the records.
+func queryPool(n int) []dataset.Record {
+	out := make([]dataset.Record, n)
+	for i := range out {
+		out[i] = dataset.Record{ID: string(rune('a' + i))}
+	}
+	return out
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	var calls atomic.Int64
+	target := func(ctx context.Context, rec *dataset.Record) error {
+		calls.Add(1)
+		if rec.ID == "b" {
+			return errors.New("boom")
+		}
+		return nil
+	}
+	rep, err := Run(context.Background(), "test/closed", target, queryPool(4), DriverConfig{
+		Requests: 40, Warmup: 8, Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := calls.Load(); got != 48 {
+		t.Errorf("target called %d times, want 40 measured + 8 warmup", got)
+	}
+	if rep.Requests != 40 || rep.Mode != "closed" || rep.Concurrency != 4 {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if rep.Errors != 10 { // every 4th query errors
+		t.Errorf("errors = %d, want 10", rep.Errors)
+	}
+	if rep.ThroughputRPS <= 0 || rep.WallSeconds <= 0 {
+		t.Errorf("throughput/wall not positive: %+v", rep)
+	}
+	if rep.Latency.P50 < 0 || rep.Latency.P95 < rep.Latency.P50 || rep.Latency.Max < rep.Latency.P99 {
+		t.Errorf("latency summary not monotone: %+v", rep.Latency)
+	}
+	total := 0
+	for _, b := range rep.Latency.Histogram {
+		total += b.Count
+	}
+	if total != 40 {
+		t.Errorf("histogram holds %d samples, want 40", total)
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	target := func(ctx context.Context, rec *dataset.Record) error { return nil }
+	start := time.Now()
+	rep, err := Run(context.Background(), "test/open", target, queryPool(3), DriverConfig{
+		Requests: 50, Concurrency: 4, RatePerSec: 500,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Mode != "open" || rep.RatePerSec != 500 {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	// 50 requests at 500/s ≈ 100ms schedule; allow generous slack for CI.
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("open loop finished in %v, faster than the arrival schedule allows", elapsed)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	target := func(ctx context.Context, rec *dataset.Record) error { return nil }
+	if _, err := Run(context.Background(), "x", target, nil, DriverConfig{Requests: 1}); err == nil {
+		t.Error("no queries should fail")
+	}
+	if _, err := Run(context.Background(), "x", target, queryPool(1), DriverConfig{}); err == nil {
+		t.Error("zero requests should fail")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, "x", target, queryPool(1), DriverConfig{Requests: 5}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run = %v, want context.Canceled", err)
+	}
+}
+
+func TestFileRoundTripAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+	base := NewFile(DefaultWorkloadSpec())
+	base.Scenarios = []Report{
+		{Scenario: "core/classify/c1", Latency: LatencySummary{P95: 1.0}, AllocsPerOp: 10},
+		{Scenario: "retired/scenario", Latency: LatencySummary{P95: 1.0}, AllocsPerOp: 10},
+	}
+	if err := base.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	read, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if read.Schema != Schema || len(read.Scenarios) != 2 || read.Scenarios[0].Scenario != "core/classify/c1" {
+		t.Fatalf("round trip mangled the file: %+v", read)
+	}
+
+	cur := NewFile(DefaultWorkloadSpec())
+	cur.Scenarios = []Report{
+		// 10% p95 growth: within a 20% gate.
+		{Scenario: "core/classify/c1", Latency: LatencySummary{P95: 1.1}, AllocsPerOp: 10},
+		// Only present in current: must be skipped, not failed.
+		{Scenario: "brand/new/c1", Latency: LatencySummary{P95: 99}, AllocsPerOp: 999},
+	}
+	if regs := Compare(read, cur, 20, 25); len(regs) != 0 {
+		t.Errorf("within-threshold run flagged: %v", regs)
+	}
+	cur.Scenarios[0].Latency.P95 = 1.5 // +50%
+	regs := Compare(read, cur, 20, 25)
+	if len(regs) != 1 || regs[0].Metric != "p95_ms" {
+		t.Fatalf("p95 regression not caught: %v", regs)
+	}
+	if regs[0].Pct < 49 || regs[0].Pct > 51 {
+		t.Errorf("regression pct %.1f, want ~50", regs[0].Pct)
+	}
+	cur.Scenarios[0].Latency.P95 = 1.0
+	cur.Scenarios[0].AllocsPerOp = 20 // +100% and above absolute grace
+	regs = Compare(read, cur, 20, 25)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("allocs regression not caught: %v", regs)
+	}
+	if regs = Compare(read, cur, 20, 0); len(regs) != 0 {
+		t.Errorf("disabled allocs gate still fired: %v", regs)
+	}
+}
+
+// TestCompareMicrosecondGrace: sub-50µs baselines must not fail on
+// scheduler noise — the absolute grace dominates the percentage gate.
+func TestCompareMicrosecondGrace(t *testing.T) {
+	base := NewFile(DefaultWorkloadSpec())
+	base.Scenarios = []Report{{Scenario: "s", Latency: LatencySummary{P95: 0.010}}}
+	cur := NewFile(DefaultWorkloadSpec())
+	cur.Scenarios = []Report{{Scenario: "s", Latency: LatencySummary{P95: 0.055}}}
+	if regs := Compare(base, cur, 20, 0); len(regs) != 0 {
+		t.Errorf("jitter within the 50µs grace flagged: %v", regs)
+	}
+	cur.Scenarios[0].Latency.P95 = 0.070
+	if regs := Compare(base, cur, 20, 0); len(regs) != 1 {
+		t.Errorf("regression beyond the grace not caught: %v", regs)
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema": 999}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("wrong schema should fail")
+	}
+	mangled := filepath.Join(dir, "mangled.json")
+	if err := os.WriteFile(mangled, []byte(`{not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(mangled); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}

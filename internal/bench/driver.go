@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Target classifies one scan. Every scenario — direct core.System calls,
+// portfolio routing, or a real HTTP round-trip — is wrapped into this
+// shape so the driver measures them identically.
+type Target func(ctx context.Context, rec *dataset.Record) error
+
+// DriverConfig configures one load scenario.
+type DriverConfig struct {
+	// Requests is how many measured requests to issue.
+	Requests int
+	// Warmup requests are issued before measurement starts (JIT-free Go
+	// still benefits: page faults, branch predictors, connection pools).
+	Warmup int
+	// Concurrency is the worker count in closed-loop mode and the
+	// in-flight cap in open-loop mode. Minimum 1.
+	Concurrency int
+	// RatePerSec switches the driver to open-loop mode: requests are
+	// released on a fixed arrival schedule and latency is measured from
+	// the scheduled arrival, so queueing delay is charged to the system
+	// under test (no coordinated omission). Zero means closed loop.
+	RatePerSec float64
+}
+
+// Run drives target with the query pool (cycled as needed) and returns the
+// measured report. The context cancels the whole scenario; a cancelled run
+// returns ctx.Err().
+func Run(ctx context.Context, scenario string, target Target, queries []dataset.Record, cfg DriverConfig) (Report, error) {
+	if len(queries) == 0 {
+		return Report{}, fmt.Errorf("bench: scenario %q has no queries", scenario)
+	}
+	if cfg.Requests <= 0 {
+		return Report{}, fmt.Errorf("bench: scenario %q requests must be positive", scenario)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	// Warmup: closed-loop, unmeasured, bounded by the same concurrency.
+	if cfg.Warmup > 0 {
+		if err := closedLoop(ctx, target, queries, cfg.Warmup, cfg.Concurrency, nil); err != nil {
+			return Report{}, err
+		}
+	}
+
+	latencies := make([]int64, cfg.Requests) // ns, indexed by request slot
+	var errCount atomic.Int64
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var err error
+	if cfg.RatePerSec > 0 {
+		err = openLoop(ctx, target, queries, cfg, latencies, &errCount)
+	} else {
+		err = closedLoop(ctx, target, queries, cfg.Requests, cfg.Concurrency, func(slot int, d time.Duration, reqErr error) {
+			latencies[slot] = d.Nanoseconds()
+			if reqErr != nil {
+				errCount.Add(1)
+			}
+		})
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return Report{}, err
+	}
+
+	rep := Report{
+		Scenario:    scenario,
+		Mode:        "closed",
+		Concurrency: cfg.Concurrency,
+		RatePerSec:  cfg.RatePerSec,
+		Requests:    cfg.Requests,
+		Errors:      int(errCount.Load()),
+		WallSeconds: wall.Seconds(),
+		Latency:     summarize(latencies),
+		// Process-wide allocation deltas: exact when nothing else runs,
+		// which is how the harness invokes scenarios (sequentially, after
+		// a GC). Meaningful as a trend even with background noise.
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(cfg.Requests),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Requests),
+	}
+	if cfg.RatePerSec > 0 {
+		rep.Mode = "open"
+	}
+	if wall > 0 {
+		rep.ThroughputRPS = float64(cfg.Requests) / wall.Seconds()
+	}
+	return rep, nil
+}
+
+// closedLoop runs n requests over workers goroutines, each worker issuing
+// the next request as soon as its previous one finishes. record may be nil
+// (warmup).
+func closedLoop(ctx context.Context, target Target, queries []dataset.Record, n, workers int, record func(slot int, d time.Duration, err error)) error {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				slot := int(next.Add(1) - 1)
+				if slot >= n || ctx.Err() != nil {
+					return
+				}
+				rec := &queries[slot%len(queries)]
+				t0 := time.Now()
+				err := target(ctx, rec)
+				if record != nil {
+					record(slot, time.Since(t0), err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// openLoop releases requests on a fixed schedule of 1/rate intervals.
+// Latency for each request is measured from its scheduled arrival time, so
+// time spent waiting for an in-flight slot (the system falling behind)
+// counts against the system rather than being silently absorbed.
+func openLoop(ctx context.Context, target Target, queries []dataset.Record, cfg DriverConfig, latencies []int64, errCount *atomic.Int64) error {
+	interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for slot := 0; slot < cfg.Requests; slot++ {
+		scheduled := start.Add(time.Duration(slot) * interval)
+		if d := time.Until(scheduled); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				wg.Wait()
+				return ctx.Err()
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return ctx.Err()
+		}
+		wg.Add(1)
+		go func(slot int, scheduled time.Time) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rec := &queries[slot%len(queries)]
+			err := target(ctx, rec)
+			latencies[slot] = time.Since(scheduled).Nanoseconds()
+			if err != nil {
+				errCount.Add(1)
+			}
+		}(slot, scheduled)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// summarize computes the latency summary and log-spaced histogram from raw
+// nanosecond samples.
+func summarize(ns []int64) LatencySummary {
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sorted)-1))
+		return float64(sorted[i]) / 1e6
+	}
+	var sum int64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := 0.0
+	if len(sorted) > 0 {
+		mean = float64(sum) / float64(len(sorted)) / 1e6
+	}
+	return LatencySummary{
+		P50:       q(0.50),
+		P90:       q(0.90),
+		P95:       q(0.95),
+		P99:       q(0.99),
+		Max:       q(1.0),
+		MeanMS:    mean,
+		Histogram: histogram(sorted),
+	}
+}
+
+// histogram buckets samples into powers of two starting at 1µs; the upper
+// bound of each bucket doubles, so ~30 buckets cover 1µs to >10s.
+func histogram(sortedNS []int64) []HistogramBucket {
+	var out []HistogramBucket
+	upper := int64(1000) // 1µs in ns
+	i := 0
+	for i < len(sortedNS) {
+		n := 0
+		for i < len(sortedNS) && sortedNS[i] <= upper {
+			n++
+			i++
+		}
+		if n > 0 {
+			out = append(out, HistogramBucket{UpperMS: float64(upper) / 1e6, Count: n})
+		}
+		upper *= 2
+	}
+	return out
+}

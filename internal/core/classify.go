@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
@@ -18,6 +19,25 @@ import (
 	"repro/internal/par"
 	"repro/internal/rfgraph"
 )
+
+// classifyWorkspace is the pooled per-request scratch of a classification:
+// the MAC dedup set, the reusable scan overlay, the detached-embedding
+// buffers, and the per-floor reduction arrays. Pooling it makes the
+// read-only Classify path allocation-free apart from the Result itself.
+// A workspace carries no model state — every field is rebuilt from the
+// current snapshot on use — so the pool is safely shared across Systems,
+// absorbs, and hot swaps.
+type classifyWorkspace struct {
+	seen         map[string]struct{}
+	overlay      rfgraph.Overlay
+	embed        embed.Workspace
+	floorDist    []float64
+	floorCluster []int32
+}
+
+var classifyPool = sync.Pool{New: func() any {
+	return &classifyWorkspace{seen: make(map[string]struct{}, 32)}
+}}
 
 // Classifier is the context-first classification contract. Both System
 // (one building) and portfolio.Portfolio (a fleet, with MAC-overlap
@@ -152,90 +172,148 @@ func (r Result) Prediction() Prediction {
 	}
 }
 
+// floorIndex is the invariant per-floor view of a trained cluster model:
+// every labeled cluster paired with a dense slot per distinct floor, in
+// the same first-encounter order the per-request map used to rebuild on
+// every call. It depends only on the cluster model, so it is computed
+// once at Fit/Load (and travels with the System through a lifecycle hot
+// swap); absorbs and MAC retirements mutate the graph, not the model, so
+// they cannot invalidate it.
+type floorIndex struct {
+	floors  []int // slot → floor label, in first-encounter order
+	entries []floorEntry
+}
+
+// floorEntry is one labeled cluster and its floor slot.
+type floorEntry struct {
+	cluster int32
+	slot    int32
+}
+
+// newFloorIndex scans the model's clusters in index order.
+func newFloorIndex(m *cluster.Model) *floorIndex {
+	idx := &floorIndex{}
+	slotOf := make(map[int]int32)
+	for i := range m.Clusters {
+		c := &m.Clusters[i]
+		if c.Label == cluster.Unlabeled {
+			continue
+		}
+		slot, ok := slotOf[c.Label]
+		if !ok {
+			slot = int32(len(idx.floors))
+			slotOf[c.Label] = slot
+			idx.floors = append(idx.floors, c.Label)
+		}
+		idx.entries = append(idx.entries, floorEntry{cluster: int32(i), slot: slot})
+	}
+	return idx
+}
+
 // resultFromEgo classifies an ego embedding against the trained cluster
 // model and assembles the Result: the labeled clusters are collapsed to
-// the nearest cluster per distinct floor in one O(#clusters) pass, and
-// the per-floor distances are turned into a confidence distribution by a
-// stable softmax over negative distances,
+// the nearest cluster per distinct floor in one O(#labeled clusters)
+// pass over the cached floorIndex, and the per-floor distances are
+// turned into a confidence distribution by a stable softmax over
+// negative distances,
 //
 //	conf(f) = exp(d_min - d_f) / Σ_g exp(d_min - d_g),
 //
 // so the nearest floor always holds the largest share and confidences
 // sum to 1. Ranking beyond the winner (a sort of the per-floor set) is
 // only paid when the request asked for more than one candidate, keeping
-// the default path as cheap as the legacy model.Predict. The caller
-// holds at least a read lock.
-func (s *System) resultFromEgo(ego []float64, o options) Result {
-	// rankedFloor is one floor's nearest labeled cluster.
-	type rankedFloor struct {
-		clusterIdx int
-		floor      int
-		dist       float64
+// the default path as cheap as the legacy model.Predict. ws supplies the
+// per-floor reduction arrays (nil allocates). The caller holds at least
+// a read lock; ego is only read, and the Result receives its own copy.
+func (s *System) resultFromEgo(ego []float64, o options, ws *classifyWorkspace) Result {
+	idx := s.fidx
+	if idx == nil {
+		// Hand-built or corrupted snapshots can reach here without Fit.
+		idx = newFloorIndex(s.model)
 	}
-	// One pass over the clusters in index order: per-floor minimum plus
-	// the global winner, chosen with strictly-smaller-wins exactly like
-	// cluster.Model.Predict so the deprecated wrappers keep returning the
-	// identical floor, ties included.
-	var perFloor []rankedFloor
-	idxOf := make(map[int]int)
-	winner := -1
-	for i := range s.model.Clusters {
-		c := &s.model.Clusters[i]
-		if c.Label == cluster.Unlabeled {
-			continue
-		}
-		d := linalg.Distance(ego, c.Centroid)
-		j, ok := idxOf[c.Label]
-		if !ok {
-			j = len(perFloor)
-			idxOf[c.Label] = j
-			perFloor = append(perFloor, rankedFloor{clusterIdx: i, floor: c.Label, dist: d})
-		} else if d < perFloor[j].dist {
-			perFloor[j] = rankedFloor{clusterIdx: i, floor: c.Label, dist: d}
-		}
-		if winner == -1 || d < perFloor[winner].dist {
-			winner = j
-		}
-	}
-	if winner == -1 {
+	nf := len(idx.floors)
+	if nf == 0 {
 		// No labeled cluster (possible only for a corrupted or hand-built
 		// snapshot): degrade like the legacy model.Predict did instead of
 		// panicking — Unlabeled floor, no cluster, infinite distance.
 		res := Result{Floor: cluster.Unlabeled, ClusterIndex: -1, Distance: math.Inf(1)}
 		if !o.noEmbedding {
-			res.Embedding = ego
+			res.Embedding = append([]float64(nil), ego...)
 		}
 		return res
 	}
-	top := perFloor[winner]
+	var dist []float64
+	var clust []int32
+	if ws != nil {
+		// Both caps must be checked: equal-length float64 and int32 slices
+		// round up to different size-class capacities, so one can cover nf
+		// while the other does not.
+		if cap(ws.floorDist) < nf || cap(ws.floorCluster) < nf {
+			ws.floorDist = make([]float64, nf)
+			ws.floorCluster = make([]int32, nf)
+		}
+		dist, clust = ws.floorDist[:nf], ws.floorCluster[:nf]
+	} else {
+		dist, clust = make([]float64, nf), make([]int32, nf)
+	}
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	// One pass over the labeled clusters in index order: per-floor
+	// minimum plus the global winner, chosen with strictly-smaller-wins
+	// exactly like cluster.Model.Predict so the deprecated wrappers keep
+	// returning the identical floor, ties included.
+	winner := -1
+	for _, e := range idx.entries {
+		d := linalg.Distance(ego, s.model.Clusters[e.cluster].Centroid)
+		if d < dist[e.slot] {
+			dist[e.slot] = d
+			clust[e.slot] = e.cluster
+		}
+		if winner == -1 || d < dist[winner] {
+			winner = int(e.slot)
+		}
+	}
+	topDist := dist[winner]
 	var mass float64
-	for _, r := range perFloor {
-		mass += math.Exp(top.dist - r.dist)
+	for _, d := range dist {
+		mass += math.Exp(topDist - d)
 	}
 	k := o.topK
 	if k == 0 {
 		k = 1 // zero-value Request (Do without NewRequest) gets the default
 	}
-	if k < 0 || k > len(perFloor) {
-		k = len(perFloor)
+	if k < 0 || k > nf {
+		k = nf
 	}
 	var cands []Candidate
 	if k == 1 {
 		cands = []Candidate{{
-			Floor:        top.floor,
-			ClusterIndex: top.clusterIdx,
-			Distance:     top.dist,
+			Floor:        idx.floors[winner],
+			ClusterIndex: int(clust[winner]),
+			Distance:     topDist,
 			Confidence:   1 / mass,
 		}}
 	} else {
 		// Ranking beyond the winner: the winner's floor is pinned first
 		// (it may tie on distance with a later floor), the rest sort by
-		// ascending distance.
+		// ascending distance. This path allocates the ranked set — it is
+		// only paid when the request asked for more than one candidate.
+		type rankedFloor struct {
+			clusterIdx int
+			floor      int
+			dist       float64
+		}
+		topFloor := idx.floors[winner]
+		perFloor := make([]rankedFloor, nf)
+		for i := range perFloor {
+			perFloor[i] = rankedFloor{clusterIdx: int(clust[i]), floor: idx.floors[i], dist: dist[i]}
+		}
 		sort.SliceStable(perFloor, func(a, b int) bool {
-			if perFloor[a].floor == top.floor {
-				return perFloor[b].floor != top.floor
+			if perFloor[a].floor == topFloor {
+				return perFloor[b].floor != topFloor
 			}
-			if perFloor[b].floor == top.floor {
+			if perFloor[b].floor == topFloor {
 				return false
 			}
 			return perFloor[a].dist < perFloor[b].dist
@@ -246,7 +324,7 @@ func (s *System) resultFromEgo(ego []float64, o options) Result {
 				Floor:        perFloor[i].floor,
 				ClusterIndex: perFloor[i].clusterIdx,
 				Distance:     perFloor[i].dist,
-				Confidence:   math.Exp(top.dist-perFloor[i].dist) / mass,
+				Confidence:   math.Exp(topDist-perFloor[i].dist) / mass,
 			}
 		}
 	}
@@ -258,7 +336,7 @@ func (s *System) resultFromEgo(ego []float64, o options) Result {
 		Distance:     cands[0].Distance,
 	}
 	if !o.noEmbedding {
-		res.Embedding = ego
+		res.Embedding = append([]float64(nil), ego...)
 	}
 	return res
 }
@@ -280,8 +358,10 @@ func (s *System) incrementalFor(o options, seq int64) embed.IncrementalConfig {
 // embedDetachedRLocked runs the read-only half of the §V pipeline: check
 // MAC overlap, layer the scan over the frozen graph as a virtual node
 // (rfgraph.Overlay), and embed it detachedly against the frozen model.
-// The caller holds at least s.mu.RLock; no shared state is written.
-func (s *System) embedDetachedRLocked(rec *dataset.Record, o options) ([]float64, error) {
+// Overlay and embedding compute into ws's pooled buffers; the returned
+// ego vector is owned by ws and valid only until its next use. The
+// caller holds at least s.mu.RLock; no shared state is written.
+func (s *System) embedDetachedRLocked(rec *dataset.Record, o options, ws *classifyWorkspace) ([]float64, error) {
 	if !s.trained {
 		return nil, ErrNotTrained
 	}
@@ -290,15 +370,15 @@ func (s *System) embedDetachedRLocked(rec *dataset.Record, o options) ([]float64
 	// ErrOutOfBuilding exactly as the write path reports them. Footnote 1
 	// of the paper: a sample containing only never-seen MACs was likely
 	// collected outside the building.
-	if s.knownMACs(rec) == 0 {
+	if s.knownMACsInto(rec, ws.seen) == 0 {
 		return nil, fmt.Errorf("%w: record %q", ErrOutOfBuilding, rec.ID)
 	}
-	ov, err := rfgraph.NewOverlay(s.graph, rec)
-	if err != nil {
+	ov := &ws.overlay
+	if err := ov.Reset(s.graph, rec); err != nil {
 		return nil, fmt.Errorf("core: online overlay: %w", err)
 	}
 	inc := s.incrementalFor(o, s.predictSeq.Add(1))
-	ego, err := embed.EmbedDetachedEgo(ov, s.emb, ov.Node(), inc, s.neg)
+	ego, err := embed.EmbedDetachedEgoInto(&ws.embed, ov, s.emb, ov.Node(), inc, s.neg)
 	if err != nil {
 		return nil, fmt.Errorf("core: online embedding: %w", err)
 	}
@@ -332,14 +412,26 @@ func (s *System) Do(ctx context.Context, req Request) (Result, error) {
 	return s.classifyRLocked(req.Record, req.opts)
 }
 
-// classifyRLocked is the read-only classification path. The caller holds
-// at least s.mu.RLock; no shared state is written.
+// classifyRLocked is the read-only classification path. It borrows a
+// pooled workspace for the request's scratch state — overlay, embedding
+// buffers, per-floor reduction — and returns it on exit, so steady-state
+// classification allocates only the Result. The caller holds at least
+// s.mu.RLock; no shared state is written.
 func (s *System) classifyRLocked(rec *dataset.Record, o options) (Result, error) {
-	ego, err := s.embedDetachedRLocked(rec, o)
+	ws := classifyPool.Get().(*classifyWorkspace)
+	defer func() {
+		// Drop the references into this System (embedding rows, base
+		// graph) before pooling, so an idle workspace never pins a model
+		// that a lifecycle hot swap has since retired.
+		ws.embed.Release()
+		ws.overlay.Release()
+		classifyPool.Put(ws)
+	}()
+	ego, err := s.embedDetachedRLocked(rec, o, ws)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.resultFromEgo(ego, o), nil
+	return s.resultFromEgo(ego, o, ws), nil
 }
 
 // absorbClassify is the write path behind WithAbsorb: classify the scan
@@ -388,7 +480,9 @@ func (s *System) absorbClassify(ctx context.Context, rec *dataset.Record, o opti
 	if err := embed.EmbedNewNode(s.graph, s.emb, id, inc); err != nil {
 		return Result{}, fmt.Errorf("core: online embedding: %w", err)
 	}
-	ego := append([]float64(nil), s.emb.EgoOf(id)...)
+	// resultFromEgo copies the ego into the Result, so handing it the
+	// live table row is safe: we hold the write lock for the whole call.
+	ego := s.emb.EgoOf(id)
 	committed = true
 	// Remember the kept record (under its uniquified ID) so Save can
 	// persist the crowd-grown graph and a refit can train on it. MACs the
@@ -399,7 +493,7 @@ func (s *System) absorbClassify(ctx context.Context, rec *dataset.Record, o opti
 		delete(s.retired, mac)
 	}
 	s.refreshSampler()
-	return s.resultFromEgo(ego, o), nil
+	return s.resultFromEgo(ego, o, nil), nil
 }
 
 // ClassifyBatch classifies each record concurrently over a

@@ -261,7 +261,7 @@ func TestResultFromEgoNoLabels(t *testing.T) {
 	s := &System{model: &cluster.Model{Clusters: []cluster.Cluster{
 		{Label: cluster.Unlabeled, Centroid: []float64{0, 0}},
 	}}}
-	res := s.resultFromEgo([]float64{1, 1}, defaultOptions())
+	res := s.resultFromEgo([]float64{1, 1}, defaultOptions(), nil)
 	if res.Floor != cluster.Unlabeled || res.ClusterIndex != -1 || !math.IsInf(res.Distance, 1) {
 		t.Errorf("degraded result = %+v, want Unlabeled/-1/+Inf", res)
 	}

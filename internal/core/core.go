@@ -115,6 +115,13 @@ type System struct {
 	model   *cluster.Model
 	trained bool
 
+	// fidx caches the per-floor view of the cluster model (which labeled
+	// clusters exist, grouped by floor) so read-only classifications stop
+	// rebuilding it per request. It is derived from model alone: set
+	// wherever model is (Fit, Load), untouched by absorbs and MAC
+	// retirements, and replaced wholesale on a lifecycle hot swap.
+	fidx *floorIndex
+
 	// neg is the frozen negative-sampling distribution shared by all
 	// concurrent predictions; writers rebuild it after mutating the
 	// graph (see refreshSampler).
@@ -226,6 +233,7 @@ func (s *System) Fit() error {
 	}
 	s.emb = emb
 	s.model = model
+	s.fidx = newFloorIndex(model)
 	s.neg = neg
 	s.trained = true
 	return nil
@@ -267,8 +275,15 @@ type Prediction struct {
 
 // knownMACs counts the record's readings whose MAC already has a node.
 func (s *System) knownMACs(rec *dataset.Record) int {
+	return s.knownMACsInto(rec, make(map[string]struct{}, len(rec.Readings)))
+}
+
+// knownMACsInto is knownMACs with a caller-owned dedup set, so the pooled
+// classification path skips the per-request map allocation. seen is
+// cleared before use.
+func (s *System) knownMACsInto(rec *dataset.Record, seen map[string]struct{}) int {
+	clear(seen)
 	n := 0
-	seen := make(map[string]struct{}, len(rec.Readings))
 	for _, rd := range rec.Readings {
 		if _, dup := seen[rd.MAC]; dup {
 			continue

@@ -120,6 +120,7 @@ func Load(r io.Reader) (*System, error) {
 	s.neg = neg
 	model := snap.Model
 	s.model = &model
+	s.fidx = newFloorIndex(s.model)
 	s.predictSeq.Store(int64(snap.PredictSeq))
 	s.trained = true
 	return s, nil

@@ -244,39 +244,6 @@ func TestFig16OffsetBeatsPower(t *testing.T) {
 	}
 }
 
-func TestFig11SmallSweep(t *testing.T) {
-	if testing.Short() {
-		t.Skip("fig11 sweep is the most expensive runner")
-	}
-	s := Scale{MicrosoftBuildings: 2, RecordsPerFloor: 25, SamplesPerEdge: 120, Repetitions: 1}
-	rows, err := Fig11(s, []int{4}, 1)
-	if err != nil {
-		t.Fatalf("Fig11: %v", err)
-	}
-	// 2 datasets x 1 label count x 5 methods.
-	if len(rows) != 10 {
-		t.Fatalf("rows = %d, want 10", len(rows))
-	}
-	// The paper's claim is about the average over many buildings; at
-	// test scale we average the two corpora and require GRAFICS to be at
-	// or near the top (small corpora put several methods close to the
-	// ceiling).
-	avg := map[string]float64{}
-	for _, r := range rows {
-		avg[r.Method] += r.MicroF / 2
-	}
-	grafics := avg["GRAFICS"]
-	for method, f := range avg {
-		if grafics < f-0.05 {
-			t.Errorf("GRAFICS (%v) clearly below %s (%v) at 4 labels", grafics, method, f)
-		}
-	}
-	var buf bytes.Buffer
-	if err := PrintFig11(&buf, rows); err != nil {
-		t.Fatal(err)
-	}
-}
-
 func TestScales(t *testing.T) {
 	h := ScaleHarness()
 	if h.MicrosoftBuildings <= 0 || h.RecordsPerFloor <= 0 {

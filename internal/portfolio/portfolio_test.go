@@ -381,3 +381,89 @@ func TestPortfolioStats(t *testing.T) {
 		}
 	}
 }
+
+// TestClassifyDuringHotSwapAndAbsorb hammers pooled classifications while
+// one goroutine absorbs scans and another hot-swaps a freshly refit
+// System in via ReplaceSystem. Under -race this proves the classify
+// workspace pool and the per-System floor-index/negative-sampler caches
+// never leak state across the swap: in-flight requests finish on the
+// snapshot they started on, later ones see the replacement.
+func TestClassifyDuringHotSwapAndAbsorb(t *testing.T) {
+	p, tests := fleet(t, 2, 31)
+	names := p.Buildings()
+	target := names[0]
+	pool := tests[target]
+	ctx := context.Background()
+
+	// Refit a replacement System up front so the swap itself is quick.
+	old, err := p.System(target)
+	if err != nil {
+		t.Fatalf("System: %v", err)
+	}
+	replacement := core.New(old.Config())
+	if err := replacement.AddTraining(old.CorpusRecords()); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	if err := replacement.Fit(); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+
+	const readers = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+2)
+	swapped := make(chan struct{})
+	wg.Add(1)
+	go func() { // absorber
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			rec := pool[i%len(pool)]
+			rec.ID = fmt.Sprintf("%s-hotswap-absorb-%d", rec.ID, i)
+			if _, err := p.AbsorbBuilding(ctx, target, &rec); err != nil {
+				errCh <- fmt.Errorf("absorb %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // swapper
+		defer wg.Done()
+		defer close(swapped)
+		if err := p.ReplaceSystem(target, replacement); err != nil {
+			errCh <- fmt.Errorf("ReplaceSystem: %w", err)
+		}
+	}()
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				rec := pool[(w*30+i)%len(pool)]
+				if _, err := p.ClassifyRouted(ctx, &rec, core.WithTopK(2)); err != nil {
+					errCh <- fmt.Errorf("reader %d iter %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	<-swapped
+	// Post-swap the fleet must still classify and route to the target.
+	routed, err := p.ClassifyRouted(ctx, &pool[0])
+	if err != nil {
+		t.Fatalf("post-swap ClassifyRouted: %v", err)
+	}
+	if routed.Building != target {
+		t.Errorf("post-swap routed to %q, want %q", routed.Building, target)
+	}
+	sys, err := p.System(target)
+	if err != nil {
+		t.Fatalf("System: %v", err)
+	}
+	if sys != replacement {
+		t.Error("replacement System not installed")
+	}
+}

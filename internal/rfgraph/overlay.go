@@ -64,6 +64,10 @@ type Overlay struct {
 	// eager copies would be pure waste.
 	touched map[NodeID]float64
 
+	// best is the per-Reset RSS dedup scratch, kept on the overlay so a
+	// pooled overlay re-resolves duplicate readings without allocating.
+	best map[string]float64
+
 	skippedMACs int // readings whose MAC the base graph has never seen
 }
 
@@ -73,20 +77,43 @@ type Overlay struct {
 // the base yields an overlay with KnownMACs() == 0, which callers should
 // treat as out-of-building.
 func NewOverlay(base *Graph, rec *dataset.Record) (*Overlay, error) {
-	if len(rec.Readings) == 0 {
-		return nil, fmt.Errorf("%w: %q", ErrEmptyRecord, rec.ID)
+	ov := &Overlay{}
+	if err := ov.Reset(base, rec); err != nil {
+		return nil, err
 	}
-	best := make(map[string]float64, len(rec.Readings))
+	return ov, nil
+}
+
+// Reset rebinds the overlay to a new base/scan pair, reusing its edge
+// list and maps — the pooling hook that makes overlay construction
+// allocation-free on the classification hot path. On error the overlay is
+// unusable until the next successful Reset. The result of a successful
+// Reset is indistinguishable from a fresh NewOverlay.
+func (o *Overlay) Reset(base *Graph, rec *dataset.Record) error {
+	if len(rec.Readings) == 0 {
+		return fmt.Errorf("%w: %q", ErrEmptyRecord, rec.ID)
+	}
+	if o.touched == nil {
+		o.touched = make(map[NodeID]float64, len(rec.Readings))
+	} else {
+		clear(o.touched)
+	}
+	if o.best == nil {
+		o.best = make(map[string]float64, len(rec.Readings))
+	} else {
+		clear(o.best)
+	}
+	o.base = base
+	o.node = NodeID(base.NumNodes())
+	o.name = rec.ID
+	o.adj = o.adj[:0]
+	o.wdeg = 0
+	o.skippedMACs = 0
+	best := o.best
 	for _, rd := range rec.Readings {
 		if cur, ok := best[rd.MAC]; !ok || rd.RSS > cur {
 			best[rd.MAC] = rd.RSS
 		}
-	}
-	ov := &Overlay{
-		base:    base,
-		node:    NodeID(base.NumNodes()),
-		name:    rec.ID,
-		touched: make(map[NodeID]float64, len(best)),
 	}
 	// Iterate in reading order (consuming the dedup map) so the edge
 	// order — and with it the alias-sampled randomness downstream — is
@@ -103,18 +130,26 @@ func NewOverlay(base *Graph, rec *dataset.Record) (*Overlay, error) {
 		// (Graph.AddRecord validates all readings too).
 		w := base.weightFn(rss)
 		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("%w: f(%v) = %v for MAC %q", ErrBadWeight, rss, w, mac)
+			return fmt.Errorf("%w: f(%v) = %v for MAC %q", ErrBadWeight, rss, w, mac)
 		}
 		mid, ok := base.MACNode(mac)
 		if !ok {
-			ov.skippedMACs++
+			o.skippedMACs++
 			continue
 		}
-		ov.adj = append(ov.adj, Halfedge{To: mid, Weight: w})
-		ov.wdeg += w
-		ov.touched[mid] = w
+		o.adj = append(o.adj, Halfedge{To: mid, Weight: w})
+		o.wdeg += w
+		o.touched[mid] = w
 	}
-	return ov, nil
+	return nil
+}
+
+// Release unbinds the overlay from its base graph and scan so a pooled
+// overlay cannot pin a retired graph in memory between requests. The maps
+// and edge list are kept; the overlay is unusable until the next Reset.
+func (o *Overlay) Release() {
+	o.base = nil
+	o.name = ""
 }
 
 // Node returns the ID of the virtual scan node.

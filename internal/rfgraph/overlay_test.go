@@ -139,3 +139,50 @@ func TestOverlayErrors(t *testing.T) {
 		t.Errorf("alien known/skipped = %d/%d, want 0/1", ov.KnownMACs(), ov.SkippedMACs())
 	}
 }
+
+// TestOverlayReset: a reused (pooled) overlay must be indistinguishable
+// from a fresh NewOverlay for every scan it is rebound to, including
+// after an error left it mid-reset.
+func TestOverlayReset(t *testing.T) {
+	g := overlayBase(t)
+	scans := []dataset.Record{
+		{ID: "s0", Readings: []dataset.Reading{{MAC: "m0", RSS: -52}, {MAC: "m2", RSS: -70}}},
+		{ID: "s1", Readings: []dataset.Reading{{MAC: "m1", RSS: -45}}},
+		{ID: "s2", Readings: []dataset.Reading{{MAC: "m0", RSS: -58}, {MAC: "m0", RSS: -49}, {MAC: "unknown", RSS: -60}}},
+	}
+	reused := &Overlay{}
+	for round := 0; round < 2; round++ {
+		for i := range scans {
+			if err := reused.Reset(g, &scans[i]); err != nil {
+				t.Fatalf("Reset(%s): %v", scans[i].ID, err)
+			}
+			fresh, err := NewOverlay(g, &scans[i])
+			if err != nil {
+				t.Fatalf("NewOverlay(%s): %v", scans[i].ID, err)
+			}
+			if reused.Node() != fresh.Node() || reused.KnownMACs() != fresh.KnownMACs() ||
+				reused.SkippedMACs() != fresh.SkippedMACs() || reused.WeightedDegree(reused.Node()) != fresh.WeightedDegree(fresh.Node()) {
+				t.Fatalf("scan %s: reused overlay differs from fresh", scans[i].ID)
+			}
+			ra, fa := reused.Neighbors(reused.Node()), fresh.Neighbors(fresh.Node())
+			if len(ra) != len(fa) {
+				t.Fatalf("scan %s: adjacency length %d vs %d", scans[i].ID, len(ra), len(fa))
+			}
+			for e := range ra {
+				if ra[e] != fa[e] {
+					t.Fatalf("scan %s: edge %d differs: %+v vs %+v", scans[i].ID, e, ra[e], fa[e])
+				}
+			}
+			// The MAC side must carry exactly the fresh overlay's back-edges.
+			for _, he := range fa {
+				if reused.Degree(he.To) != fresh.Degree(he.To) {
+					t.Fatalf("scan %s: MAC %d degree differs", scans[i].ID, he.To)
+				}
+			}
+		}
+		// An error mid-stream must not poison later Resets.
+		if err := reused.Reset(g, &dataset.Record{ID: "empty"}); err == nil {
+			t.Fatal("Reset with no readings should fail")
+		}
+	}
+}

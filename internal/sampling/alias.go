@@ -8,6 +8,7 @@ package sampling
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -21,11 +22,38 @@ var ErrEmptyDistribution = errors.New("sampling: empty or all-zero distribution"
 type Alias struct {
 	prob  []float64
 	alias []int32
+	// thresh is prob scaled to 2^32 (rounded up), so DrawFast's coin
+	// flip is a single integer compare instead of an int→float convert
+	// plus float compare. uint32(u) < thresh[i] holds exactly when
+	// float64(uint32(u))/2^32 < prob[i]: the division is exact, and
+	// ceil(prob*2^32) is the first integer the real comparison excludes.
+	thresh []uint64
 }
 
 // NewAlias builds an alias table for the (unnormalized, non-negative)
 // weights. Negative weights are rejected.
 func NewAlias(weights []float64) (*Alias, error) {
+	var b AliasBuilder
+	return b.Rebuild(weights)
+}
+
+// AliasBuilder builds alias tables into reusable storage, so hot paths
+// that construct a fresh table per request (the per-scan incident-edge
+// distribution of online inference) stop paying five allocations each
+// time. The table returned by Rebuild aliases the builder's buffers: it is
+// valid until the next Rebuild and must not be shared across goroutines.
+// The zero value is ready to use.
+type AliasBuilder struct {
+	table  Alias
+	scaled []float64
+	small  []int32
+	large  []int32
+}
+
+// Rebuild fills the builder's table for the (unnormalized, non-negative)
+// weights and returns it. The result is bit-identical to NewAlias on the
+// same weights.
+func (b *AliasBuilder) Rebuild(weights []float64) (*Alias, error) {
 	n := len(weights)
 	if n == 0 {
 		return nil, ErrEmptyDistribution
@@ -40,14 +68,14 @@ func NewAlias(weights []float64) (*Alias, error) {
 	if total == 0 {
 		return nil, ErrEmptyDistribution
 	}
-	a := &Alias{
-		prob:  make([]float64, n),
-		alias: make([]int32, n),
-	}
+	a := &b.table
+	a.prob = resizeF64(a.prob, n)
+	a.alias = resizeI32(a.alias, n)
 	// Scaled probabilities: p_i * n.
-	scaled := make([]float64, n)
-	small := make([]int32, 0, n)
-	large := make([]int32, 0, n)
+	scaled := resizeF64(b.scaled, n)
+	b.scaled = scaled
+	small := b.small[:0]
+	large := b.large[:0]
 	for i, w := range weights {
 		scaled[i] = w / total * float64(n)
 		if scaled[i] < 1 {
@@ -78,7 +106,34 @@ func NewAlias(weights []float64) (*Alias, error) {
 		a.prob[s] = 1
 		a.alias[s] = s
 	}
+	// Keep the grown work stacks for the next Rebuild.
+	b.small, b.large = small[:0], large[:0]
+	if cap(a.thresh) < n {
+		a.thresh = make([]uint64, n)
+	}
+	a.thresh = a.thresh[:n]
+	for i, p := range a.prob {
+		a.thresh[i] = uint64(math.Ceil(p * (1 << 32)))
+	}
 	return a, nil
+}
+
+// resizeF64 returns s with length n, reusing its backing array when large
+// enough. Contents are unspecified.
+func resizeF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// resizeI32 returns s with length n, reusing its backing array when large
+// enough. Contents are unspecified.
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // Draw samples one outcome index using rng.
@@ -95,8 +150,8 @@ func (a *Alias) Draw(rng *rand.Rand) int {
 // choice (high 32 bits) and the coin flip (low bits).
 func (a *Alias) DrawFast(rng *Fast) int {
 	u := rng.Uint64()
-	i := int((uint64(uint32(u>>32)) * uint64(len(a.prob))) >> 32)
-	if float64(u&((1<<32)-1))/(1<<32) < a.prob[i] {
+	i := int((uint64(uint32(u>>32)) * uint64(len(a.thresh))) >> 32)
+	if uint64(uint32(u)) < a.thresh[i] {
 		return i
 	}
 	return int(a.alias[i])

@@ -190,3 +190,75 @@ func TestFastDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestAliasBuilderReuse: tables rebuilt into reused storage must draw
+// identically to freshly allocated ones, across shrinking and growing
+// weight sets.
+func TestAliasBuilderReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var b AliasBuilder
+	for round := 0; round < 20; round++ {
+		n := 1 + rng.Intn(40)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64() * 10
+		}
+		weights[rng.Intn(n)] = 0 // zero entries are legal as long as one is positive
+		weights[rng.Intn(n)] = 7
+		fresh, err := NewAlias(weights)
+		if err != nil {
+			t.Fatalf("NewAlias: %v", err)
+		}
+		reused, err := b.Rebuild(weights)
+		if err != nil {
+			t.Fatalf("Rebuild: %v", err)
+		}
+		if fresh.Len() != reused.Len() {
+			t.Fatalf("round %d: len %d vs %d", round, reused.Len(), fresh.Len())
+		}
+		fa, fb := NewFast(int64(round)), NewFast(int64(round))
+		for i := 0; i < 500; i++ {
+			if x, y := fresh.DrawFast(fa), reused.DrawFast(fb); x != y {
+				t.Fatalf("round %d draw %d: fresh %d vs reused %d", round, i, x, y)
+			}
+		}
+		ra, rb := rand.New(rand.NewSource(int64(round))), rand.New(rand.NewSource(int64(round)))
+		for i := 0; i < 200; i++ {
+			if x, y := fresh.Draw(ra), reused.Draw(rb); x != y {
+				t.Fatalf("round %d math/rand draw %d: fresh %d vs reused %d", round, i, x, y)
+			}
+		}
+	}
+	if _, err := b.Rebuild(nil); err == nil {
+		t.Fatal("Rebuild(nil) should fail")
+	}
+	if _, err := b.Rebuild([]float64{0, 0}); err == nil {
+		t.Fatal("Rebuild(all-zero) should fail")
+	}
+	if _, err := b.Rebuild([]float64{1, -2}); err == nil {
+		t.Fatal("Rebuild(negative) should fail")
+	}
+}
+
+// TestDrawFastThresholdBoundary: the integer-threshold coin flip must
+// agree with the real-valued comparison it replaced on degenerate
+// distributions (prob exactly 0 and 1 slots).
+func TestDrawFastThresholdBoundary(t *testing.T) {
+	a, err := NewAlias([]float64{1, 0, 3})
+	if err != nil {
+		t.Fatalf("NewAlias: %v", err)
+	}
+	counts := make([]int, 3)
+	rng := NewFast(9)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[a.DrawFast(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight outcome drawn %d times", counts[1])
+	}
+	got := float64(counts[0]) / draws
+	if got < 0.22 || got > 0.28 {
+		t.Errorf("outcome 0 frequency %.4f, want ~0.25", got)
+	}
+}
