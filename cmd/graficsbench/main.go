@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/portfolio"
@@ -48,21 +49,25 @@ func main() {
 }
 
 type config struct {
-	modes       []string
-	spec        bench.WorkloadSpec
-	requests    int
-	warmup      int
-	levels      []int
-	rate        float64
-	out         string
-	baseline    string
-	maxP95Pct   float64
-	maxAllocPct float64
+	modes          []string
+	spec           bench.WorkloadSpec
+	requests       int
+	warmup         int
+	levels         []int
+	rate           float64
+	fitSizes       []int
+	fitClusterSize []int
+	out            string
+	baseline       string
+	maxP95Pct      float64
+	maxAllocPct    float64
+	maxFitWallPct  float64
+	maxFitPeakPct  float64
 }
 
 func parseFlags(args []string) (*config, error) {
 	fs := flag.NewFlagSet("graficsbench", flag.ContinueOnError)
-	mode := fs.String("mode", "all", "comma list of layers to drive: core, portfolio, http, or all")
+	mode := fs.String("mode", "all", "comma list of layers to drive: core, portfolio, http, fit, or all")
 	buildings := fs.Int("buildings", 0, "buildings in the fleet (0 = default)")
 	recordsPerFloor := fs.Int("records-per-floor", 0, "records per floor per building (0 = default)")
 	labelsPerFloor := fs.Int("labels-per-floor", 0, "labeled records per floor (0 = default)")
@@ -72,10 +77,14 @@ func parseFlags(args []string) (*config, error) {
 	warmup := fs.Int("warmup", 60, "unmeasured warmup requests per scenario")
 	concurrency := fs.String("concurrency", "1,8", "comma list of closed-loop concurrency levels")
 	rate := fs.Float64("rate", 0, "open-loop arrival rate in requests/sec (0 = closed loop only)")
+	fitSizes := fs.String("fit-sizes", "600,1200,2400", "comma list of corpus sizes for full-pipeline fit scenarios (fit mode)")
+	fitCluster := fs.String("fit-cluster-sizes", "5000", "comma list of item counts for clustering-only fit scenarios (fit mode; empty disables)")
 	out := fs.String("out", "BENCH.json", "output path for the machine-readable report")
 	baseline := fs.String("baseline", "", "BENCH.json to gate against (empty = no gate)")
 	maxP95 := fs.Float64("max-p95-regress", 20, "fail when p95 grows more than this percent vs the baseline (<=0 disables)")
 	maxAllocs := fs.Float64("max-allocs-regress", 25, "fail when allocs/op grows more than this percent vs the baseline (<=0 disables)")
+	maxFitWall := fs.Float64("max-fit-wall-regress", 50, "fail when a fit scenario's wall-clock grows more than this percent vs the baseline (<=0 disables)")
+	maxFitPeak := fs.Float64("max-fit-peak-regress", 30, "fail when a fit scenario's peak-heap estimate grows more than this percent vs the baseline (<=0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -87,25 +96,27 @@ func parseFlags(args []string) (*config, error) {
 			Queries:         *queries,
 			Seed:            *seed,
 		},
-		requests:    *requests,
-		warmup:      *warmup,
-		rate:        *rate,
-		out:         *out,
-		baseline:    *baseline,
-		maxP95Pct:   *maxP95,
-		maxAllocPct: *maxAllocs,
+		requests:      *requests,
+		warmup:        *warmup,
+		rate:          *rate,
+		out:           *out,
+		baseline:      *baseline,
+		maxP95Pct:     *maxP95,
+		maxAllocPct:   *maxAllocs,
+		maxFitWallPct: *maxFitWall,
+		maxFitPeakPct: *maxFitPeak,
 	}
 	want := strings.Split(*mode, ",")
 	if *mode == "all" {
-		want = []string{"core", "portfolio", "http"}
+		want = []string{"core", "portfolio", "http", "fit"}
 	}
 	for _, m := range want {
 		m = strings.TrimSpace(m)
 		switch m {
-		case "core", "portfolio", "http":
+		case "core", "portfolio", "http", "fit":
 			cfg.modes = append(cfg.modes, m)
 		default:
-			return nil, fmt.Errorf("unknown mode %q (want core, portfolio, http, or all)", m)
+			return nil, fmt.Errorf("unknown mode %q (want core, portfolio, http, fit, or all)", m)
 		}
 	}
 	for _, s := range strings.Split(*concurrency, ",") {
@@ -115,10 +126,34 @@ func parseFlags(args []string) (*config, error) {
 		}
 		cfg.levels = append(cfg.levels, n)
 	}
+	var err error
+	if cfg.fitSizes, err = parseSizes(*fitSizes); err != nil {
+		return nil, fmt.Errorf("fit-sizes: %w", err)
+	}
+	if cfg.fitClusterSize, err = parseSizes(*fitCluster); err != nil {
+		return nil, fmt.Errorf("fit-cluster-sizes: %w", err)
+	}
 	if cfg.requests <= 0 {
 		return nil, fmt.Errorf("requests must be positive")
 	}
 	return cfg, nil
+}
+
+// parseSizes parses a comma list of positive integers; an empty string is
+// an empty list.
+func parseSizes(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func run(args []string, w io.Writer) error {
@@ -135,18 +170,38 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "workload: %d buildings, %d queries (seed %d)\n",
 		len(workload.Buildings), len(workload.Queries), workload.Spec.Seed)
 
-	trainStart := time.Now()
-	fleet := portfolio.New(core.Config{})
-	for _, b := range workload.Buildings {
-		if err := fleet.AddBuilding(b.Name, b.Train); err != nil {
-			return fmt.Errorf("train %s: %w", b.Name, err)
+	serving := false
+	for _, m := range cfg.modes {
+		if m != "fit" {
+			serving = true
 		}
 	}
-	fmt.Fprintf(w, "trained fleet in %v\n", time.Since(trainStart).Round(time.Millisecond))
+	fleet := portfolio.New(core.Config{})
+	if serving {
+		trainStart := time.Now()
+		// Per-building fits run in parallel over a bounded pool — the
+		// bring-up path the fit scenarios below measure one building of.
+		corpora := make([]portfolio.BuildingCorpus, len(workload.Buildings))
+		for i, b := range workload.Buildings {
+			corpora[i] = portfolio.BuildingCorpus{Name: b.Name, Train: b.Train}
+		}
+		if err := fleet.AddBuildings(ctx, corpora, 0); err != nil {
+			return fmt.Errorf("train fleet: %w", err)
+		}
+		fmt.Fprintf(w, "trained fleet in %v\n", time.Since(trainStart).Round(time.Millisecond))
+	}
 
 	file := bench.NewFile(workload.Spec)
 	failed := 0
 	for _, mode := range cfg.modes {
+		if mode == "fit" {
+			fits, err := runFitScenarios(ctx, cfg, w)
+			if err != nil {
+				return fmt.Errorf("mode fit: %w", err)
+			}
+			file.Fits = append(file.Fits, fits...)
+			continue
+		}
 		reports, err := runMode(ctx, mode, fleet, workload, cfg)
 		if err != nil {
 			return fmt.Errorf("mode %s: %w", mode, err)
@@ -163,7 +218,7 @@ func run(args []string, w io.Writer) error {
 		if err := file.WriteFile(cfg.out); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "wrote %s (%d scenarios)\n", cfg.out, len(file.Scenarios))
+		fmt.Fprintf(w, "wrote %s (%d serving scenarios, %d fit scenarios)\n", cfg.out, len(file.Scenarios), len(file.Fits))
 	}
 
 	// The synthetic workload is deterministic and every scan is known to
@@ -190,15 +245,94 @@ func run(args []string, w io.Writer) error {
 				file.GoVersion, file.GOOS, file.GOARCH, file.GOMAXPROCS)
 		}
 		regressions := bench.Compare(base, file, cfg.maxP95Pct, cfg.maxAllocPct)
+		regressions = append(regressions, bench.CompareFits(base, file, cfg.maxFitWallPct, cfg.maxFitPeakPct)...)
 		if len(regressions) > 0 {
 			for _, r := range regressions {
 				fmt.Fprintln(w, "REGRESSION:", r)
 			}
 			return fmt.Errorf("%d regression(s) vs %s", len(regressions), cfg.baseline)
 		}
-		fmt.Fprintf(w, "gate passed vs %s (p95 +%.0f%%, allocs +%.0f%%)\n", cfg.baseline, cfg.maxP95Pct, cfg.maxAllocPct)
+		fmt.Fprintf(w, "gate passed vs %s (p95 +%.0f%%, allocs +%.0f%%, fit wall +%.0f%%, fit peak +%.0f%%)\n",
+			cfg.baseline, cfg.maxP95Pct, cfg.maxAllocPct, cfg.maxFitWallPct, cfg.maxFitPeakPct)
 	}
 	return nil
+}
+
+// runFitScenarios measures the offline-training path: full-pipeline fits
+// at each -fit-sizes corpus, one lifecycle-style refit (fit + absorbed
+// crowd scans + retrain on the grown corpus) at the middle size, and
+// clustering-only scenarios at each -fit-cluster-sizes count.
+func runFitScenarios(ctx context.Context, cfg *config, w io.Writer) ([]bench.FitReport, error) {
+	var out []bench.FitReport
+	emit := func(rep bench.FitReport) {
+		fmt.Fprintf(w, "%-28s %8.3fs wall  %8.0f records/s  peak %7.1f MiB  (%d records)\n",
+			rep.Scenario, rep.WallSeconds, rep.RecordsPerSec, float64(rep.PeakAllocBytes)/(1<<20), rep.Records)
+		out = append(out, rep)
+	}
+	for i, size := range cfg.fitSizes {
+		wl, err := bench.NewFitWorkload(size, cfg.spec.Seed+int64(i)*31)
+		if err != nil {
+			return nil, err
+		}
+		n := len(wl.Train)
+		rep, err := bench.RunFit(ctx, fmt.Sprintf("fit/system/n%d", n), n, func(ctx context.Context) error {
+			sys := core.New(core.Config{})
+			if err := sys.AddTraining(wl.Train); err != nil {
+				return err
+			}
+			return sys.FitCtx(ctx)
+		})
+		if err != nil {
+			return nil, err
+		}
+		emit(rep)
+	}
+	if len(cfg.fitSizes) > 0 {
+		// Refit: grow a fitted building with its held-out crowd scans
+		// (untimed setup), then measure the retrain-on-grown-corpus cycle
+		// a lifecycle refit performs (minus WAL/snapshot I/O).
+		mid := cfg.fitSizes[len(cfg.fitSizes)/2]
+		wl, err := bench.NewFitWorkload(mid, cfg.spec.Seed+101)
+		if err != nil {
+			return nil, err
+		}
+		sys := core.New(core.Config{})
+		if err := sys.AddTraining(wl.Train); err != nil {
+			return nil, err
+		}
+		if err := sys.FitCtx(ctx); err != nil {
+			return nil, err
+		}
+		for i := range wl.Extra {
+			if _, err := sys.Classify(ctx, &wl.Extra[i], core.WithAbsorb(), core.WithoutEmbedding()); err != nil {
+				return nil, fmt.Errorf("absorb %s: %w", wl.Extra[i].ID, err)
+			}
+		}
+		corpus := sys.CorpusRecords()
+		rep, err := bench.RunFit(ctx, fmt.Sprintf("fit/refit/n%d", len(corpus)), len(corpus), func(ctx context.Context) error {
+			next := core.New(sys.Config())
+			if err := next.AddTraining(corpus); err != nil {
+				return err
+			}
+			return next.FitCtx(ctx)
+		})
+		if err != nil {
+			return nil, err
+		}
+		emit(rep)
+	}
+	for i, n := range cfg.fitClusterSize {
+		items := bench.ClusterItems(n, 8, 24, cfg.spec.Seed+int64(i)*13+5)
+		rep, err := bench.RunFit(ctx, fmt.Sprintf("fit/cluster/n%d", n), n, func(ctx context.Context) error {
+			_, err := cluster.TrainCtx(ctx, items)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		emit(rep)
+	}
+	return out, nil
 }
 
 // runMode builds the target for one layer and runs every load shape

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -164,5 +165,82 @@ func TestRunFailsOnRequestErrors(t *testing.T) {
 	}
 	if len(reports) != 1 || reports[0].Errors != 10 {
 		t.Fatalf("reports = %+v, want one scenario with 10 errors", reports)
+	}
+}
+
+// TestRunFitMode drives the offline-training scenarios at tiny sizes and
+// checks the emitted fits: one system fit per size, one refit, one
+// clustering-only scenario.
+func TestRunFitMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	var buf bytes.Buffer
+	args := []string{
+		"-mode", "fit",
+		"-fit-sizes", "45,90",
+		"-fit-cluster-sizes", "120",
+		"-out", out,
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	f, err := bench.ReadFile(out)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(f.Scenarios) != 0 {
+		t.Errorf("fit mode emitted %d serving scenarios, want 0", len(f.Scenarios))
+	}
+	if len(f.Fits) != 4 { // 2 system + 1 refit + 1 cluster
+		t.Fatalf("fits = %d, want 4: %+v", len(f.Fits), f.Fits)
+	}
+	var sawRefit, sawCluster bool
+	for _, r := range f.Fits {
+		if r.WallSeconds <= 0 || r.RecordsPerSec <= 0 || r.Records <= 0 {
+			t.Errorf("implausible fit report: %+v", r)
+		}
+		if strings.HasPrefix(r.Scenario, "fit/refit/") {
+			sawRefit = true
+		}
+		if r.Scenario == "fit/cluster/n120" {
+			sawCluster = true
+		}
+	}
+	if !sawRefit || !sawCluster {
+		t.Errorf("missing refit or cluster scenario: %+v", f.Fits)
+	}
+}
+
+// TestFitGateAgainstOwnBaseline runs the fit scenarios, uses the emitted
+// report as its own baseline (which must pass), and then asserts a
+// stale-schema baseline is rejected. The regression arithmetic itself is
+// unit-tested in internal/bench.
+func TestFitGateAgainstOwnBaseline(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "baseline.json")
+	args := []string{
+		"-mode", "fit",
+		"-fit-sizes", "",
+		"-fit-cluster-sizes", "120",
+		"-out", basePath,
+	}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("baseline run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := filepath.Join(dir, "BENCH.json")
+	gated := append(args[:len(args)-1:len(args)-1], out, "-baseline", basePath)
+	buf.Reset()
+	if err := run(gated, &buf); err != nil {
+		t.Fatalf("gate vs own baseline failed: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "gate passed") {
+		t.Errorf("gate verdict missing from output:\n%s", buf.String())
+	}
+	if err := os.WriteFile(basePath, []byte(`{"schema":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run(gated, &buf); err == nil {
+		t.Error("schema-1 baseline accepted; want schema error")
 	}
 }

@@ -233,3 +233,178 @@ func TestReadFileErrors(t *testing.T) {
 		t.Error("malformed JSON should fail")
 	}
 }
+
+func TestRunFit(t *testing.T) {
+	rep, err := RunFit(context.Background(), "fit/test/n100", 100, func(ctx context.Context) error {
+		// Hold a visible allocation across a few sampler ticks so the
+		// peak estimate has something to see.
+		buf := make([]byte, 32<<20)
+		time.Sleep(20 * time.Millisecond)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		if buf[1] == 0 {
+			return errors.New("unreachable")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunFit: %v", err)
+	}
+	if rep.Scenario != "fit/test/n100" || rep.Records != 100 {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if rep.WallSeconds < 0.015 {
+		t.Errorf("wall %.4fs, want >= sleep duration", rep.WallSeconds)
+	}
+	if rep.RecordsPerSec <= 0 {
+		t.Errorf("records/sec = %v, want > 0", rep.RecordsPerSec)
+	}
+	if rep.PeakAllocBytes < 16<<20 {
+		t.Errorf("peak %d bytes missed the 32 MiB live buffer", rep.PeakAllocBytes)
+	}
+	if rep.TotalAllocBytes < 32<<20 {
+		t.Errorf("total alloc %d bytes below the 32 MiB allocation", rep.TotalAllocBytes)
+	}
+}
+
+func TestRunFitErrors(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := RunFit(context.Background(), "x", 10, func(ctx context.Context) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("fit error not propagated: %v", err)
+	}
+	if _, err := RunFit(context.Background(), "x", 0, func(ctx context.Context) error { return nil }); err == nil {
+		t.Error("zero records should fail")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunFit(ctx, "x", 10, func(ctx context.Context) error { return ctx.Err() }); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled fit = %v, want context.Canceled", err)
+	}
+}
+
+func TestFitFileRoundTripAndCompareFits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	base := NewFile(DefaultWorkloadSpec())
+	base.Fits = []FitReport{
+		{Scenario: "fit/system/n1200", Records: 1200, WallSeconds: 2.0, PeakAllocBytes: 100 << 20},
+		{Scenario: "fit/retired/n9", Records: 9, WallSeconds: 1.0, PeakAllocBytes: 1 << 20},
+	}
+	if err := base.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	read, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(read.Fits) != 2 || read.Fits[0].Scenario != "fit/system/n1200" {
+		t.Fatalf("fits mangled in round trip: %+v", read.Fits)
+	}
+
+	cur := NewFile(DefaultWorkloadSpec())
+	cur.Fits = []FitReport{
+		// +25% wall, +10% peak: inside a 50/30 gate.
+		{Scenario: "fit/system/n1200", Records: 1200, WallSeconds: 2.5, PeakAllocBytes: 110 << 20},
+		// Only in current: skipped.
+		{Scenario: "fit/new/n5", Records: 5, WallSeconds: 99, PeakAllocBytes: 1 << 30},
+	}
+	if regs := CompareFits(read, cur, 50, 30); len(regs) != 0 {
+		t.Errorf("within-threshold fits flagged: %v", regs)
+	}
+	cur.Fits[0].WallSeconds = 4.0 // +100%
+	regs := CompareFits(read, cur, 50, 30)
+	if len(regs) != 1 || regs[0].Metric != "wall_seconds" {
+		t.Fatalf("fit wall regression not caught: %v", regs)
+	}
+	cur.Fits[0].WallSeconds = 2.0
+	cur.Fits[0].PeakAllocBytes = 200 << 20 // +100%, beyond 4 MiB grace
+	regs = CompareFits(read, cur, 50, 30)
+	if len(regs) != 1 || regs[0].Metric != "peak_alloc_bytes" {
+		t.Fatalf("fit peak regression not caught: %v", regs)
+	}
+	if regs = CompareFits(read, cur, 50, 0); len(regs) != 0 {
+		t.Errorf("disabled peak gate still fired: %v", regs)
+	}
+}
+
+// TestCompareFitsWallGrace: short fits must not fail on sub-250ms jitter.
+func TestCompareFitsWallGrace(t *testing.T) {
+	base := NewFile(DefaultWorkloadSpec())
+	base.Fits = []FitReport{{Scenario: "f", WallSeconds: 0.10, Records: 1}}
+	cur := NewFile(DefaultWorkloadSpec())
+	cur.Fits = []FitReport{{Scenario: "f", WallSeconds: 0.30, Records: 1}}
+	if regs := CompareFits(base, cur, 50, 0); len(regs) != 0 {
+		t.Errorf("jitter within the 250ms grace flagged: %v", regs)
+	}
+	cur.Fits[0].WallSeconds = 0.40
+	if regs := CompareFits(base, cur, 50, 0); len(regs) != 1 {
+		t.Errorf("regression beyond the grace not caught: %v", regs)
+	}
+}
+
+func TestFitWorkloadDeterministic(t *testing.T) {
+	a, err := NewFitWorkload(300, 3)
+	if err != nil {
+		t.Fatalf("NewFitWorkload: %v", err)
+	}
+	b, err := NewFitWorkload(300, 3)
+	if err != nil {
+		t.Fatalf("NewFitWorkload: %v", err)
+	}
+	if len(a.Train) == 0 || len(a.Extra) == 0 {
+		t.Fatalf("empty workload: %d train, %d extra", len(a.Train), len(a.Extra))
+	}
+	if len(a.Train) != len(b.Train) || a.Train[0].ID != b.Train[0].ID {
+		t.Error("fit workload not deterministic for a fixed seed")
+	}
+	labeled := 0
+	for i := range a.Train {
+		if a.Train[i].Labeled {
+			labeled++
+		}
+	}
+	if labeled == 0 {
+		t.Error("fit workload has no labeled training records")
+	}
+}
+
+func TestClusterItemsShape(t *testing.T) {
+	items := ClusterItems(200, 8, 24, 7)
+	if len(items) != 200 {
+		t.Fatalf("items = %d, want 200", len(items))
+	}
+	labeled := 0
+	for _, it := range items {
+		if len(it.Vec) != 8 {
+			t.Fatalf("item dim %d, want 8", len(it.Vec))
+		}
+		if it.Label != -1 {
+			labeled++
+		}
+	}
+	if labeled != 24 {
+		t.Errorf("labeled = %d, want 24", labeled)
+	}
+	again := ClusterItems(200, 8, 24, 7)
+	if again[5].Vec[3] != items[5].Vec[3] {
+		t.Error("ClusterItems not deterministic")
+	}
+}
+
+// TestCompareFitsZeroPeakBaseline: a scenario whose baseline never saw
+// heap growth must still gate through the absolute grace — not be
+// exempted from the memory check.
+func TestCompareFitsZeroPeakBaseline(t *testing.T) {
+	base := NewFile(DefaultWorkloadSpec())
+	base.Fits = []FitReport{{Scenario: "f", Records: 1, PeakAllocBytes: 0}}
+	cur := NewFile(DefaultWorkloadSpec())
+	cur.Fits = []FitReport{{Scenario: "f", Records: 1, PeakAllocBytes: 2 << 20}}
+	if regs := CompareFits(base, cur, 0, 30); len(regs) != 0 {
+		t.Errorf("growth within the 4MiB grace flagged: %v", regs)
+	}
+	cur.Fits[0].PeakAllocBytes = 200 << 20
+	regs := CompareFits(base, cur, 0, 30)
+	if len(regs) != 1 || regs[0].Metric != "peak_alloc_bytes" {
+		t.Errorf("memory blowup over a zero baseline not caught: %v", regs)
+	}
+}

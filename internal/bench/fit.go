@@ -1,0 +1,170 @@
+// Offline-training (Fit/refit) scenarios: the write-side counterpart of
+// the latency driver. Where Run measures the serving hot path under load,
+// RunFit measures how fast the system can (re)build a model from a corpus
+// — the stage that gates how quickly a crowdsourced fleet absorbs new
+// records — reporting wall clock, training throughput, and an estimated
+// peak heap footprint so memory blowups regress the gate just like
+// latency does.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	runtimemetrics "runtime/metrics"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/simulate"
+)
+
+// FitReport is the measured outcome of one offline-training scenario.
+type FitReport struct {
+	// Scenario names the stage and corpus size, e.g. "fit/system/n1200".
+	// Names are the join key for baseline comparison.
+	Scenario string `json:"scenario"`
+	// Records is the corpus size the fit consumed.
+	Records     int     `json:"records"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// RecordsPerSec is Records / WallSeconds: training throughput.
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// PeakAllocBytes estimates the peak live-heap growth during the fit
+	// (sampled once per millisecond over a pre-fit GC baseline). It is
+	// the metric that catches an O(n²)-memory regression in the training
+	// pipeline.
+	PeakAllocBytes uint64 `json:"peak_alloc_bytes"`
+	// TotalAllocBytes is the cumulative allocation during the fit.
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+}
+
+// heapMetric is the live-heap gauge sampled during fits.
+const heapMetric = "/memory/classes/heap/objects:bytes"
+
+// heapLive reads the current live-heap size via runtime/metrics (cheap:
+// no stop-the-world, unlike ReadMemStats).
+func heapLive() uint64 {
+	s := []runtimemetrics.Sample{{Name: heapMetric}}
+	runtimemetrics.Read(s)
+	return s[0].Value.Uint64()
+}
+
+// RunFit measures one offline-training scenario: fn is the whole fit
+// (corpus insertion plus training), records its corpus size. The heap is
+// GC'd to a baseline first, then sampled every millisecond while fn runs.
+func RunFit(ctx context.Context, scenario string, records int, fn func(ctx context.Context) error) (FitReport, error) {
+	if records <= 0 {
+		return FitReport{}, fmt.Errorf("bench: fit scenario %q has no records", scenario)
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	base := heapLive()
+
+	stop := make(chan struct{})
+	done := make(chan uint64, 1)
+	go func() {
+		peak := base
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				done <- peak
+				return
+			case <-t.C:
+				if h := heapLive(); h > peak {
+					peak = h
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	err := fn(ctx)
+	wall := time.Since(start)
+	// One final sample from the measuring goroutine's close-out path
+	// would race fn's last allocations being GC'd; sample here instead,
+	// before signalling, so the peak includes the fit's final state.
+	finalHeap := heapLive()
+	close(stop)
+	peak := <-done
+	if finalHeap > peak {
+		peak = finalHeap
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return FitReport{}, fmt.Errorf("bench: fit scenario %q: %w", scenario, err)
+	}
+
+	rep := FitReport{
+		Scenario:        scenario,
+		Records:         records,
+		WallSeconds:     wall.Seconds(),
+		TotalAllocBytes: after.TotalAlloc - before.TotalAlloc,
+	}
+	if peak > base {
+		rep.PeakAllocBytes = peak - base
+	}
+	if wall > 0 {
+		rep.RecordsPerSec = float64(records) / wall.Seconds()
+	}
+	return rep, nil
+}
+
+// FitWorkload is one offline-training input: a training corpus and
+// held-out crowd scans a refit scenario absorbs first (so the refit
+// trains on a strictly larger corpus than the original fit, the shape a
+// crowd-grown building actually has).
+type FitWorkload struct {
+	Train []dataset.Record
+	Extra []dataset.Record
+}
+
+// NewFitWorkload generates a deterministic single-building corpus of
+// about n records: 80% training (with a per-floor label budget) and 20%
+// held out as crowd scans for refit scenarios.
+func NewFitWorkload(n int, seed int64) (*FitWorkload, error) {
+	perFloor := n / 3
+	if perFloor < 4 {
+		perFloor = 4
+	}
+	corpus, err := simulate.Generate(simulate.Campus3F(perFloor, seed))
+	if err != nil {
+		return nil, fmt.Errorf("bench: fit workload n=%d: %w", n, err)
+	}
+	rng := rand.New(rand.NewSource(seed + 7001))
+	train, extra, err := dataset.Split(&corpus.Buildings[0], 0.8, rng)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fit workload split n=%d: %w", n, err)
+	}
+	dataset.SelectLabels(train, 4, rng)
+	return &FitWorkload{Train: train, Extra: extra}, nil
+}
+
+// ClusterItems generates n synthetic embedding-space items for
+// clustering-only scenarios: dim-dimensional uniform vectors with labeled
+// items every n/labels positions, mimicking the sparse label budget of a
+// real building. Deterministic for a fixed seed.
+func ClusterItems(n, dim, labels int, seed int64) []cluster.Item {
+	rng := rand.New(rand.NewSource(seed))
+	every := n / labels
+	if every < 1 {
+		every = 1
+	}
+	items := make([]cluster.Item, n)
+	for i := range items {
+		vec := make([]float64, dim)
+		for d := range vec {
+			vec[d] = rng.Float64() * 10
+		}
+		label := cluster.Unlabeled
+		if i%every == 0 && i/every < labels {
+			label = (i / every) % 3
+		}
+		items[i] = cluster.Item{Index: i, Vec: vec, Label: label}
+	}
+	return items
+}

@@ -8,7 +8,8 @@ import (
 )
 
 // Schema is the BENCH.json format version; bump on incompatible changes.
-const Schema = 1
+// Version 2 added the offline-training scenarios (fits).
+const Schema = 2
 
 // HistogramBucket is one log-spaced latency bucket: how many requests
 // finished within UpperMS but above the previous bucket's bound.
@@ -57,6 +58,10 @@ type File struct {
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	Workload   WorkloadSpec `json:"workload"`
 	Scenarios  []Report     `json:"scenarios"`
+	// Fits holds the offline-training scenarios (schema 2+): wall clock,
+	// records/sec, and peak-heap estimates for Fit/refit at several
+	// corpus sizes.
+	Fits []FitReport `json:"fits,omitempty"`
 }
 
 // NewFile returns a File stamped with the current environment.
@@ -156,6 +161,66 @@ func Compare(baseline, current *File, maxP95Pct, maxAllocsPct float64) []Regress
 					Baseline: b.AllocsPerOp,
 					Current:  cur.AllocsPerOp,
 					Pct:      (cur.AllocsPerOp/b.AllocsPerOp - 1) * 100,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CompareFits gates the offline-training scenarios: for every fit
+// scenario present in both files, wall-clock may not grow by more than
+// maxWallPct percent (with a 250ms absolute grace, since short fits on
+// shared CI runners jitter) and the peak-heap estimate may not grow by
+// more than maxPeakPct percent (with a 4 MiB absolute grace for GC-timing
+// noise). A non-positive threshold disables that check; scenarios present
+// in only one file are skipped, like Compare.
+func CompareFits(baseline, current *File, maxWallPct, maxPeakPct float64) []Regression {
+	base := make(map[string]FitReport, len(baseline.Fits))
+	for _, r := range baseline.Fits {
+		base[r.Scenario] = r
+	}
+	var out []Regression
+	for _, cur := range current.Fits {
+		b, ok := base[cur.Scenario]
+		if !ok {
+			continue
+		}
+		if maxWallPct > 0 && b.WallSeconds > 0 {
+			limit := b.WallSeconds * (1 + maxWallPct/100)
+			if floor := b.WallSeconds + 0.25; limit < floor {
+				limit = floor
+			}
+			if cur.WallSeconds > limit {
+				out = append(out, Regression{
+					Scenario: cur.Scenario,
+					Metric:   "wall_seconds",
+					Baseline: b.WallSeconds,
+					Current:  cur.WallSeconds,
+					Pct:      (cur.WallSeconds/b.WallSeconds - 1) * 100,
+				})
+			}
+		}
+		if maxPeakPct > 0 {
+			// A zero baseline (the sampler never saw the heap clear the
+			// GC base: tiny, fast fits) still gates through the absolute
+			// grace — exempting it would let a real memory blowup in that
+			// scenario pass CI forever.
+			limit := float64(b.PeakAllocBytes) * (1 + maxPeakPct/100)
+			if floor := float64(b.PeakAllocBytes) + 4*(1<<20); limit < floor {
+				limit = floor
+			}
+			if float64(cur.PeakAllocBytes) > limit {
+				pct := 0.0
+				if b.PeakAllocBytes > 0 {
+					pct = (float64(cur.PeakAllocBytes)/float64(b.PeakAllocBytes) - 1) * 100
+				}
+				out = append(out, Regression{
+					Scenario: cur.Scenario,
+					Metric:   "peak_alloc_bytes",
+					Baseline: float64(b.PeakAllocBytes),
+					Current:  float64(cur.PeakAllocBytes),
+					Pct:      pct,
 				})
 			}
 		}

@@ -7,12 +7,13 @@
 package cluster
 
 import (
-	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/par"
 )
 
 // Unlabeled marks an item without a floor label.
@@ -61,29 +62,23 @@ type Model struct {
 	NumItems int
 }
 
-// pair is a candidate merge in the lazy priority queue. Fields are int32 to
-// keep the O(n²) initial heap compact.
-type pair struct {
-	dist    float64 // linkage distance at push time
-	a, b    int32   // cluster roots at push time
-	version int32   // sum of cluster versions at push time, for invalidation
+// Train builds the proximity-based hierarchical clustering of items. It is
+// TrainCtx with a background context.
+func Train(items []Item) (*Model, error) {
+	return TrainCtx(context.Background(), items)
 }
 
-type pairHeap []pair
-
-func (h pairHeap) Len() int            { return len(h) }
-func (h pairHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pair)) }
-func (h *pairHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// condIdx maps an unordered active-root pair (i < j) to its slot in the
+// condensed upper-triangular distance store: row i holds the n-1-i entries
+// (i,i+1)..(i,n-1), rows packed back to back.
+func condIdx(i, j, n int) int {
+	return i*(n-1) - i*(i-1)/2 + (j - i - 1)
 }
 
-// Train builds the proximity-based hierarchical clustering of items.
+// TrainCtx builds the proximity-based hierarchical clustering of items,
+// aborting promptly (with ctx.Err()) once ctx is cancelled — the hook that
+// lets a shutting-down server kill an in-flight background refit.
+//
 // Average linkage is maintained exactly via the Lance–Williams recurrence,
 // which for group-average linkage is
 //
@@ -91,7 +86,32 @@ func (h *pairHeap) Pop() interface{} {
 //
 // matching the paper's cluster distance (Eq. 11): the mean pairwise
 // Euclidean distance between members.
-func Train(items []Item) (*Model, error) {
+//
+// The implementation is the memory-lean replacement for the flat-matrix +
+// lazy-heap agglomeration kept as TrainReference: distances live in a
+// condensed upper-triangular store (n(n-1)/2 float64, ~4n² bytes — the
+// reference needs the full n² matrix plus an O(n²)-entry heap, ~20n²
+// bytes), the initial pairwise distances are computed in parallel across
+// cores, and the global-minimum merge search runs over per-row
+// nearest-neighbor bounds instead of a heap. The bounds are maintained
+// lazily: a Lance–Williams update that lowers a pair's distance tightens
+// the owning row's bound immediately, while updates that raise it leave a
+// stale (too low) bound that is detected and recomputed when the row wins
+// the global scan. Forbidden pairs — two labeled clusters, which the paper
+// never merges — are excluded from every bound; since labels only spread
+// (a cluster that gains a label never loses it), a pair once forbidden
+// stays forbidden, so the bound invariant survives constraint changes that
+// would break naive nearest-neighbor-chain reducibility.
+//
+// The result is bit-identical to TrainReference whenever the running
+// minimum is unique at every step (true with probability 1 for embeddings
+// in general position; the parity tests assert it on randomized inputs).
+// Ties are resolved deterministically but by a different rule than the
+// reference's heap order: the merge taken is the one whose condensed row
+// — scanned in ascending root order — first attains the minimum bound,
+// with the row's partner being the earliest discovered among its tied
+// candidates.
+func TrainCtx(ctx context.Context, items []Item) (*Model, error) {
 	n := len(items)
 	if n == 0 {
 		return nil, ErrNoItems
@@ -115,8 +135,13 @@ func Train(items []Item) (*Model, error) {
 	size := make([]int, n)
 	hasLabel := make([]bool, n)
 	label := make([]int, n)
-	version := make([]int32, n)
 	members := make([][]int, n)
+	// lastMerge records the (1-based) step at which a root last survived a
+	// merge; 0 means never. It reproduces the reference implementation's
+	// Trace orientation: the A side of a merge is the more recently merged
+	// root (whose heap push created the winning pair there), or the lower
+	// index when both are untouched singletons.
+	lastMerge := make([]int, n)
 	for i := range items {
 		active[i] = true
 		size[i] = 1
@@ -125,61 +150,129 @@ func Train(items []Item) (*Model, error) {
 		members[i] = []int{i}
 	}
 
-	// Pairwise distance matrix (flat, row-major). For the corpus sizes in
-	// this repository (a few thousand records per building) the O(n²)
-	// memory is the pragmatic choice and matches the reference
-	// implementation's complexity.
-	dist := make([]float64, n*n)
-	for i := 0; i < n; i++ {
+	// Condensed pairwise distances, rows computed in parallel. Each slot is
+	// written by exactly one row worker, so the values are bit-identical to
+	// a sequential fill regardless of core count.
+	dist := make([]float64, n*(n-1)/2)
+	if err := par.ForEachCtx(ctx, n, func(i int) {
+		vi := items[i].Vec
+		base := condIdx(i, i+1, n)
 		for j := i + 1; j < n; j++ {
-			d := linalg.Distance(items[i].Vec, items[j].Vec)
-			dist[i*n+j] = d
-			dist[j*n+i] = d
+			dist[base+j-i-1] = linalg.Distance(vi, items[j].Vec)
 		}
+	}); err != nil {
+		return nil, err
 	}
 
-	h := make(pairHeap, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
+	// Per-row nearest-neighbor bounds over allowed (not both labeled)
+	// pairs. nnDist[i] is a lower bound on min_j>i D(i,j); nnBest[i] is the
+	// candidate attaining it when fresh. -1/+Inf marks a row with no
+	// allowed partner above it.
+	nnDist := make([]float64, n)
+	nnBest := make([]int32, n)
+	recompute := func(i int) {
+		best := math.Inf(1)
+		bestJ := int32(-1)
+		base := condIdx(i, i+1, n)
 		for j := i + 1; j < n; j++ {
-			h = append(h, pair{a: int32(i), b: int32(j), dist: dist[i*n+j]})
+			if !active[j] || (hasLabel[i] && hasLabel[j]) {
+				continue
+			}
+			if d := dist[base+j-i-1]; d < best {
+				best = d
+				bestJ = int32(j)
+			}
 		}
+		nnDist[i] = best
+		nnBest[i] = bestJ
 	}
-	heap.Init(&h)
+	if err := par.ForEachCtx(ctx, n, func(i int) { recompute(i) }); err != nil {
+		return nil, err
+	}
 
 	model := &Model{NumItems: n}
 	remaining := n
-	for remaining > labeled && h.Len() > 0 {
-		p := heap.Pop(&h).(pair)
-		if !active[p.a] || !active[p.b] {
-			continue
+	step := 0
+	for remaining > labeled {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		if p.version != version[p.a]+version[p.b] {
-			continue // stale: one side merged since push
+		// Global scan over row bounds, lazily re-validating the winner: a
+		// stale row (partner merged away, pair since forbidden, or the
+		// bound undercut by a Lance–Williams increase) is recomputed to its
+		// exact minimum and the scan repeats. A row that passes the check
+		// holds a true global minimum: every bound is ≤ its row's allowed
+		// distances, so a bound equal to a live allowed distance cannot be
+		// beaten anywhere.
+		x := -1
+		for {
+			x = -1
+			best := math.Inf(1)
+			for i := 0; i < n; i++ {
+				if active[i] && nnDist[i] < best {
+					best = nnDist[i]
+					x = i
+				}
+			}
+			if x < 0 {
+				break // no allowed pair left anywhere
+			}
+			y := int(nnBest[x])
+			if active[y] && !(hasLabel[x] && hasLabel[y]) && dist[condIdx(x, y, n)] == nnDist[x] {
+				break
+			}
+			recompute(x)
 		}
-		if hasLabel[p.a] && hasLabel[p.b] {
-			// Constraint: never merge two labeled clusters. This pair can
-			// never become mergeable, so drop it.
-			continue
+		if x < 0 {
+			break
 		}
-		a, b := int(p.a), int(p.b)
-		model.Trace = append(model.Trace, Merge{A: a, B: b, Distance: p.dist})
-		// Merge b into a.
+		y := int(nnBest[x])
+		d := nnDist[x]
+
+		// Orient the merge like the reference implementation (see
+		// lastMerge) so Trace, member order, and centroid summation order
+		// all match bit for bit. y > x always (rows only track higher
+		// partners), so the two-untouched-singletons case — where the
+		// reference puts the lower index first — is already a,b = x,y.
+		a, b := x, y
+		if lastMerge[y] > lastMerge[x] {
+			a, b = y, x
+		}
+		model.Trace = append(model.Trace, Merge{A: a, B: b, Distance: d})
+		step++
 		active[b] = false
-		version[a]++
+		lastMerge[a] = step
+		merged := hasLabel[a] || hasLabel[b]
 		na, nb := float64(size[a]), float64(size[b])
 		for k := 0; k < n; k++ {
 			if !active[k] || k == a {
 				continue
 			}
-			nd := (na*dist[a*n+k] + nb*dist[b*n+k]) / (na + nb)
-			dist[a*n+k] = nd
-			dist[k*n+a] = nd
-			if hasLabel[a] || hasLabel[b] {
-				if hasLabel[k] {
-					continue // will remain forbidden
-				}
+			var dak, dbk int
+			if a < k {
+				dak = condIdx(a, k, n)
+			} else {
+				dak = condIdx(k, a, n)
 			}
-			heap.Push(&h, pair{a: int32(a), b: int32(k), dist: nd, version: version[a] + version[k]})
+			if b < k {
+				dbk = condIdx(b, k, n)
+			} else {
+				dbk = condIdx(k, b, n)
+			}
+			nd := (na*dist[dak] + nb*dist[dbk]) / (na + nb)
+			dist[dak] = nd
+			if merged && hasLabel[k] {
+				continue // pair is (and stays) forbidden
+			}
+			lo := a
+			hi := k
+			if k < a {
+				lo, hi = k, a
+			}
+			if nd < nnDist[lo] {
+				nnDist[lo] = nd
+				nnBest[lo] = int32(hi)
+			}
 		}
 		size[a] += size[b]
 		members[a] = append(members[a], members[b]...)

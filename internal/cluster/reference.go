@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// pair is a candidate merge in the lazy priority queue used by
+// TrainReference and TrainUnconstrained. Fields are int32 to keep the
+// O(n²) initial heap compact.
+type pair struct {
+	dist float64 // linkage distance at push time
+	a, b int32   // cluster roots at push time
+	// verA/verB are the per-side cluster versions at push time. Staleness
+	// is checked side by side — a summed version would treat any split of
+	// the same total as fresh, so churn that raises one side and (in a
+	// hypothetical future discipline that reuses or rolls back roots)
+	// lowers the other could validate a stale pair. See pair.fresh.
+	verA, verB int32
+}
+
+// fresh reports whether p still describes the live pair: both sides must
+// be at exactly the version they had when p was pushed. Comparing each
+// side separately is what makes the check robust; comparing the sum
+// verA+verB against version[a]+version[b] would accept any state whose
+// versions merely sum to the same value.
+func (p pair) fresh(version []int32) bool {
+	return p.verA == version[p.a] && p.verB == version[p.b]
+}
+
+type pairHeap []pair
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pair)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TrainReference is the original flat-matrix + lazy-heap implementation of
+// the constrained agglomeration, retained as the parity oracle for Train
+// and as a scaling ablation: it materializes the full n×n distance matrix
+// plus an O(n²)-entry heap (~20n² bytes peak vs Train's ~4n² condensed
+// store) and runs single-threaded. Train reproduces its output exactly on
+// inputs whose running minimum is always unique; do not use TrainReference
+// outside tests and benchmarks.
+func TrainReference(items []Item) (*Model, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, ErrNoItems
+	}
+	dim := len(items[0].Vec)
+	labeled := 0
+	for i := range items {
+		if len(items[i].Vec) != dim {
+			return nil, fmt.Errorf("%w: item %d has dim %d, want %d", ErrDimMismatch, i, len(items[i].Vec), dim)
+		}
+		if items[i].Label != Unlabeled {
+			labeled++
+		}
+	}
+	if labeled == 0 {
+		return nil, ErrNoLabels
+	}
+
+	// Active cluster state. Clusters are identified by their root index.
+	active := make([]bool, n)
+	size := make([]int, n)
+	hasLabel := make([]bool, n)
+	label := make([]int, n)
+	version := make([]int32, n)
+	members := make([][]int, n)
+	for i := range items {
+		active[i] = true
+		size[i] = 1
+		hasLabel[i] = items[i].Label != Unlabeled
+		label[i] = items[i].Label
+		members[i] = []int{i}
+	}
+
+	// Pairwise distance matrix (flat, row-major). The O(n²) memory is what
+	// Train exists to avoid; the reference keeps it for fidelity to the
+	// original implementation.
+	dist := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := linalg.Distance(items[i].Vec, items[j].Vec)
+			dist[i*n+j] = d
+			dist[j*n+i] = d
+		}
+	}
+
+	h := make(pairHeap, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			h = append(h, pair{a: int32(i), b: int32(j), dist: dist[i*n+j]})
+		}
+	}
+	heap.Init(&h)
+
+	model := &Model{NumItems: n}
+	remaining := n
+	for remaining > labeled && h.Len() > 0 {
+		p := heap.Pop(&h).(pair)
+		if !active[p.a] || !active[p.b] {
+			continue
+		}
+		if !p.fresh(version) {
+			continue // stale: one side merged since push
+		}
+		if hasLabel[p.a] && hasLabel[p.b] {
+			// Constraint: never merge two labeled clusters. This pair can
+			// never become mergeable, so drop it.
+			continue
+		}
+		a, b := int(p.a), int(p.b)
+		model.Trace = append(model.Trace, Merge{A: a, B: b, Distance: p.dist})
+		// Merge b into a.
+		active[b] = false
+		version[a]++
+		na, nb := float64(size[a]), float64(size[b])
+		for k := 0; k < n; k++ {
+			if !active[k] || k == a {
+				continue
+			}
+			nd := (na*dist[a*n+k] + nb*dist[b*n+k]) / (na + nb)
+			dist[a*n+k] = nd
+			dist[k*n+a] = nd
+			if hasLabel[a] || hasLabel[b] {
+				if hasLabel[k] {
+					continue // will remain forbidden
+				}
+			}
+			heap.Push(&h, pair{a: int32(a), b: int32(k), dist: nd, verA: version[a], verB: version[k]})
+		}
+		size[a] += size[b]
+		members[a] = append(members[a], members[b]...)
+		members[b] = nil
+		if hasLabel[b] {
+			hasLabel[a] = true
+			label[a] = label[b]
+		}
+		remaining--
+	}
+
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			continue
+		}
+		c := Cluster{Label: Unlabeled, Members: members[i]}
+		if hasLabel[i] {
+			c.Label = label[i]
+		}
+		vecs := make([][]float64, 0, len(members[i]))
+		for _, m := range members[i] {
+			vecs = append(vecs, items[m].Vec)
+		}
+		c.Centroid = linalg.Mean(vecs)
+		model.Clusters = append(model.Clusters, c)
+	}
+	return model, nil
+}

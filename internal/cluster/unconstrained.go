@@ -60,8 +60,8 @@ func TrainUnconstrained(items []Item, k int) (*Model, error) {
 		if !active[p.a] || !active[p.b] {
 			continue
 		}
-		if p.version != version[p.a]+version[p.b] {
-			continue
+		if !p.fresh(version) {
+			continue // stale: one side merged since push
 		}
 		a, b := int(p.a), int(p.b)
 		model.Trace = append(model.Trace, Merge{A: a, B: b, Distance: p.dist})
@@ -75,7 +75,7 @@ func TrainUnconstrained(items []Item, k int) (*Model, error) {
 			nd := (na*dist[a*n+q] + nb*dist[b*n+q]) / (na + nb)
 			dist[a*n+q] = nd
 			dist[q*n+a] = nd
-			heap.Push(&h, pair{a: int32(a), b: int32(q), dist: nd, version: version[a] + version[q]})
+			heap.Push(&h, pair{a: int32(a), b: int32(q), dist: nd, verA: version[a], verB: version[q]})
 		}
 		size[a] += size[b]
 		members[a] = append(members[a], members[b]...)

@@ -32,6 +32,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/embed"
+	"repro/internal/metrics"
 	"repro/internal/rfgraph"
 )
 
@@ -160,6 +161,13 @@ type System struct {
 	// and names absorbed records. Atomic so read-locked predictions can
 	// advance it without contending on mu.
 	predictSeq atomic.Int64
+
+	// samplerFailures counts negative-sampler rebuilds that failed and
+	// were absorbed (the stale sampler kept serving); lastSamplerErr holds
+	// the most recent failure message. Atomics so the read-locked stats
+	// path can report them without taking the write lock.
+	samplerFailures metrics.Counter
+	lastSamplerErr  atomic.Value // string
 }
 
 // New returns an untrained System.
@@ -197,8 +205,16 @@ func (s *System) AddTraining(records []dataset.Record) error {
 
 // Fit runs offline training: E-LINE over the bipartite graph, then
 // proximity-based hierarchical clustering of the record-node ego
-// embeddings anchored at the labeled records.
-func (s *System) Fit() error {
+// embeddings anchored at the labeled records. It is FitCtx with a
+// background context.
+func (s *System) Fit() error { return s.FitCtx(context.Background()) }
+
+// FitCtx is Fit with cancellation threaded through both expensive stages
+// (embedding SGD and the constrained agglomeration), so a shutting-down
+// server aborts an in-flight background refit promptly instead of
+// finishing a model nobody will serve. A cancelled fit returns ctx.Err()
+// and leaves the system untrained — exactly as before the call.
+func (s *System) FitCtx(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.trained {
@@ -207,8 +223,11 @@ func (s *System) Fit() error {
 	if len(s.trainRecords) == 0 {
 		return ErrNoTraining
 	}
-	emb, err := embed.Train(s.graph, s.cfg.Embed)
+	emb, err := embed.TrainCtx(ctx, s.graph, s.cfg.Embed)
 	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		return fmt.Errorf("core: embedding: %w", err)
 	}
 	items := make([]cluster.Item, len(s.trainRecords))
@@ -223,8 +242,11 @@ func (s *System) Fit() error {
 			Label: label,
 		}
 	}
-	model, err := cluster.Train(items)
+	model, err := cluster.TrainCtx(ctx, items)
 	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		return fmt.Errorf("core: clustering: %w", err)
 	}
 	neg, err := embed.NewNegativeSampler(s.graph, emb)
@@ -242,14 +264,34 @@ func (s *System) Fit() error {
 // refreshSampler rebuilds the shared negative-sampling distribution after
 // a graph mutation. The caller holds the write lock. A rebuild failure
 // leaves the previous sampler in place: predictions stay consistent with
-// the pre-mutation snapshot rather than failing outright.
+// the pre-mutation snapshot rather than failing outright — but the
+// failure is counted and kept (see Stats), because a sampler that can
+// never rebuild drifts ever further from the live graph and an operator
+// can only notice through the stats surface.
 func (s *System) refreshSampler() {
 	if !s.trained {
 		return
 	}
-	if neg, err := embed.NewNegativeSampler(s.graph, s.emb); err == nil {
-		s.neg = neg
+	neg, err := embed.NewNegativeSampler(s.graph, s.emb)
+	if err != nil {
+		s.samplerFailures.Inc()
+		s.lastSamplerErr.Store(err.Error())
+		return
 	}
+	// A successful rebuild clears the last error (the count stays), so
+	// the stats surface distinguishes a healed sampler from a stuck one.
+	s.lastSamplerErr.Store("")
+	s.neg = neg
+}
+
+// SamplerRebuildFailures returns how many negative-sampler rebuilds have
+// failed (and been absorbed) over this system's lifetime — i.e. since
+// its fit; a refit hot-swap starts over with a fresh sampler — plus the
+// most recent failure message ("" when none or since healed).
+func (s *System) SamplerRebuildFailures() (int64, string) {
+	n := s.samplerFailures.Load()
+	msg, _ := s.lastSamplerErr.Load().(string)
+	return n, msg
 }
 
 // Trained reports whether Fit has completed.
@@ -493,20 +535,32 @@ func (s *System) ClusterModel() (*cluster.Model, error) {
 	return s.model, nil
 }
 
-// GraphStats summarizes the bipartite graph.
+// GraphStats summarizes the bipartite graph and the system's absorbed
+// operational failures.
 type GraphStats struct {
 	Records int
 	MACs    int
 	Edges   int
+	// SamplerRebuildFailures counts negative-sampler rebuilds that failed
+	// since this model was fitted (a lifecycle hot-swap starts a fresh
+	// count along with a fresh sampler); the system kept serving the
+	// stale sampler, so a climbing count means predictions are drifting
+	// from the live graph. LastSamplerError is the most recent failure,
+	// cleared by the next successful rebuild.
+	SamplerRebuildFailures int64
+	LastSamplerError       string
 }
 
 // Stats returns current graph statistics.
 func (s *System) Stats() GraphStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	failures, lastErr := s.SamplerRebuildFailures()
 	return GraphStats{
-		Records: s.graph.NumRecords(),
-		MACs:    s.graph.NumMACs(),
-		Edges:   s.graph.NumEdges(),
+		Records:                s.graph.NumRecords(),
+		MACs:                   s.graph.NumMACs(),
+		Edges:                  s.graph.NumEdges(),
+		SamplerRebuildFailures: failures,
+		LastSamplerError:       lastErr,
 	}
 }

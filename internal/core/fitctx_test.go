@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestFitCtxCancelled: a cancelled context aborts Fit cleanly — error is
+// the context's, the system stays untrained, and a later Fit with a live
+// context succeeds (no partial state left behind).
+func TestFitCtxCancelled(t *testing.T) {
+	train, _ := campusSplit(t, 30, 4, 11)
+	s := New(fastConfig())
+	if err := s.AddTraining(train); err != nil {
+		t.Fatalf("AddTraining: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.FitCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FitCtx(cancelled) = %v, want context.Canceled", err)
+	}
+	if s.Trained() {
+		t.Fatal("cancelled fit left the system trained")
+	}
+	if err := s.FitCtx(context.Background()); err != nil {
+		t.Fatalf("FitCtx after cancelled attempt: %v", err)
+	}
+	if !s.Trained() {
+		t.Fatal("system not trained after successful FitCtx")
+	}
+}
+
+// TestSamplerRebuildFailureSurfaced: retiring every MAC leaves a graph the
+// negative sampler cannot be rebuilt from; the failure must be counted
+// and visible in Stats instead of silently swallowed, while the system
+// keeps serving off the stale sampler.
+func TestSamplerRebuildFailureSurfaced(t *testing.T) {
+	s, _ := trainedSystem(t)
+	if n, msg := s.SamplerRebuildFailures(); n != 0 || msg != "" {
+		t.Fatalf("fresh system reports %d sampler failures (%q)", n, msg)
+	}
+	for _, mac := range s.MACs() {
+		if err := s.RemoveMAC(mac); err != nil {
+			t.Fatalf("RemoveMAC(%s): %v", mac, err)
+		}
+	}
+	n, msg := s.SamplerRebuildFailures()
+	if n == 0 {
+		t.Fatal("sampler rebuild failures not counted after retiring every MAC")
+	}
+	if msg == "" || !strings.Contains(msg, "alias") {
+		t.Errorf("last sampler error %q, want the alias-table failure", msg)
+	}
+	st := s.Stats()
+	if st.SamplerRebuildFailures != n || st.LastSamplerError != msg {
+		t.Errorf("Stats() = (%d, %q), want (%d, %q)",
+			st.SamplerRebuildFailures, st.LastSamplerError, n, msg)
+	}
+}

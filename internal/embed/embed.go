@@ -11,6 +11,7 @@
 package embed
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -252,13 +253,24 @@ func buildTrainContext(g *rfgraph.Graph) (*trainContext, error) {
 	return &trainContext{edges: edges, edgeDist: edgeDist, negDist: negDist, negNodes: negNodes}, nil
 }
 
-// Train learns embeddings for every live node of g under cfg.
+// Train learns embeddings for every live node of g under cfg. It is
+// TrainCtx with a background context.
 func Train(g *rfgraph.Graph, cfg Config) (*Embedding, error) {
+	return TrainCtx(context.Background(), g, cfg)
+}
+
+// TrainCtx is Train with cancellation: SGD workers poll ctx at every
+// decay-batch boundary (256 samples), so a cancelled context — a server
+// shutting down mid-refit — aborts training within microseconds instead
+// of grinding through the remaining samples. A cancelled run returns
+// ctx.Err() and no embedding. When ctx is never cancelled the sample
+// stream is untouched, so results stay bit-identical to Train.
+func TrainCtx(ctx context.Context, g *rfgraph.Graph, cfg Config) (*Embedding, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.mode() == ModeLINEBoth {
-		return trainConcat(g, cfg)
+		return trainConcat(ctx, g, cfg)
 	}
 	tc, err := buildTrainContext(g)
 	if err != nil {
@@ -269,7 +281,10 @@ func Train(g *rfgraph.Graph, cfg Config) (*Embedding, error) {
 	total := cfg.SamplesPerEdge * len(tc.edges)
 	workers := cfg.Workers
 	if workers <= 1 {
-		trainWorker(tc, emb, cfg, total, total, seeder.NextRand(), nil)
+		trainWorker(ctx, tc, emb, cfg, total, total, seeder.NextRand(), nil)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return emb, nil
 	}
 	var wg sync.WaitGroup
@@ -284,10 +299,13 @@ func Train(g *rfgraph.Graph, cfg Config) (*Embedding, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			trainWorker(tc, emb, cfg, n, total, rng, &progress)
+			trainWorker(ctx, tc, emb, cfg, n, total, rng, &progress)
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return emb, nil
 }
 
@@ -309,8 +327,9 @@ func (p *progressCounter) add(n int) int {
 }
 
 // trainWorker runs n SGD samples. When progress is nil the worker is the
-// only one and tracks decay locally.
-func trainWorker(tc *trainContext, emb *Embedding, cfg Config, n, total int, rng *rand.Rand, progress *progressCounter) {
+// only one and tracks decay locally. ctx is polled once per decay batch;
+// a cancelled worker stops mid-stream (the caller discards the embedding).
+func trainWorker(ctx context.Context, tc *trainContext, emb *Embedding, cfg Config, n, total int, rng *rand.Rand, progress *progressCounter) {
 	const batch = 256
 	mode := cfg.mode()
 	lr := cfg.LearningRate
@@ -319,6 +338,9 @@ func trainWorker(tc *trainContext, emb *Embedding, cfg Config, n, total int, rng
 	done := 0
 	for s := 0; s < n; s++ {
 		if s%batch == 0 {
+			if ctx.Err() != nil {
+				return
+			}
 			var globalDone int
 			if progress != nil {
 				globalDone = progress.add(done)
@@ -400,17 +422,17 @@ func updateFirstOrder(tc *trainContext, emb *Embedding, cfg Config, i, j rfgraph
 // LINE runs whose ego embeddings are concatenated (contexts likewise, so
 // online inference still works against the second-order half and zeros for
 // the first-order half's context table).
-func trainConcat(g *rfgraph.Graph, cfg Config) (*Embedding, error) {
+func trainConcat(ctx context.Context, g *rfgraph.Graph, cfg Config) (*Embedding, error) {
 	first := cfg
 	first.Mode = ModeLINEFirst
 	second := cfg
 	second.Mode = ModeLINESecond
 	second.Seed = cfg.Seed + 1
-	e1, err := Train(g, first)
+	e1, err := TrainCtx(ctx, g, first)
 	if err != nil {
 		return nil, err
 	}
-	e2, err := Train(g, second)
+	e2, err := TrainCtx(ctx, g, second)
 	if err != nil {
 		return nil, err
 	}

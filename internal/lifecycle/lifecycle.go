@@ -90,8 +90,10 @@ const walSubdir = "wal"
 type buildingState struct {
 	lastFit       time.Time
 	refitting     bool
+	refitStarted  time.Time // when the in-flight refit began; zero when idle
 	refits        int
 	lastRefitErr  string
+	lastRefitAt   time.Time // when the last refit attempt finished
 	lastRefitTime time.Duration
 }
 
@@ -125,6 +127,13 @@ type Manager struct {
 	wg       sync.WaitGroup
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	// refitCtx is cancelled by Close before it waits on wg, so an
+	// in-flight background re-fit (embedding SGD plus agglomeration, the
+	// long pole of shutdown) aborts within milliseconds instead of
+	// training a model nobody will serve. The old model keeps serving.
+	refitCtx    context.Context
+	refitCancel context.CancelFunc
 }
 
 // Open restores (or cold-starts) a managed portfolio. With a StateDir, it
@@ -201,16 +210,19 @@ func Open(cfg core.Config, opts Options) (*Manager, error) {
 		}
 	}
 
+	refitCtx, refitCancel := context.WithCancel(context.Background())
 	m := &Manager{
-		p:        p,
-		log:      jrnl,
-		stateDir: opts.StateDir,
-		policy:   opts.Policy,
-		logf:     logf,
-		now:      now,
-		st:       make(map[string]*buildingState),
-		replayed: replayed,
-		stop:     make(chan struct{}),
+		p:           p,
+		log:         jrnl,
+		stateDir:    opts.StateDir,
+		policy:      opts.Policy,
+		logf:        logf,
+		now:         now,
+		st:          make(map[string]*buildingState),
+		replayed:    replayed,
+		stop:        make(chan struct{}),
+		refitCtx:    refitCtx,
+		refitCancel: refitCancel,
 	}
 	// Fold a non-trivial replay into a fresh snapshot right away:
 	// otherwise a crash-looping process re-replays (and re-grows) the WAL
@@ -470,6 +482,7 @@ func (m *Manager) startRefit(name string, bs *buildingState, why string) bool {
 		return false
 	}
 	bs.refitting = true
+	bs.refitStarted = m.now()
 	m.wg.Add(1)
 	m.stmu.Unlock()
 	m.logf("lifecycle: refit of %q starting (%s)", name, why)
@@ -506,10 +519,12 @@ func (m *Manager) ForceRefit(name string) ([]string, error) {
 func (m *Manager) refit(name string, bs *buildingState) {
 	defer m.wg.Done()
 	start := m.now()
-	err := m.refitOnce(name)
+	err := m.refitOnce(m.refitCtx, name)
 
 	m.stmu.Lock()
 	bs.refitting = false
+	bs.refitStarted = time.Time{}
+	bs.lastRefitAt = m.now()
 	bs.lastRefitTime = m.now().Sub(start)
 	if err != nil {
 		bs.lastRefitErr = err.Error()
@@ -526,8 +541,10 @@ func (m *Manager) refit(name string, bs *buildingState) {
 	m.logf("lifecycle: refit of %q done in %v", name, m.now().Sub(start).Round(time.Millisecond))
 }
 
-// refitOnce performs one refit cycle for a building.
-func (m *Manager) refitOnce(name string) error {
+// refitOnce performs one refit cycle for a building. A cancelled ctx
+// (manager shutting down) aborts the expensive training stages promptly;
+// the old model keeps serving and nothing is swapped.
+func (m *Manager) refitOnce(ctx context.Context, name string) error {
 	sys, err := m.p.System(name)
 	if err != nil {
 		return err
@@ -554,7 +571,7 @@ func (m *Manager) refitOnce(name string) error {
 			return fmt.Errorf("refit %q: re-apply retirement of %q: %w", name, mac, err)
 		}
 	}
-	if err := next.Fit(); err != nil {
+	if err := next.FitCtx(ctx); err != nil {
 		return fmt.Errorf("refit %q: %w", name, err)
 	}
 
@@ -563,10 +580,12 @@ func (m *Manager) refitOnce(name string) error {
 	// Drain: absorbs that landed while Fit was running exist in the old
 	// model and the WAL but not in the new fit; replay them so the swap
 	// loses nothing. New absorbs are blocked (m.mu held exclusively), so
-	// the tail is final.
-	ctx := context.Background()
+	// the tail is final. The drain itself runs to completion even on a
+	// cancelled ctx — it is cheap, and stopping halfway would swap in a
+	// model missing acknowledged absorbs.
+	drainCtx := context.Background()
 	for _, rec := range sys.AbsorbedSince(drained) {
-		if _, err := next.Classify(ctx, &rec, core.WithAbsorb()); err != nil {
+		if _, err := next.Classify(drainCtx, &rec, core.WithAbsorb()); err != nil {
 			// The corpus is a superset of the old model's, so this is
 			// near-impossible; the scan stays journaled for the next boot.
 			m.logf("lifecycle: refit %q: could not carry absorbed %q forward: %v", name, rec.ID, err)
@@ -622,6 +641,9 @@ func (m *Manager) Close() error {
 	m.closing = true
 	m.stmu.Unlock()
 	m.stopOnce.Do(func() { close(m.stop) })
+	// Abort in-flight refits before waiting on them: a half-trained model
+	// is discarded, the live one keeps serving until the process exits.
+	m.refitCancel()
 	m.wg.Wait()
 	if m.log == nil {
 		return nil
@@ -641,11 +663,19 @@ type BuildingStatus struct {
 	// time for models that have not refitted yet).
 	LastFit   time.Time `json:"last_fit"`
 	Refitting bool      `json:"refitting"`
-	Refits    int       `json:"refits"`
+	// RefitStartedAt is when the in-flight refit began (zero when none),
+	// so an operator can spot a refit that has been running too long.
+	RefitStartedAt time.Time `json:"refit_started_at"`
+	Refits         int       `json:"refits"`
 	// LastRefitError is the most recent refit failure, empty after a
 	// success.
-	LastRefitError    string        `json:"last_refit_error,omitempty"`
-	LastRefitDuration time.Duration `json:"last_refit_duration_ns,omitempty"`
+	LastRefitError string `json:"last_refit_error,omitempty"`
+	// LastRefitAt is when the most recent refit attempt (success or
+	// failure) finished; LastRefitDuration/LastRefitDurationMS are how
+	// long it ran.
+	LastRefitAt         time.Time     `json:"last_refit_at"`
+	LastRefitDuration   time.Duration `json:"last_refit_duration_ns,omitempty"`
+	LastRefitDurationMS float64       `json:"last_refit_duration_ms,omitempty"`
 }
 
 // Status is the fleet-wide lifecycle state, served by the admin API.
@@ -691,9 +721,12 @@ func (m *Manager) Status() Status {
 		m.stmu.Lock()
 		b.LastFit = bs.lastFit
 		b.Refitting = bs.refitting
+		b.RefitStartedAt = bs.refitStarted
 		b.Refits = bs.refits
 		b.LastRefitError = bs.lastRefitErr
+		b.LastRefitAt = bs.lastRefitAt
 		b.LastRefitDuration = bs.lastRefitTime
+		b.LastRefitDurationMS = float64(bs.lastRefitTime.Microseconds()) / 1000
 		m.stmu.Unlock()
 		st.Buildings = append(st.Buildings, b)
 	}

@@ -1,0 +1,29 @@
+// Operational counters. Unlike the evaluation metrics in this package
+// (confusion matrices over a finished experiment), these are live
+// process-health signals: cheap atomic counters that hot paths bump and
+// the stats surfaces read, so failures a component deliberately absorbs —
+// a negative-sampler rebuild that keeps serving the stale distribution,
+// for example — stay visible to operators instead of vanishing into a
+// swallowed error.
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing operational counter, safe for
+// concurrent use. The zero value is ready.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.n.Add(delta)
+	}
+}
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.n.Load() }

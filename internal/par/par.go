@@ -51,7 +51,17 @@ func ForEach(n int, fn func(i int)) {
 // rest with the returned error. ForEachCtx returns ctx.Err() as observed
 // after all claimed work finished (nil when the batch completed).
 func ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
-	workers := runtime.GOMAXPROCS(0)
+	return ForEachCtxBounded(ctx, n, 0, fn)
+}
+
+// ForEachCtxBounded is ForEachCtx with an explicit worker cap, for tasks
+// whose per-item cost is heavy enough (model fits, snapshot loads) that
+// the caller wants to bound memory or leave cores for serving traffic.
+// workers <= 0 means GOMAXPROCS.
+func ForEachCtxBounded(ctx context.Context, n, workers int, fn func(i int)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -89,8 +99,14 @@ func ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
 // complete parallel error slice. Exactly one of fn(i) / fill(i, err) runs
 // for each index.
 func ForEachCtxFill(ctx context.Context, n int, fn func(i int), fill func(i int, err error)) error {
+	return ForEachCtxFillBounded(ctx, n, 0, fn, fill)
+}
+
+// ForEachCtxFillBounded is ForEachCtxFill with an explicit worker cap
+// (workers <= 0 means GOMAXPROCS).
+func ForEachCtxFillBounded(ctx context.Context, n, workers int, fn func(i int), fill func(i int, err error)) error {
 	started := make([]bool, n)
-	err := ForEachCtx(ctx, n, func(i int) {
+	err := ForEachCtxBounded(ctx, n, workers, func(i int) {
 		started[i] = true
 		fn(i)
 	})

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachVisitsAll(t *testing.T) {
@@ -91,5 +92,58 @@ func TestForEachCtxFillCoversEverySlot(t *testing.T) {
 		if got := ran[i].Load(); got != 1 {
 			t.Fatalf("index %d visited %d times, want exactly once (fn xor fill)", i, got)
 		}
+	}
+}
+
+func TestForEachCtxBoundedWorkerCap(t *testing.T) {
+	var inFlight, peak, calls atomic.Int64
+	err := ForEachCtxBounded(context.Background(), 64, 3, func(i int) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		calls.Add(1)
+	})
+	if err != nil {
+		t.Fatalf("ForEachCtxBounded: %v", err)
+	}
+	if calls.Load() != 64 {
+		t.Errorf("calls = %d, want 64", calls.Load())
+	}
+	if peak.Load() > 3 {
+		t.Errorf("peak concurrency %d exceeded the cap of 3", peak.Load())
+	}
+}
+
+func TestForEachCtxBoundedDefaultsToGOMAXPROCS(t *testing.T) {
+	var calls atomic.Int64
+	if err := ForEachCtxBounded(context.Background(), 10, 0, func(i int) { calls.Add(1) }); err != nil {
+		t.Fatalf("ForEachCtxBounded: %v", err)
+	}
+	if calls.Load() != 10 {
+		t.Errorf("calls = %d, want 10", calls.Load())
+	}
+}
+
+func TestForEachCtxFillBoundedCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran, filled atomic.Int64
+	err := ForEachCtxFillBounded(ctx, 8, 2, func(i int) { ran.Add(1) }, func(i int, err error) {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("fill error = %v", err)
+		}
+		filled.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load()+filled.Load() != 8 {
+		t.Errorf("ran %d + filled %d != 8: some index got no verdict", ran.Load(), filled.Load())
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/par"
 )
 
 // ManifestName is the manifest file name inside a state directory.
@@ -193,15 +194,34 @@ func LoadPortfolio(dir string, cfg core.Config) (*Portfolio, error) {
 		if _, dup := p.systems[b.Name]; dup {
 			return nil, fmt.Errorf("portfolio: manifest: %w: %q", ErrDuplicateName, b.Name)
 		}
+		p.systems[b.Name] = nil // placeholder: claimed, loaded below
+	}
+	// Per-building snapshot loads are independent (each rebuilds its own
+	// graph and replays its own absorbs), so a warm restart of a large
+	// fleet restores across cores instead of one building at a time. The
+	// pool is bounded at GOMAXPROCS; nobody else can observe p yet.
+	systems := make([]*core.System, len(man.Buildings))
+	errs := make([]error, len(man.Buildings))
+	par.ForEach(len(man.Buildings), func(i int) {
+		b := man.Buildings[i]
 		sys, err := core.LoadFile(filepath.Join(dir, b.File))
 		if err != nil {
-			return nil, fmt.Errorf("portfolio: load building %q: %w", b.Name, err)
+			errs[i] = fmt.Errorf("portfolio: load building %q: %w", b.Name, err)
+			return
 		}
+		systems[i] = sys
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, b := range man.Buildings {
 		macs := make(map[string]struct{}, len(b.MACs))
 		for _, mac := range b.MACs {
 			macs[mac] = struct{}{}
 		}
-		p.systems[b.Name] = sys
+		p.systems[b.Name] = systems[i]
 		p.macIndex[b.Name] = macs
 	}
 	return p, nil

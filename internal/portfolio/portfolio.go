@@ -72,6 +72,10 @@ type Portfolio struct {
 	cfg      core.Config
 	systems  map[string]*core.System
 	macIndex map[string]map[string]struct{} // building -> MAC set
+	// pending reserves names whose System is still fitting outside the
+	// lock, so concurrent registrations of the same name race cleanly and
+	// classifications never see a half-built building.
+	pending map[string]struct{}
 }
 
 // New returns an empty portfolio; cfg configures every building's System.
@@ -80,6 +84,7 @@ func New(cfg core.Config) *Portfolio {
 		cfg:      cfg,
 		systems:  make(map[string]*core.System),
 		macIndex: make(map[string]map[string]struct{}),
+		pending:  make(map[string]struct{}),
 	}
 }
 
@@ -87,7 +92,32 @@ func New(cfg core.Config) *Portfolio {
 // the usual budget) and trains its System. Names that cannot be addressed
 // by the HTTP surface (reserved literals like "batch", the empty name, or
 // names containing a path separator) are rejected with ErrReservedName.
+// It is AddBuildingCtx with a background context.
 func (p *Portfolio) AddBuilding(name string, train []dataset.Record) error {
+	return p.AddBuildingCtx(context.Background(), name, train)
+}
+
+// AddBuildingCtx is AddBuilding with cancellation threaded into the fit.
+// The expensive offline training runs without holding the portfolio lock,
+// so classifications against already-registered buildings — and other
+// registrations — proceed while a new building fits; the name is reserved
+// up front so a duplicate registration fails fast rather than after
+// minutes of training.
+func (p *Portfolio) AddBuildingCtx(ctx context.Context, name string, train []dataset.Record) error {
+	if err := p.reserve(name); err != nil {
+		return err
+	}
+	sys, err := p.fitBuilding(ctx, name, train)
+	if err != nil {
+		p.unreserve(name)
+		return err
+	}
+	p.publish(name, sys, train)
+	return nil
+}
+
+// reserve claims a building name for an in-flight registration.
+func (p *Portfolio) reserve(name string) error {
 	if err := validateName(name); err != nil {
 		return err
 	}
@@ -96,22 +126,92 @@ func (p *Portfolio) AddBuilding(name string, train []dataset.Record) error {
 	if _, dup := p.systems[name]; dup {
 		return fmt.Errorf("%w: %q", ErrDuplicateName, name)
 	}
+	if _, dup := p.pending[name]; dup {
+		return fmt.Errorf("%w: %q (registration in progress)", ErrDuplicateName, name)
+	}
+	p.pending[name] = struct{}{}
+	return nil
+}
+
+// unreserve releases a claimed name after a failed fit.
+func (p *Portfolio) unreserve(name string) {
+	p.mu.Lock()
+	delete(p.pending, name)
+	p.mu.Unlock()
+}
+
+// fitBuilding trains one building's System, lock-free.
+func (p *Portfolio) fitBuilding(ctx context.Context, name string, train []dataset.Record) (*core.System, error) {
 	sys := core.New(p.cfg)
 	if err := sys.AddTraining(train); err != nil {
-		return fmt.Errorf("portfolio: building %q: %w", name, err)
+		return nil, fmt.Errorf("portfolio: building %q: %w", name, err)
 	}
-	if err := sys.Fit(); err != nil {
-		return fmt.Errorf("portfolio: building %q: %w", name, err)
+	if err := sys.FitCtx(ctx); err != nil {
+		return nil, fmt.Errorf("portfolio: building %q: %w", name, err)
 	}
+	return sys, nil
+}
+
+// publish installs a fitted building and its attribution MAC set,
+// clearing the pending reservation.
+func (p *Portfolio) publish(name string, sys *core.System, train []dataset.Record) {
 	macs := make(map[string]struct{})
 	for i := range train {
 		for _, rd := range train[i].Readings {
 			macs[rd.MAC] = struct{}{}
 		}
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.pending, name)
 	p.systems[name] = sys
 	p.macIndex[name] = macs
-	return nil
+}
+
+// BuildingCorpus names one building's training corpus for bulk
+// registration.
+type BuildingCorpus struct {
+	Name  string
+	Train []dataset.Record
+}
+
+// AddBuildings registers and fits many buildings concurrently over a
+// bounded worker pool (workers <= 0 means GOMAXPROCS) — the fleet
+// bring-up path, where per-building fits are independent and sequential
+// training leaves all but one core idle. All names are validated and
+// reserved before any fit starts, so a doomed batch (duplicate or
+// reserved name) fails before burning training time. Buildings whose fit
+// succeeds are published even when sibling fits fail; the returned error
+// joins every per-building failure (nil when all succeeded). Once ctx is
+// cancelled, unstarted fits are skipped and in-flight ones abort.
+func (p *Portfolio) AddBuildings(ctx context.Context, buildings []BuildingCorpus, workers int) error {
+	reserved := make([]string, 0, len(buildings))
+	for _, b := range buildings {
+		// reserve also rejects a name appearing twice in this batch: the
+		// first occurrence is already pending.
+		if err := p.reserve(b.Name); err != nil {
+			for _, name := range reserved {
+				p.unreserve(name)
+			}
+			return err
+		}
+		reserved = append(reserved, b.Name)
+	}
+	errs := make([]error, len(buildings))
+	par.ForEachCtxFillBounded(ctx, len(buildings), workers, func(i int) {
+		b := buildings[i]
+		sys, err := p.fitBuilding(ctx, b.Name, b.Train)
+		if err != nil {
+			p.unreserve(b.Name)
+			errs[i] = err
+			return
+		}
+		p.publish(b.Name, sys, b.Train)
+	}, func(i int, err error) {
+		p.unreserve(buildings[i].Name)
+		errs[i] = fmt.Errorf("portfolio: building %q: %w", buildings[i].Name, err)
+	})
+	return errors.Join(errs...)
 }
 
 // Buildings returns the sorted registered building names.

@@ -467,3 +467,127 @@ func TestClassifyDuringHotSwapAndAbsorb(t *testing.T) {
 		t.Error("replacement System not installed")
 	}
 }
+
+// corpora builds n buildings' training corpora without registering them.
+func corpora(t *testing.T, n int, seed int64) []BuildingCorpus {
+	t.Helper()
+	params := simulate.MicrosoftLike(n, 40, seed)
+	params.FloorsMin, params.FloorsMax = 3, 4
+	corpus, err := simulate.Generate(params)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	out := make([]BuildingCorpus, 0, n)
+	for i := range corpus.Buildings {
+		b := &corpus.Buildings[i]
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		train, _, err := dataset.Split(b, 0.7, rng)
+		if err != nil {
+			t.Fatalf("split: %v", err)
+		}
+		dataset.SelectLabels(train, 4, rng)
+		out = append(out, BuildingCorpus{Name: b.Name, Train: train})
+	}
+	return out
+}
+
+// TestAddBuildingsParallel registers a fleet through the bulk path and
+// asserts every building is trained and routable, matching sequential
+// registration of the same corpora.
+func TestAddBuildingsParallel(t *testing.T) {
+	cs := corpora(t, 4, 77)
+	cfg := core.Config{}
+	cfg.Embed = embed.DefaultConfig()
+	cfg.Embed.SamplesPerEdge = 40
+
+	bulk := New(cfg)
+	if err := bulk.AddBuildings(context.Background(), cs, 4); err != nil {
+		t.Fatalf("AddBuildings: %v", err)
+	}
+	if got := bulk.Buildings(); len(got) != 4 {
+		t.Fatalf("buildings = %v, want 4", got)
+	}
+	for _, c := range cs {
+		sys, err := bulk.System(c.Name)
+		if err != nil {
+			t.Fatalf("System(%s): %v", c.Name, err)
+		}
+		if !sys.Trained() {
+			t.Errorf("building %s not trained", c.Name)
+		}
+		// Each building's own training scans must route back to it.
+		routed, err := bulk.ClassifyRouted(context.Background(), &c.Train[0])
+		if err != nil {
+			t.Fatalf("ClassifyRouted(%s): %v", c.Name, err)
+		}
+		if routed.Building != c.Name {
+			t.Errorf("scan from %s routed to %s", c.Name, routed.Building)
+		}
+	}
+}
+
+// TestAddBuildingsValidatesBeforeFitting: duplicate names (against the
+// portfolio or within the batch) must fail before any training runs.
+func TestAddBuildingsValidatesBeforeFitting(t *testing.T) {
+	cs := corpora(t, 2, 78)
+	p := New(core.Config{})
+	if err := p.AddBuildings(context.Background(), []BuildingCorpus{cs[0], cs[0]}, 2); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("in-batch duplicate = %v, want ErrDuplicateName", err)
+	}
+	if got := p.Buildings(); len(got) != 0 {
+		t.Errorf("failed batch registered buildings: %v", got)
+	}
+	// A failed batch must release its reservations so a retry works.
+	if err := p.AddBuildings(context.Background(), cs, 2); err != nil {
+		t.Fatalf("retry after failed batch: %v", err)
+	}
+	if err := p.AddBuildings(context.Background(), cs[:1], 1); !errors.Is(err, ErrDuplicateName) {
+		t.Errorf("existing-name duplicate = %v, want ErrDuplicateName", err)
+	}
+	if err := p.AddBuildings(context.Background(), []BuildingCorpus{{Name: "batch"}}, 1); !errors.Is(err, ErrReservedName) {
+		t.Errorf("reserved name = %v, want ErrReservedName", err)
+	}
+}
+
+// TestAddBuildingsCancelled: a cancelled context aborts the batch; no
+// half-trained buildings are published and reservations are released.
+func TestAddBuildingsCancelled(t *testing.T) {
+	cs := corpora(t, 3, 79)
+	p := New(core.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.AddBuildings(ctx, cs, 2)
+	if err == nil {
+		t.Fatal("cancelled AddBuildings succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if got := p.Buildings(); len(got) != 0 {
+		t.Errorf("cancelled batch published buildings: %v", got)
+	}
+	if err := p.AddBuildings(context.Background(), cs, 0); err != nil {
+		t.Fatalf("retry after cancelled batch: %v", err)
+	}
+}
+
+// TestAddBuildingPartialBatchFailure: one bad corpus (no records) fails
+// its own building but the siblings still publish.
+func TestAddBuildingsPartialFailure(t *testing.T) {
+	cs := corpora(t, 2, 80)
+	cs = append(cs, BuildingCorpus{Name: "empty-building"})
+	p := New(core.Config{})
+	err := p.AddBuildings(context.Background(), cs, 2)
+	if !errors.Is(err, core.ErrNoTraining) {
+		t.Fatalf("batch error = %v, want wrapped ErrNoTraining", err)
+	}
+	got := p.Buildings()
+	if len(got) != 2 {
+		t.Fatalf("buildings = %v, want the 2 healthy ones", got)
+	}
+	for _, name := range got {
+		if name == "empty-building" {
+			t.Error("failed building was published")
+		}
+	}
+}

@@ -2,11 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -218,5 +220,57 @@ func TestAdminRoutesAbsentWithoutLifecycle(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("admin route on plain handler = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestAdminLifecycleRefitTimings: after a forced refit via the admin API,
+// the per-building lifecycle status served over HTTP must carry the
+// last-refit timing fields and a clean in-flight state.
+func TestAdminLifecycleRefitTimings(t *testing.T) {
+	srv, m, _, _ := managedServer(t, lifecycle.Policy{})
+	resp, err := http.Post(srv.URL+"/v2/admin/refit", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("refit status = %d, want 202", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for m.Refitting() {
+		if time.Now().After(deadline) {
+			t.Fatal("refit did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := getStatus(t, srv.URL)
+	if len(st.Buildings) == 0 {
+		t.Fatal("no buildings in lifecycle status")
+	}
+	for _, b := range st.Buildings {
+		if b.Refits != 1 || b.LastRefitError != "" {
+			t.Fatalf("refit did not succeed for %s: %+v", b.Building, b)
+		}
+		if b.LastRefitAt.IsZero() || b.LastRefitDurationMS <= 0 {
+			t.Errorf("refit timings missing for %s: %+v", b.Building, b)
+		}
+		if b.Refitting || !b.RefitStartedAt.IsZero() {
+			t.Errorf("idle building %s marked refitting: %+v", b.Building, b)
+		}
+	}
+	// The raw JSON must expose the documented keys for operators/tooling.
+	raw, err := http.Get(srv.URL + "/v2/admin/lifecycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	body, err := io.ReadAll(raw.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"last_refit_at", "last_refit_duration_ms", "refit_started_at", "refitting"} {
+		if !strings.Contains(string(body), key) {
+			t.Errorf("lifecycle JSON missing %q:\n%s", key, body)
+		}
 	}
 }

@@ -68,11 +68,16 @@ type StreamItem struct {
 
 // StatsResponse is the v2 stats reply.
 type StatsResponse struct {
-	Buildings   int                 `json:"buildings"`
-	Records     int                 `json:"records"`
-	MACs        int                 `json:"macs"`
-	Edges       int                 `json:"edges"`
-	PerBuilding []BuildingStatsItem `json:"per_building"`
+	Buildings int `json:"buildings"`
+	Records   int `json:"records"`
+	MACs      int `json:"macs"`
+	Edges     int `json:"edges"`
+	// SamplerRebuildFailures totals the per-building counts; a nonzero
+	// value means some building is serving a negative-sampling
+	// distribution older than its graph (see the per-building entries for
+	// which, and for the most recent error).
+	SamplerRebuildFailures int64               `json:"sampler_rebuild_failures"`
+	PerBuilding            []BuildingStatsItem `json:"per_building"`
 }
 
 // BuildingStatsItem is one building's graph statistics.
@@ -81,6 +86,13 @@ type BuildingStatsItem struct {
 	Records  int    `json:"records"`
 	MACs     int    `json:"macs"`
 	Edges    int    `json:"edges"`
+	// SamplerRebuildFailures counts negative-sampler rebuild failures
+	// this building's live model absorbed silently since it was fitted
+	// (a lifecycle refit swaps in a fresh model, sampler, and count);
+	// LastSamplerError is the most recent one, cleared once a rebuild
+	// succeeds. A count climbing between refits marks a stuck sampler.
+	SamplerRebuildFailures int64  `json:"sampler_rebuild_failures,omitempty"`
+	LastSamplerError       string `json:"last_sampler_error,omitempty"`
 }
 
 // ndjsonChunkSize is how many scans the batch route classifies (in
@@ -116,10 +128,13 @@ func registerV2(mux *http.ServeMux, p *portfolio.Portfolio, rt Router) {
 		for i, b := range per {
 			resp.PerBuilding[i] = BuildingStatsItem{
 				Building: b.Building, Records: b.Records, MACs: b.MACs, Edges: b.Edges,
+				SamplerRebuildFailures: b.SamplerRebuildFailures,
+				LastSamplerError:       b.LastSamplerError,
 			}
 			resp.Records += b.Records
 			resp.MACs += b.MACs
 			resp.Edges += b.Edges
+			resp.SamplerRebuildFailures += b.SamplerRebuildFailures
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})

@@ -456,3 +456,47 @@ func TestV2BatchAlreadyCancelled(t *testing.T) {
 		t.Errorf("body = %.120q, want a single error object", w.Body.String())
 	}
 }
+
+// TestV2StatsSamplerFailures: a building whose negative sampler can no
+// longer rebuild (every MAC retired) must report the failure count and
+// last error through /v2/stats, totalled at the top level.
+func TestV2StatsSamplerFailures(t *testing.T) {
+	p, _ := testPortfolio(t)
+	srv := httptest.NewServer(Handler(p))
+	t.Cleanup(srv.Close)
+	name := p.Buildings()[0]
+	sys, err := p.System(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mac := range sys.MACs() {
+		if _, err := p.RemoveMAC(mac); err != nil {
+			t.Fatalf("RemoveMAC(%s): %v", mac, err)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v2/stats")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sr.SamplerRebuildFailures == 0 {
+		t.Fatalf("total sampler failures = 0 after emptying %q: %+v", name, sr)
+	}
+	found := false
+	for _, b := range sr.PerBuilding {
+		if b.Building != name {
+			continue
+		}
+		found = true
+		if b.SamplerRebuildFailures == 0 || b.LastSamplerError == "" {
+			t.Errorf("per-building sampler failure not surfaced: %+v", b)
+		}
+	}
+	if !found {
+		t.Fatalf("building %q missing from stats", name)
+	}
+}
