@@ -76,8 +76,10 @@ type app struct {
 }
 
 // newApp parses flags, restores or trains the fleet, and wires the
-// lifecycle-managed handler.
-func newApp(args []string, logf func(string, ...any)) (*app, error) {
+// lifecycle-managed handler. ctx cancels the boot sequence — WAL replay
+// and initial training both honor it, so a SIGTERM during a slow restore
+// exits promptly instead of finishing a boot nobody wants.
+func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app, error) {
 	fs := flag.NewFlagSet("graficsd", flag.ContinueOnError)
 	corpusPath := fs.String("corpus", "", "corpus JSON path (optional when -state-dir holds a snapshot)")
 	labels := fs.Int("labels", 4, "labeled records per floor used for training")
@@ -100,7 +102,7 @@ func newApp(args []string, logf func(string, ...any)) (*app, error) {
 	if *samples > 0 {
 		cfg.Embed.SamplesPerEdge = *samples
 	}
-	m, err := lifecycle.Open(cfg, lifecycle.Options{
+	m, err := lifecycle.OpenCtx(ctx, cfg, lifecycle.Options{
 		StateDir: *stateDir,
 		WAL:      walOptions(*walSync),
 		Policy: lifecycle.Policy{
@@ -139,7 +141,7 @@ func newApp(args []string, logf func(string, ...any)) (*app, error) {
 			rng := rand.New(rand.NewSource(*seed + int64(i)))
 			granted := dataset.SelectLabels(records, *labels, rng)
 			start := time.Now()
-			if err := p.AddBuilding(b.Name, records); err != nil {
+			if err := p.AddBuildingCtx(ctx, b.Name, records); err != nil {
 				m.Close()
 				return nil, fmt.Errorf("train %s: %w", b.Name, err)
 			}
@@ -189,7 +191,11 @@ func (a *app) shutdown(logf func(string, ...any)) error {
 }
 
 func run(args []string) error {
-	a, err := newApp(args, log.Printf)
+	// The signal context is created before boot so a SIGTERM during a slow
+	// warm restart or initial training aborts promptly instead of serving.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	a, err := newApp(ctx, args, log.Printf)
 	if err != nil {
 		return err
 	}
@@ -198,8 +204,6 @@ func run(args []string) error {
 		Handler:           a.handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("serving %d buildings on %s (v1 + v2)", a.buildings, a.addr)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -40,7 +41,7 @@ func writeCorpus(t *testing.T) (path string, corpus *dataset.Corpus) {
 // boot assembles the daemon in-process and serves it over httptest.
 func boot(t *testing.T, args ...string) (*app, *httptest.Server) {
 	t.Helper()
-	a, err := newApp(args, t.Logf)
+	a, err := newApp(context.Background(), args, t.Logf)
 	if err != nil {
 		t.Fatalf("newApp(%v): %v", args, err)
 	}
@@ -210,10 +211,10 @@ func TestGracefulShutdownSnapshots(t *testing.T) {
 
 // TestBootRequiresData: no corpus and no usable state dir is an error.
 func TestBootRequiresData(t *testing.T) {
-	if _, err := newApp([]string{"-state-dir", t.TempDir()}, t.Logf); err == nil {
+	if _, err := newApp(context.Background(), []string{"-state-dir", t.TempDir()}, t.Logf); err == nil {
 		t.Fatal("boot without corpus or snapshot succeeded, want error")
 	}
-	if _, err := newApp(nil, t.Logf); err == nil {
+	if _, err := newApp(context.Background(), nil, t.Logf); err == nil {
 		t.Fatal("boot without any data source succeeded, want error")
 	}
 }

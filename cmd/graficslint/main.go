@@ -1,0 +1,138 @@
+// Command graficslint is the repository's multichecker: it runs the four
+// custom GRAFICS analyzers (lockcheck, ctxcheck, hotpathalloc, walorder)
+// over the requested packages and, unless -novet is set, the stock
+// `go vet` passes alongside them. It exits non-zero when any analyzer or
+// vet reports a finding, so CI can require it.
+//
+// Usage:
+//
+//	go run ./cmd/graficslint [flags] [packages]
+//
+// Packages default to ./... . Flags:
+//
+//	-list          print the analyzers and exit
+//	-novet         skip the stock go vet passes
+//	-nocache       disable the per-package diagnostics cache
+//	-cache DIR     cache directory (default <user cache dir>/graficslint)
+//	-typeerrors    fail on type-checker errors in analyzed packages
+//
+// The annotation grammar the analyzers consume (grafics:guardedby,
+// grafics:locked, grafics:rlocked, grafics:hotpath, grafics:allocok,
+// grafics:ctxok, grafics:lockok, grafics:walok) is documented in the
+// README's "Static analysis" section.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxcheck"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/walorder"
+)
+
+var analyzers = []*analysis.Analyzer{
+	lockcheck.Analyzer,
+	ctxcheck.Analyzer,
+	hotpathalloc.Analyzer,
+	walorder.Analyzer,
+}
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "print the analyzers and exit")
+		novet      = flag.Bool("novet", false, "skip the stock go vet passes")
+		nocache    = flag.Bool("nocache", false, "disable the diagnostics cache")
+		cacheDir   = flag.String("cache", "", "cache directory (default <user cache dir>/graficslint)")
+		typeErrors = flag.Bool("typeerrors", false, "fail on type-checker errors in analyzed packages")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+
+	var cache *analysis.Cache
+	if !*nocache {
+		cache, err = analysis.OpenCache(*cacheDir)
+		if err != nil {
+			// The cache is advisory: warn and analyze uncached.
+			fmt.Fprintf(os.Stderr, "graficslint: cache disabled: %v\n", err)
+		}
+	}
+
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 && *typeErrors {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "graficslint: %s: %v\n", pkg.Path, terr)
+			}
+			failed = true
+		}
+		key, cacheable := cache.Key(pkg, analyzers)
+		if cacheable {
+			if ds, ok := cache.Get(key); ok {
+				diags = append(diags, ds...)
+				continue
+			}
+		}
+		ds, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		diags = append(diags, ds...)
+		if cacheable {
+			if err := cache.Put(key, pkg.Path, ds); err != nil {
+				fmt.Fprintf(os.Stderr, "graficslint: cache write: %v\n", err)
+			}
+		}
+	}
+	analysis.Sort(diags)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		failed = true
+	}
+
+	if !*novet {
+		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		vet.Stdout = os.Stdout
+		vet.Stderr = os.Stderr
+		if err := vet.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "graficslint: %v\n", err)
+	os.Exit(2)
+}

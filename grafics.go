@@ -55,6 +55,7 @@
 package grafics
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -230,8 +231,16 @@ type LifecycleStatus = lifecycle.Status
 // OpenLifecycle restores (or cold-starts) a lifecycle-managed fleet:
 // with a state directory it loads the latest portfolio snapshot, replays
 // the write-ahead log tail, and opens the journal for new absorbs.
+// It is OpenLifecycleCtx with a background context.
 func OpenLifecycle(cfg Config, opts LifecycleOptions) (*LifecycleManager, error) {
 	return lifecycle.Open(cfg, opts)
+}
+
+// OpenLifecycleCtx is OpenLifecycle with cancellation threaded into the
+// boot: cancelling ctx aborts snapshot restore and WAL replay. The ctx
+// governs only the open itself, not the returned manager's lifetime.
+func OpenLifecycleCtx(ctx context.Context, cfg Config, opts LifecycleOptions) (*LifecycleManager, error) {
+	return lifecycle.OpenCtx(ctx, cfg, opts)
 }
 
 // WALOptions tunes the absorb write-ahead log (segment size, fsync

@@ -1,0 +1,134 @@
+// Package analysis is a self-contained static-analysis framework for the
+// GRAFICS codebase, mirroring the shape of golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) on top of the standard library's go/ast
+// and go/types only. The repository's toolchain ships without x/tools, so
+// the framework carries its own package loader (load.go), which
+// type-checks target packages from source against gc export data produced
+// by `go list -export` — full types.Info resolution, no network, no
+// third-party modules.
+//
+// The concrete invariants the suite enforces live in the analyzer
+// subpackages (lockcheck, ctxcheck, hotpathalloc, walorder); the
+// machine-readable annotation grammar they consume (grafics:guardedby,
+// grafics:locked, grafics:rlocked, grafics:hotpath, grafics:allocok,
+// grafics:ctxok, grafics:lockok) is parsed once per package by
+// annotations.go and shared across analyzers through the Pass.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named static check. Run receives a fully loaded and
+// type-checked Pass and reports findings through pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and cache keys.
+	Name string
+	// Doc is the one-paragraph description shown by graficslint -help.
+	Doc string
+	// Run executes the check over one package.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	// Pos is the finding's source position, resolved against the pass fset.
+	Pos token.Position `json:"pos"`
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string `json:"analyzer"`
+	// Message describes the violation and, where applicable, the
+	// annotation that suppresses it.
+	Message string `json:"message"`
+}
+
+// String formats the diagnostic the way compilers do, so editors and CI
+// log scrapers pick the position up.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset resolves token.Pos values for every file of the package.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds identifier resolution and expression types.
+	TypesInfo *types.Info
+	// Ann is the package's parsed grafics: annotation index.
+	Ann *Annotations
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes each analyzer over each package and returns every finding,
+// sorted by position. Analyzer errors (not findings) abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return diags, err
+		}
+		diags = append(diags, ds...)
+	}
+	Sort(diags)
+	return diags, nil
+}
+
+// RunPackage executes each analyzer over a single loaded package.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ann := ParseAnnotations(pkg.Fset, pkg.Files, pkg.TypesInfo)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Ann:       ann,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	Sort(diags)
+	return diags, nil
+}
+
+// Sort orders diagnostics by file, line, column, then analyzer name, so
+// output and cached results are deterministic.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,133 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations written in the fixtures
+// themselves, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives under <analyzer>/testdata/src/<name>/ (testdata is
+// invisible to the go tool, so fixtures may contain deliberate
+// violations without breaking the build). Expectations are `want`
+// comments on the line the diagnostic should land on:
+//
+//	s.count++ // want `requires holding`
+//	v := s.m  // want "guardedby"
+//
+// The payload is a regular expression matched against the diagnostic
+// message. Matching is exact per (file, line): every diagnostic must be
+// matched by a want on its line, and every want must be matched by a
+// diagnostic — surplus in either direction fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the expectation pattern from a comment: a `want`
+// keyword followed by one double-quoted or backquoted regexp.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// expectation is one want comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each named fixture from dir/testdata/src/<name>, runs the
+// analyzer, and reports mismatches through t. dir is the analyzer's
+// package directory (usually "." from its test). moduleDir anchors
+// `go list` for stdlib export data; tests pass the repository root.
+func Run(t *testing.T, moduleDir, dir string, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, name := range fixtures {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Helper()
+			fixtureDir := filepath.Join(dir, "testdata", "src", name)
+			pkg, err := analysis.LoadFixture(moduleDir, fixtureDir, name)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			for _, terr := range pkg.TypeErrors {
+				t.Errorf("fixture type error: %v", terr)
+			}
+			diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("run %s: %v", a.Name, err)
+			}
+			check(t, pkg, diags)
+		})
+	}
+}
+
+// check matches diagnostics against want comments bidirectionally.
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if w := matchWant(wants, d); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+// matchWant finds an unmatched expectation on the diagnostic's line whose
+// pattern matches its message.
+func matchWant(wants []*expectation, d analysis.Diagnostic) *expectation {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line || filepath.Base(w.file) != filepath.Base(d.Pos.Filename) {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants parses every want comment in the fixture.
+func collectWants(pkg *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, "//") {
+						// Guard against silently ignored malformed wants.
+						if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ") {
+							return nil, fmt.Errorf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
+						}
+					}
+					continue
+				}
+				pat := m[1]
+				if m[2] != "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants, nil
+}

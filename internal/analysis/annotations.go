@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Directive is one parsed grafics: annotation: "// grafics:<name> <arg>
+// [free-text reason]". The grammar is documented in the README's "Static
+// analysis" section.
+type Directive struct {
+	// Name is the directive keyword: guardedby, locked, rlocked, hotpath,
+	// allocok, ctxok, lockok.
+	Name string
+	// Arg is the first token after the keyword (a mutex field name for
+	// guardedby/locked/rlocked; empty or a free-text reason otherwise).
+	Arg string
+}
+
+// FuncAnn is the annotation set of one function declaration.
+type FuncAnn struct {
+	// Held maps mutex field names the caller must hold to whether the hold
+	// is exclusive (grafics:locked) or may be shared (grafics:rlocked).
+	Held map[string]bool
+	// Hotpath marks the function for hotpathalloc.
+	Hotpath bool
+	// CtxOK suppresses ctxcheck for the whole function body.
+	CtxOK bool
+}
+
+// Annotations is the per-package index of grafics: directives: guarded
+// fields, annotated functions, and line-level suppressions.
+type Annotations struct {
+	fset *token.FileSet
+	// guarded maps a struct field object to the name of the sibling mutex
+	// field that guards it.
+	guarded map[types.Object]string
+	// funcs maps function-declaration name objects to their annotations.
+	funcs map[types.Object]*FuncAnn
+	// decls maps the declarations themselves, for analyzers walking syntax.
+	decls map[*ast.FuncDecl]*FuncAnn
+	// lines maps filename -> line -> suppression directive names present
+	// on (or immediately above) that line.
+	lines map[string]map[int]map[string]bool
+}
+
+// directivePrefix introduces a machine-readable annotation comment.
+const directivePrefix = "grafics:"
+
+// parseDirective extracts a Directive from one comment's text, or ok=false.
+func parseDirective(text string) (Directive, bool) {
+	t := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(t, directivePrefix) {
+		return Directive{}, false
+	}
+	t = strings.TrimPrefix(t, directivePrefix)
+	fields := strings.Fields(t)
+	if len(fields) == 0 {
+		return Directive{}, false
+	}
+	d := Directive{Name: fields[0]}
+	if len(fields) > 1 {
+		d.Arg = fields[1]
+	}
+	return d, true
+}
+
+// directivesIn collects the directives of a comment group.
+func directivesIn(g *ast.CommentGroup) []Directive {
+	if g == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range g.List {
+		if d, ok := parseDirective(c.Text); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ParseAnnotations builds the annotation index for one package. info may
+// be nil (annotation-only callers); field and function objects are then
+// unresolvable and only line-level suppressions are indexed.
+func ParseAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) *Annotations {
+	ann := &Annotations{
+		fset:    fset,
+		guarded: make(map[types.Object]string),
+		funcs:   make(map[types.Object]*FuncAnn),
+		decls:   make(map[*ast.FuncDecl]*FuncAnn),
+		lines:   make(map[string]map[int]map[string]bool),
+	}
+	for _, f := range files {
+		// Line-level suppressions: every grafics: comment marks its own
+		// line; a suppression applies to diagnostics on the same line or
+		// the line directly below (comment-above-statement style).
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				d, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := ann.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					ann.lines[pos.Filename] = byLine
+				}
+				set := byLine[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					byLine[pos.Line] = set
+				}
+				set[d.Name] = true
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				ann.indexStruct(n, info)
+			case *ast.FuncDecl:
+				ann.indexFunc(n, info)
+			}
+			return true
+		})
+	}
+	return ann
+}
+
+// indexStruct records guardedby annotations on struct fields.
+func (a *Annotations) indexStruct(st *ast.StructType, info *types.Info) {
+	for _, field := range st.Fields.List {
+		var mu string
+		for _, d := range append(directivesIn(field.Doc), directivesIn(field.Comment)...) {
+			if d.Name == "guardedby" && d.Arg != "" {
+				mu = d.Arg
+			}
+		}
+		if mu == "" || info == nil {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				a.guarded[obj] = mu
+			}
+		}
+	}
+}
+
+// indexFunc records locked/rlocked/hotpath/ctxok annotations on function
+// declarations.
+func (a *Annotations) indexFunc(fn *ast.FuncDecl, info *types.Info) {
+	var fa *FuncAnn
+	get := func() *FuncAnn {
+		if fa == nil {
+			fa = &FuncAnn{Held: make(map[string]bool)}
+		}
+		return fa
+	}
+	for _, d := range directivesIn(fn.Doc) {
+		switch d.Name {
+		case "locked":
+			if d.Arg != "" {
+				get().Held[d.Arg] = true
+			}
+		case "rlocked":
+			if d.Arg != "" {
+				if held := get().Held; !held[d.Arg] {
+					held[d.Arg] = false
+				}
+			}
+		case "hotpath":
+			get().Hotpath = true
+		case "ctxok":
+			get().CtxOK = true
+		}
+	}
+	if fa == nil {
+		return
+	}
+	a.decls[fn] = fa
+	if info != nil {
+		if obj := info.Defs[fn.Name]; obj != nil {
+			a.funcs[obj] = fa
+		}
+	}
+}
+
+// GuardedBy returns the guarding mutex field name for a field object, or
+// "" when the field carries no grafics:guardedby annotation.
+func (a *Annotations) GuardedBy(field types.Object) string { return a.guarded[field] }
+
+// HasGuards reports whether any field in the package is annotated.
+func (a *Annotations) HasGuards() bool { return len(a.guarded) > 0 }
+
+// FuncByDecl returns the annotation set of a function declaration, or nil.
+func (a *Annotations) FuncByDecl(fn *ast.FuncDecl) *FuncAnn { return a.decls[fn] }
+
+// FuncByObj returns the annotation set of a function object (for
+// call-site checks), or nil.
+func (a *Annotations) FuncByObj(obj types.Object) *FuncAnn { return a.funcs[obj] }
+
+// Suppressed reports whether a diagnostic named name at pos is silenced
+// by a grafics:<name> comment on the same line or the line directly above.
+func (a *Annotations) Suppressed(pos token.Pos, name string) bool {
+	p := a.fset.Position(pos)
+	byLine := a.lines[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[p.Line][name] || byLine[p.Line-1][name]
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// cacheVersion invalidates every cached entry when the on-disk schema or
+// analyzer semantics change. Bump it whenever an analyzer's rules move.
+const cacheVersion = "graficslint-cache-1"
+
+// Cache memoizes per-package diagnostics keyed by the package's source
+// bytes and the analyzer set, so unchanged packages are not re-analyzed
+// across CI runs.
+type Cache struct {
+	dir string
+}
+
+// OpenCache returns a diagnostics cache rooted at dir; when dir is empty
+// it defaults to <user cache dir>/graficslint. A nil *Cache is a valid
+// no-op cache, so callers may ignore the error and proceed uncached.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: cache dir: %w", err)
+		}
+		dir = filepath.Join(base, "graficslint")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("analysis: cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// cacheEntry is the stored value: the diagnostics one package produced.
+type cacheEntry struct {
+	Version     string       `json:"version"`
+	Package     string       `json:"package"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// Key derives the cache key for one package under one analyzer set. It
+// hashes the cache schema version, the toolchain version, the analyzer
+// names and docs (so editing a rule's semantics via its Doc string at
+// least suggests a bump), the package path, and every source file's name
+// and content. Missing files make the package uncacheable ("", false).
+func (c *Cache) Key(pkg *Package, analyzers []*Analyzer) (string, bool) {
+	if c == nil {
+		return "", false
+	}
+	h := sha256.New()
+	fmt.Fprintln(h, cacheVersion)
+	fmt.Fprintln(h, runtime.Version(), goToolVersion())
+	for _, a := range analyzers {
+		fmt.Fprintln(h, a.Name, a.Doc)
+	}
+	fmt.Fprintln(h, pkg.Path)
+	for _, name := range pkg.Filenames {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return "", false
+		}
+		fmt.Fprintln(h, name, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// Get returns the cached diagnostics for key, or ok=false on miss or any
+// decode problem (a corrupt entry is treated as a miss).
+func (c *Cache) Get(key string) ([]Diagnostic, bool) {
+	if c == nil || key == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Version != cacheVersion {
+		return nil, false
+	}
+	return e.Diagnostics, true
+}
+
+// Put stores the diagnostics for key. Write errors are returned so the
+// driver can warn, but callers may ignore them: the cache is advisory.
+func (c *Cache) Put(key, pkgPath string, diags []Diagnostic) error {
+	if c == nil || key == "" {
+		return nil
+	}
+	e := cacheEntry{Version: cacheVersion, Package: pkgPath, Diagnostics: diags}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp := c.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path(key))
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2]+"-"+key[2:]+".json")
+}
+
+// goToolVersion returns `go version` output so cache keys rotate with the
+// toolchain even when the linter binary was built by an older runtime.
+func goToolVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return string(out)
+}

@@ -1,0 +1,207 @@
+// Package ctxcheck enforces context propagation in the corpus-facing
+// library packages (internal/embed, internal/cluster, internal/core,
+// internal/portfolio, internal/lifecycle):
+//
+//  1. Library code must not synthesize context.Background() or
+//     context.TODO() — the caller's context is the only legitimate
+//     source of cancellation. Deliberate roots (process-lifetime
+//     contexts, deprecated compatibility wrappers) are annotated with
+//     `// grafics:ctxok reason`, either on the function's doc comment
+//     (whole body) or on the offending line.
+//  2. An exported function that does take a context.Context must take it
+//     as the first parameter, per Go convention.
+//  3. An exported function without a context parameter that loops over
+//     data and calls a context-aware callee (one whose first parameter
+//     is context.Context) is a propagation gap: it has work worth
+//     cancelling and a callee that could be cancelled, but no context to
+//     hand it.
+//
+// Tests, examples, and cmd/ binaries are outside the analyzer's scope:
+// the loader only feeds it non-test files of the listed library
+// packages, and binaries are legitimate context roots.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheck",
+	Doc:  "checks context propagation in corpus-facing library packages",
+	Run:  run,
+}
+
+// libraryPackages are the corpus-facing packages the rules apply to,
+// matched by the final import-path segment or the package name.
+var libraryPackages = map[string]bool{
+	"embed":     true,
+	"cluster":   true,
+	"core":      true,
+	"portfolio": true,
+	"lifecycle": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fa := pass.Ann.FuncByDecl(fn)
+			funcOK := fa != nil && fa.CtxOK
+			if fn.Body != nil && !funcOK {
+				checkBackground(pass, fn.Body)
+			}
+			if fn.Name.IsExported() {
+				checkSignature(pass, fn, funcOK)
+			}
+		}
+	}
+	return nil
+}
+
+// applies reports whether the package is one of the corpus-facing
+// library packages.
+func applies(pass *analysis.Pass) bool {
+	if pass.Pkg == nil {
+		return false
+	}
+	path := pass.Pkg.Path()
+	last := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		last = path[i+1:]
+	}
+	return libraryPackages[last] || libraryPackages[pass.Pkg.Name()]
+}
+
+// checkBackground flags context.Background() / context.TODO() calls.
+func checkBackground(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		if !isContextPackage(pass, sel.X) {
+			return true
+		}
+		if pass.Ann.Suppressed(call.Pos(), "ctxok") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "library code synthesizes context.%s(); thread the caller's ctx or annotate grafics:ctxok with a reason", sel.Sel.Name)
+		return true
+	})
+}
+
+// checkSignature enforces ctx-first ordering and flags the
+// loop-over-data-without-ctx propagation gap.
+func checkSignature(pass *analysis.Pass, fn *ast.FuncDecl, funcOK bool) {
+	params := fn.Type.Params
+	ctxIndex := -1
+	if params != nil {
+		i := 0
+		for _, field := range params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			if isContextType(pass.TypesInfo.Types[field.Type].Type) && ctxIndex < 0 {
+				ctxIndex = i
+			}
+			i += n
+		}
+	}
+	if ctxIndex > 0 {
+		pass.Reportf(fn.Name.Pos(), "exported %s takes context.Context as parameter %d; context must be the first parameter", fn.Name.Name, ctxIndex+1)
+		return
+	}
+	if ctxIndex == 0 || funcOK || fn.Body == nil {
+		return
+	}
+	// No ctx parameter: flag loops that invoke a context-aware callee.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loopBody = l.Body
+		case *ast.RangeStmt:
+			loopBody = l.Body
+		default:
+			return true
+		}
+		if callee := contextAwareCallee(pass, loopBody); callee != "" {
+			if !pass.Ann.Suppressed(fn.Name.Pos(), "ctxok") {
+				pass.Reportf(fn.Name.Pos(), "exported %s loops over data calling context-aware %s but takes no context.Context; add a ctx parameter or annotate grafics:ctxok", fn.Name.Name, callee)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// contextAwareCallee returns the name of the first function called inside
+// body whose first parameter is a context.Context, or "".
+func contextAwareCallee(pass *analysis.Pass, body *ast.BlockStmt) string {
+	var found string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var obj types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			obj = pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		}
+		if obj == nil {
+			return true
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok || sig.Params().Len() == 0 {
+			return true
+		}
+		if isContextType(sig.Params().At(0).Type()) {
+			found = obj.Name()
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isContextPackage reports whether expr names the context package.
+func isContextPackage(pass *analysis.Pass, expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "context"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

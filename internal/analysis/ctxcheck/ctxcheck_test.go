@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxcheck"
+)
+
+func TestCtxcheck(t *testing.T) {
+	analysistest.Run(t, "../../..", ".", ctxcheck.Analyzer, "core")
+}

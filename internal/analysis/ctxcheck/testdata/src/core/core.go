@@ -1,0 +1,65 @@
+// Package core exercises ctxcheck: synthesized background contexts,
+// ctx-first parameter ordering, and the loop-without-ctx propagation gap.
+// The fixture is named "core" so the analyzer's library-package filter
+// applies, exactly as it does to the real internal/core.
+package core
+
+import "context"
+
+func helper(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+func BadBackground() {
+	ctx := context.Background() // want `synthesizes context.Background`
+	_ = ctx
+}
+
+func BadTODO() error {
+	return helper(context.TODO(), 1) // want `synthesizes context.TODO`
+}
+
+// DeprecatedWrapper mimics a compatibility shim kept for callers that
+// predate context threading.
+//
+// grafics:ctxok deprecated wrapper, callers migrate to the ctx variant
+func DeprecatedWrapper() {
+	_ = context.Background()
+}
+
+func GoodLineSuppressed() {
+	// grafics:ctxok process-lifetime root
+	_ = context.Background()
+}
+
+func BadOrder(n int, ctx context.Context) { // want `context must be the first parameter`
+	_ = n
+	_ = ctx
+}
+
+func GoodOrder(ctx context.Context, n int) {
+	_ = ctx
+	_ = n
+}
+
+func BadLoopNoCtx(items []int) { // want `loops over data calling context-aware helper`
+	for _, it := range items {
+		_ = helper(nil, it)
+	}
+}
+
+func GoodLoopWithCtx(ctx context.Context, items []int) {
+	for _, it := range items {
+		_ = helper(ctx, it)
+	}
+}
+
+func GoodLoopNoCtxCallee(items []int) int {
+	s := 0
+	for _, it := range items {
+		s += it
+	}
+	return s
+}

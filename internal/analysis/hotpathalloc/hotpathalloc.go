@@ -1,0 +1,295 @@
+// Package hotpathalloc enforces the grafics:hotpath annotation: an
+// annotated function must not allocate on its steady-state path. The
+// analyzer flags composite literals, make and new, every append (growth
+// cannot be ruled out syntactically), string<->[]byte/[]rune conversions,
+// and interface boxing (a non-pointer-shaped concrete argument passed to
+// an interface parameter).
+//
+// Two structural exemptions keep the rule usable on real pooled code:
+//
+//   - Cold blocks: a block whose final statement returns a non-nil error
+//     or panics is an error exit, not the steady state; nothing inside it
+//     is checked. This is how validation and corruption paths coexist
+//     with a zero-alloc happy path.
+//   - Capacity guards: make/new inside an if whose condition mentions
+//     cap() or len() is the pool warm-up idiom ("grow only when the
+//     reusable buffer is too small") and is amortized-zero, so it is
+//     exempt.
+//
+// Zero-size composite literals (struct{}{} set membership) do not
+// allocate and are ignored. Everything else needs a
+// `// grafics:allocok reason` comment on the line or the line above.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "checks that grafics:hotpath functions do not allocate outside cold blocks and capacity guards",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fa := pass.Ann.FuncByDecl(fn); fa == nil || !fa.Hotpath {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one hot-path body, skipping cold blocks and tracking
+// capacity-guard scopes.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	cold := make(map[ast.Node]bool)
+	capGuard := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			if isCold(pass, n.List) {
+				cold[n] = true
+			}
+		case *ast.CaseClause:
+			if isCold(pass, n.Body) {
+				cold[n] = true
+			}
+		case *ast.CommClause:
+			if isCold(pass, n.Body) {
+				cold[n] = true
+			}
+		case *ast.IfStmt:
+			if mentionsCapLen(pass, n.Cond) {
+				capGuard[n.Body] = true
+			}
+		}
+		return true
+	})
+
+	var stack []ast.Node
+	capDepth := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if capGuard[top] {
+				capDepth--
+			}
+			return true
+		}
+		if cold[n] {
+			return false
+		}
+		stack = append(stack, n)
+		if capGuard[n] {
+			capDepth++
+		}
+		checkNode(pass, n, capDepth > 0)
+		return true
+	})
+}
+
+// isCold reports whether a statement list is an error exit: its final
+// statement returns a non-nil error or panics.
+func isCold(pass *analysis.Pass, list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		if len(last.Results) == 0 {
+			return false
+		}
+		res := last.Results[len(last.Results)-1]
+		if id, ok := res.(*ast.Ident); ok && id.Name == "nil" {
+			return false
+		}
+		t := pass.TypesInfo.Types[res].Type
+		return t != nil && isErrorType(t)
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// mentionsCapLen reports whether cond calls the cap or len builtin — the
+// signature of a buffer-reuse capacity guard.
+func mentionsCapLen(pass *analysis.Pass, cond ast.Expr) bool {
+	if cond == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkNode flags one allocating expression, honoring grafics:allocok.
+func checkNode(pass *analysis.Pass, n ast.Node, capGuarded bool) {
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		t := pass.TypesInfo.Types[n].Type
+		if zeroSize(t) || pass.Ann.Suppressed(n.Pos(), "allocok") {
+			return
+		}
+		pass.Reportf(n.Pos(), "composite literal allocates in grafics:hotpath function; hoist into a pooled workspace or annotate grafics:allocok")
+	case *ast.CallExpr:
+		checkCall(pass, n, capGuarded)
+	}
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, capGuarded bool) {
+	// Conversion: string <-> []byte/[]rune copies its operand.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := pass.TypesInfo.Types[call.Args[0]].Type
+		if allocatingConversion(to, from) && !pass.Ann.Suppressed(call.Pos(), "allocok") {
+			pass.Reportf(call.Pos(), "%s conversion allocates in grafics:hotpath function; keep one representation or annotate grafics:allocok", types.TypeString(to, nil))
+		}
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				if !capGuarded && !pass.Ann.Suppressed(call.Pos(), "allocok") {
+					pass.Reportf(call.Pos(), "%s allocates in grafics:hotpath function; guard with a cap()/len() capacity check or annotate grafics:allocok", id.Name)
+				}
+			case "append":
+				if !pass.Ann.Suppressed(call.Pos(), "allocok") {
+					pass.Reportf(call.Pos(), "append may grow its backing array in grafics:hotpath function; pre-size the buffer or annotate grafics:allocok")
+				}
+			}
+			return
+		}
+	}
+	checkBoxing(pass, call)
+}
+
+// checkBoxing flags concrete, non-pointer-shaped arguments passed to
+// interface parameters: the value escapes to the heap to fit the box.
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr) {
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg].Type
+		if at == nil || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if _, already := at.Underlying().(*types.Interface); already {
+			continue
+		}
+		if pointerShaped(at) || pass.Ann.Suppressed(arg.Pos(), "allocok") {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into an interface parameter in grafics:hotpath function (heap escape); pass a pointer-shaped value or annotate grafics:allocok", types.TypeString(at, nil))
+	}
+}
+
+// allocatingConversion reports whether converting from -> to copies the
+// operand: string <-> []byte and string <-> []rune both do.
+func allocatingConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Uint8, types.Int32: // byte and rune
+		return true
+	}
+	return false
+}
+
+// zeroSize reports whether a composite literal of type t occupies no
+// storage (struct{}{}, [0]T{}) and therefore cannot allocate.
+func zeroSize(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		return u.NumFields() == 0
+	case *types.Array:
+		return u.Len() == 0
+	}
+	return false
+}
+
+// pointerShaped reports whether values of t fit an interface word
+// without boxing.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,80 @@
+// Package hot exercises hotpathalloc: composite literals, append growth,
+// unguarded make, string conversions, and interface boxing inside
+// grafics:hotpath functions — plus the cold-block, capacity-guard,
+// zero-size, and allocok exemptions that keep real pooled code clean.
+package hot
+
+import "fmt"
+
+type vec struct{ xs []float64 }
+
+// grafics:hotpath
+func BadLiteral() vec {
+	return vec{} // want `composite literal allocates`
+}
+
+// grafics:hotpath
+func BadAppend(xs []int, v int) []int {
+	xs = append(xs, v) // want `append may grow its backing array`
+	return xs
+}
+
+// grafics:hotpath
+func BadMake(n int) []int {
+	buf := make([]int, n) // want `make allocates`
+	return buf
+}
+
+// grafics:hotpath
+func GoodCapacityGuard(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// grafics:hotpath
+func BadStringConversion(b []byte) string {
+	return string(b) // want `conversion allocates`
+}
+
+// grafics:hotpath
+func BadByteConversion(s string) []byte {
+	return []byte(s) // want `conversion allocates`
+}
+
+func sink(v any) { _ = v }
+
+// grafics:hotpath
+func BadBoxing(n int) {
+	sink(n) // want `boxes int into an interface parameter`
+}
+
+// grafics:hotpath
+func GoodPointerShaped(p *vec) {
+	sink(p)
+}
+
+// grafics:hotpath
+func GoodZeroSize(m map[string]struct{}, k string) {
+	m[k] = struct{}{}
+}
+
+// grafics:hotpath
+func GoodColdErrorPath(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative length %d", n)
+	}
+	return nil
+}
+
+// grafics:hotpath
+func GoodSuppressed() *vec {
+	// grafics:allocok nil-workspace fallback, once per caller
+	return &vec{}
+}
+
+// Unannotated functions are never checked, whatever they allocate.
+func NotHot() []int {
+	return append(make([]int, 0), 1, 2, 3)
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	// Path is the package's import path (or the fixture name under
+	// analysistest).
+	Path string
+	// Dir is the package's source directory.
+	Dir string
+	// Filenames are the parsed files, absolute, in parse order.
+	Filenames []string
+	// Fset resolves positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included. Test files are
+	// excluded: the analyzers machine-check library invariants, and the
+	// annotation grammar allowlists tests by construction.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo carries identifier resolution for the analyzers.
+	TypesInfo *types.Info
+	// TypeErrors collects type-checker soft failures. Analyzers run
+	// regardless; the driver surfaces them so a broken tree fails loudly.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v: %s", strings.Join(args[:2], " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listPkg
+	for {
+		var p listPkg
+		if derr := dec.Decode(&p); derr != nil {
+			if derr == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("analysis: decode go list output: %w", derr)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// listFields is the field projection requested from go list; asking for a
+// projection keeps the JSON small and the schema stable.
+const listFields = "-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error"
+
+// Load lists patterns with the go tool, parses every matched non-test
+// source file, and type-checks each target package from source against
+// the gc export data of its dependencies (built on demand into the build
+// cache by `go list -export`). It needs no network and no modules beyond
+// the repository itself.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", listFields}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []listPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil && len(p.GoFiles) == 0 {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		var files []string
+		for _, g := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, g))
+		}
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// exportImporter returns a gc-export-data importer resolving import paths
+// through the exports map.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// check parses files and type-checks them as one package. Type errors are
+// collected, not fatal: the analyzers still run over whatever resolved,
+// and the caller decides whether soft failures abort.
+func check(fset *token.FileSet, imp types.Importer, path, dir string, files []string, src map[string][]byte) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir, Fset: fset}
+	for _, name := range files {
+		var content any
+		if src != nil {
+			content = src[name]
+		}
+		f, err := parser.ParseFile(fset, name, content, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, name)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, pkg.Files, info) // errors collected above
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	return pkg, nil
+}
+
+// LoadFixture parses and type-checks a single directory of fixture
+// sources (analysistest). The fixture may import standard-library
+// packages and nothing else; export data for those imports is resolved by
+// listing them from moduleDir (any directory inside a module with a Go
+// toolchain, typically the repository root).
+func LoadFixture(moduleDir, fixtureDir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: fixture dir: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		files = append(files, filepath.Join(fixtureDir, e.Name()))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: fixture dir %s has no .go files", fixtureDir)
+	}
+	sort.Strings(files)
+
+	// Discover the fixture's imports with a comment-free parse pass, then
+	// materialize export data for them (and their dependencies).
+	fset := token.NewFileSet()
+	importSet := make(map[string]bool)
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse fixture %s: %w", name, err)
+		}
+		for _, im := range f.Imports {
+			importSet[strings.Trim(im.Path.Value, `"`)] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		var paths []string
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		args := append([]string{"list", "-e", "-export", "-deps", listFields}, paths...)
+		listed, err := goList(moduleDir, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	fset = token.NewFileSet()
+	return check(fset, exportImporter(fset, exports), asPath, fixtureDir, files, nil)
+}

@@ -1,0 +1,304 @@
+// Package lockcheck enforces the grafics:guardedby annotation: a struct
+// field annotated `// grafics:guardedby mu` may only be read or written
+// while the sibling mutex field mu is held. A function holds the mutex if
+// it calls <base>.mu.Lock() (exclusive) or <base>.mu.RLock() (shared)
+// anywhere in its body, or if it is annotated `// grafics:locked mu`
+// (caller holds exclusively) or `// grafics:rlocked mu` (caller holds at
+// least shared). Writes require an exclusive hold; reads accept either.
+//
+// The check is flow-insensitive within one function: acquiring anywhere
+// in the body counts for the whole body. Function literals form their own
+// scope; they inherit the enclosing holds except when launched with `go`,
+// since a goroutine body runs outside the caller's critical section.
+//
+// Two secondary rules ride along: calling a method annotated
+// grafics:locked/rlocked requires the caller to hold the named mutex on
+// the same receiver expression, and returning a pointer-shaped guarded
+// field (pointer, map, slice, chan, func) while the lock is held is
+// flagged as a critical-section leak. Suppress a finding with a
+// `// grafics:lockok reason` comment on the offending line or the line
+// above.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "checks that grafics:guardedby fields are only accessed while their mutex is held",
+	Run:  run,
+}
+
+// holdKey names one held mutex: the receiver/base expression it hangs off
+// and the mutex field name.
+type holdKey struct {
+	base string
+	mu   string
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.Ann.HasGuards() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			held := make(map[holdKey]bool)
+			if fa := pass.Ann.FuncByDecl(fn); fa != nil && fn.Recv != nil && len(fn.Recv.List) > 0 && len(fn.Recv.List[0].Names) > 0 {
+				recv := fn.Recv.List[0].Names[0].Name
+				for mu, exclusive := range fa.Held {
+					held[holdKey{recv, mu}] = exclusive
+				}
+			}
+			checkScope(pass, fn.Body, held)
+		}
+	}
+	return nil
+}
+
+// checkScope analyzes one function or function-literal body with the
+// given inherited holds. Nested literals recurse; the body's own Lock and
+// RLock calls are merged into the inherited set first.
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt, inherited map[holdKey]bool) {
+	held := make(map[holdKey]bool, len(inherited))
+	for k, v := range inherited {
+		held[k] = v
+	}
+	collectAcquisitions(body, held)
+	writes := collectWriteRoots(pass, body)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A goroutine body runs after the critical section may have
+			// ended: analyze it with no inherited holds.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkScope(pass, lit.Body, nil)
+				for _, arg := range n.Call.Args {
+					ast.Inspect(arg, walk)
+				}
+				return false
+			}
+		case *ast.FuncLit:
+			// Synchronous closures (sort.Slice comparators etc.) execute
+			// inside the enclosing critical section: inherit its holds.
+			checkScope(pass, n.Body, held)
+			return false
+		case *ast.SelectorExpr:
+			checkAccess(pass, n, held, writes)
+			// Keep walking: the base of a guarded selector may itself be
+			// a guarded selector.
+		case *ast.CallExpr:
+			checkCall(pass, n, held)
+		case *ast.ReturnStmt:
+			checkLeak(pass, n, held)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// collectAcquisitions records every <base>.<mu>.Lock() / RLock() call in
+// the body, excluding nested function literals (their acquisitions belong
+// to their own scope). Lock upgrades a shared hold; RLock never
+// downgrades an exclusive one.
+func collectAcquisitions(body *ast.BlockStmt, held map[holdKey]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		key := holdKey{types.ExprString(muSel.X), muSel.Sel.Name}
+		if sel.Sel.Name == "Lock" {
+			held[key] = true
+		} else if !held[key] {
+			held[key] = false
+		}
+		return true
+	})
+}
+
+// collectWriteRoots finds every guarded selector in write position:
+// assignment targets, inc/dec operands, and delete() map arguments,
+// peeled through indexing, dereference, and parens. Nested literals are
+// excluded for the same reason as acquisitions.
+func collectWriteRoots(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	writes := make(map[*ast.SelectorExpr]bool)
+	record := func(e ast.Expr) {
+		if sel, ok := peel(e).(*ast.SelectorExpr); ok {
+			writes[sel] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				if obj, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && obj != nil {
+					record(n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// peel strips indexing, dereference, and parens to reach the expression
+// whose storage an assignment actually mutates.
+func peel(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// guardedField resolves a selector to its field object and guarding mutex
+// name, or ok=false for non-field or unguarded selections.
+func guardedField(pass *analysis.Pass, sel *ast.SelectorExpr) (types.Object, string, bool) {
+	var obj types.Object
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		obj = s.Obj()
+	} else if u := pass.TypesInfo.Uses[sel.Sel]; u != nil {
+		if _, isVar := u.(*types.Var); isVar {
+			obj = u
+		}
+	}
+	if obj == nil {
+		return nil, "", false
+	}
+	mu := pass.Ann.GuardedBy(obj)
+	if mu == "" {
+		return nil, "", false
+	}
+	return obj, mu, true
+}
+
+// checkAccess flags reads and writes of guarded fields outside their
+// critical section.
+func checkAccess(pass *analysis.Pass, sel *ast.SelectorExpr, held map[holdKey]bool, writes map[*ast.SelectorExpr]bool) {
+	obj, mu, ok := guardedField(pass, sel)
+	if !ok || pass.Ann.Suppressed(sel.Pos(), "lockok") {
+		return
+	}
+	base := types.ExprString(sel.X)
+	exclusive, holding := held[holdKey{base, mu}]
+	if writes[sel] {
+		switch {
+		case !holding:
+			pass.Reportf(sel.Pos(), "write to %s.%s requires holding %s.%s (grafics:guardedby)", base, obj.Name(), base, mu)
+		case !exclusive:
+			pass.Reportf(sel.Pos(), "write to %s.%s under shared %s.%s; exclusive Lock required", base, obj.Name(), base, mu)
+		}
+		return
+	}
+	if !holding {
+		pass.Reportf(sel.Pos(), "read of %s.%s requires holding %s.%s (grafics:guardedby)", base, obj.Name(), base, mu)
+	}
+}
+
+// checkCall enforces grafics:locked / grafics:rlocked at call sites: the
+// caller must hold the named mutex on the same receiver expression, with
+// an exclusive hold satisfying a shared requirement but not vice versa.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, held map[holdKey]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	callee := pass.TypesInfo.Uses[sel.Sel]
+	if callee == nil {
+		return
+	}
+	fa := pass.Ann.FuncByObj(callee)
+	if fa == nil || len(fa.Held) == 0 || pass.Ann.Suppressed(call.Pos(), "lockok") {
+		return
+	}
+	base := types.ExprString(sel.X)
+	for mu, needExclusive := range fa.Held {
+		exclusive, holding := held[holdKey{base, mu}]
+		switch {
+		case !holding:
+			pass.Reportf(call.Pos(), "call to %s requires holding %s.%s (grafics:%s)", sel.Sel.Name, base, mu, lockWord(needExclusive))
+		case needExclusive && !exclusive:
+			pass.Reportf(call.Pos(), "call to %s requires exclusive %s.%s but only a shared hold is in scope", sel.Sel.Name, base, mu)
+		}
+	}
+}
+
+func lockWord(exclusive bool) string {
+	if exclusive {
+		return "locked"
+	}
+	return "rlocked"
+}
+
+// checkLeak flags returning a pointer-shaped guarded field while its
+// mutex is held: the caller receives an alias into state the lock no
+// longer protects.
+func checkLeak(pass *analysis.Pass, ret *ast.ReturnStmt, held map[holdKey]bool) {
+	for _, res := range ret.Results {
+		sel, ok := res.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		obj, mu, ok := guardedField(pass, sel)
+		if !ok || pass.Ann.Suppressed(res.Pos(), "lockok") {
+			continue
+		}
+		base := types.ExprString(sel.X)
+		if _, holding := held[holdKey{base, mu}]; !holding {
+			continue // already reported as an unguarded read
+		}
+		if !pointerShaped(pass.TypesInfo.Types[res].Type) {
+			continue
+		}
+		pass.Reportf(res.Pos(), "returning guarded %s.%s leaks it out of the %s.%s critical section; return a copy or annotate grafics:lockok", base, obj.Name(), base, mu)
+	}
+}
+
+// pointerShaped reports whether returning t aliases shared storage.
+func pointerShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}

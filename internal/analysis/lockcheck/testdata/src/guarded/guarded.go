@@ -1,0 +1,103 @@
+// Package guarded exercises lockcheck: guarded reads and writes inside
+// and outside critical sections, shared-versus-exclusive holds, annotated
+// callees, critical-section leaks, and goroutine scoping.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	// grafics:guardedby mu
+	n int
+	// grafics:guardedby mu
+	items map[string]int
+}
+
+func (c *counter) BadRead() int {
+	return c.n // want `read of c.n requires holding c.mu`
+}
+
+func (c *counter) BadWrite() {
+	c.n++ // want `write to c.n requires holding c.mu`
+}
+
+func (c *counter) GoodWrite() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) GoodRead() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *counter) BadRLockWrite() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n = 4 // want `under shared c.mu; exclusive Lock required`
+}
+
+// grafics:locked mu
+func (c *counter) bumpLocked() { c.n++ }
+
+// grafics:rlocked mu
+func (c *counter) totalRLocked() int { return c.n }
+
+func (c *counter) BadCallLockedUnheld() {
+	c.bumpLocked() // want `call to bumpLocked requires holding c.mu`
+}
+
+func (c *counter) GoodCallLockedHeld() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+}
+
+func (c *counter) BadCallLockedShared() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.bumpLocked() // want `requires exclusive c.mu but only a shared hold`
+	return c.totalRLocked()
+}
+
+func (c *counter) BadLeakMap() map[string]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.items // want `leaks it out of the c.mu critical section`
+}
+
+func (c *counter) GoodCopyMap() map[string]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int, len(c.items))
+	for k, v := range c.items {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *counter) BadDeleteUnheld(k string) {
+	delete(c.items, k) // want `write to c.items requires holding c.mu`
+}
+
+func (c *counter) BadGoroutineDoesNotInherit() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `write to c.n requires holding c.mu`
+	}()
+}
+
+func (c *counter) GoodClosureInherits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func() int { return c.n }
+	return f()
+}
+
+func (c *counter) GoodSuppressed() int {
+	// grafics:lockok racy snapshot is advisory by design
+	return c.n
+}

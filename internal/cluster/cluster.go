@@ -64,6 +64,8 @@ type Model struct {
 
 // Train builds the proximity-based hierarchical clustering of items. It is
 // TrainCtx with a background context.
+//
+//grafics:ctxok compatibility wrapper; callers migrate to TrainCtx
 func Train(items []Item) (*Model, error) {
 	return TrainCtx(context.Background(), items)
 }

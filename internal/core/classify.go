@@ -225,6 +225,8 @@ func newFloorIndex(m *cluster.Model) *floorIndex {
 // the default path as cheap as the legacy model.Predict. ws supplies the
 // per-floor reduction arrays (nil allocates). The caller holds at least
 // a read lock; ego is only read, and the Result receives its own copy.
+//
+//grafics:rlocked mu
 func (s *System) resultFromEgo(ego []float64, o options, ws *classifyWorkspace) Result {
 	idx := s.fidx
 	if idx == nil {
@@ -345,6 +347,8 @@ func (s *System) resultFromEgo(ego []float64, o options, ws *classifyWorkspace) 
 // fixed seed when the request set one (repeatable classifications),
 // otherwise the next value of the prediction sequence (seq), which
 // decorrelates successive requests.
+//
+//grafics:hotpath
 func (s *System) incrementalFor(o options, seq int64) embed.IncrementalConfig {
 	inc := s.cfg.Incremental
 	if o.seedSet {
@@ -361,6 +365,9 @@ func (s *System) incrementalFor(o options, seq int64) embed.IncrementalConfig {
 // Overlay and embedding compute into ws's pooled buffers; the returned
 // ego vector is owned by ws and valid only until its next use. The
 // caller holds at least s.mu.RLock; no shared state is written.
+//
+//grafics:rlocked mu
+//grafics:hotpath
 func (s *System) embedDetachedRLocked(rec *dataset.Record, o options, ws *classifyWorkspace) ([]float64, error) {
 	if !s.trained {
 		return nil, ErrNotTrained
@@ -417,6 +424,9 @@ func (s *System) Do(ctx context.Context, req Request) (Result, error) {
 // buffers, per-floor reduction — and returns it on exit, so steady-state
 // classification allocates only the Result. The caller holds at least
 // s.mu.RLock; no shared state is written.
+//
+//grafics:rlocked mu
+//grafics:hotpath
 func (s *System) classifyRLocked(rec *dataset.Record, o options) (Result, error) {
 	ws := classifyPool.Get().(*classifyWorkspace)
 	defer func() {

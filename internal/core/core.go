@@ -110,10 +110,15 @@ var (
 type System struct {
 	mu sync.RWMutex
 
-	cfg     Config
-	graph   *rfgraph.Graph
-	emb     *embed.Embedding
-	model   *cluster.Model
+	cfg Config // immutable after New
+
+	// grafics:guardedby mu
+	graph *rfgraph.Graph
+	// grafics:guardedby mu
+	emb *embed.Embedding
+	// grafics:guardedby mu
+	model *cluster.Model
+	// grafics:guardedby mu
 	trained bool
 
 	// fidx caches the per-floor view of the cluster model (which labeled
@@ -121,17 +126,24 @@ type System struct {
 	// rebuilding it per request. It is derived from model alone: set
 	// wherever model is (Fit, Load), untouched by absorbs and MAC
 	// retirements, and replaced wholesale on a lifecycle hot swap.
+	//
+	// grafics:guardedby mu
 	fidx *floorIndex
 
 	// neg is the frozen negative-sampling distribution shared by all
 	// concurrent predictions; writers rebuild it after mutating the
 	// graph (see refreshSampler).
+	//
+	// grafics:guardedby mu
 	neg *embed.NegativeSampler
 
 	// trainRecords holds training records in insertion order; trainNodes
 	// holds their graph node IDs at the same indices.
+	//
+	// grafics:guardedby mu
 	trainRecords []dataset.Record
-	trainNodes   []rfgraph.NodeID
+	// grafics:guardedby mu
+	trainNodes []rfgraph.NodeID
 
 	// absorbed holds the records kept by WithAbsorb classifications, in
 	// insertion order and under their uniquified internal IDs. It is what
@@ -139,6 +151,8 @@ type System struct {
 	// trainRecords then absorbed reproduces the exact node numbering the
 	// saved embedding tables index — and what a refit uses as the
 	// accumulated corpus.
+	//
+	// grafics:guardedby mu
 	absorbed []dataset.Record
 
 	// retired holds MACs removed via RemoveMAC whose readings still
@@ -147,6 +161,8 @@ type System struct {
 	// this set is what lets the rebuild re-apply the removals. A retired
 	// MAC that reappears in an absorbed scan (AP re-installed) leaves the
 	// set.
+	//
+	// grafics:guardedby mu
 	retired map[string]struct{}
 
 	// retireLog records every RemoveMAC with its position in the absorb
@@ -155,6 +171,8 @@ type System struct {
 	// replay retirements at their original positions — not just at the
 	// end — for the rebuilt slots to line up with the saved embedding
 	// rows.
+	//
+	// grafics:guardedby mu
 	retireLog []RetireEvent
 
 	// predictSeq decorrelates the randomness of successive predictions
@@ -207,6 +225,8 @@ func (s *System) AddTraining(records []dataset.Record) error {
 // proximity-based hierarchical clustering of the record-node ego
 // embeddings anchored at the labeled records. It is FitCtx with a
 // background context.
+//
+//grafics:ctxok compatibility wrapper; callers migrate to FitCtx
 func (s *System) Fit() error { return s.FitCtx(context.Background()) }
 
 // FitCtx is Fit with cancellation threaded through both expensive stages
@@ -268,6 +288,8 @@ func (s *System) FitCtx(ctx context.Context) error {
 // failure is counted and kept (see Stats), because a sampler that can
 // never rebuild drifts ever further from the live graph and an operator
 // can only notice through the stats surface.
+//
+//grafics:locked mu
 func (s *System) refreshSampler() {
 	if !s.trained {
 		return
@@ -316,6 +338,8 @@ type Prediction struct {
 }
 
 // knownMACs counts the record's readings whose MAC already has a node.
+//
+//grafics:rlocked mu
 func (s *System) knownMACs(rec *dataset.Record) int {
 	return s.knownMACsInto(rec, make(map[string]struct{}, len(rec.Readings)))
 }
@@ -323,6 +347,9 @@ func (s *System) knownMACs(rec *dataset.Record) int {
 // knownMACsInto is knownMACs with a caller-owned dedup set, so the pooled
 // classification path skips the per-request map allocation. seen is
 // cleared before use.
+//
+//grafics:rlocked mu
+//grafics:hotpath
 func (s *System) knownMACsInto(rec *dataset.Record, seen map[string]struct{}) int {
 	clear(seen)
 	n := 0
@@ -344,6 +371,8 @@ func (s *System) knownMACsInto(rec *dataset.Record, seen map[string]struct{}) in
 // confidence signal, and top-K candidate floors. Predict is
 // Classify(context.Background(), rec) reduced to the legacy Prediction
 // shape; behavior and errors are unchanged.
+//
+//grafics:ctxok deprecated wrapper; callers migrate to Classify
 func (s *System) Predict(rec *dataset.Record) (Prediction, error) {
 	res, err := s.Classify(context.Background(), rec)
 	if err != nil {
@@ -358,6 +387,8 @@ func (s *System) Predict(rec *dataset.Record) (Prediction, error) {
 // cancellation, a confidence signal, and top-K candidate floors. Absorb
 // is Classify(context.Background(), rec, WithAbsorb()) reduced to the
 // legacy Prediction shape; behavior and errors are unchanged.
+//
+//grafics:ctxok deprecated wrapper; callers migrate to Classify
 func (s *System) Absorb(rec *dataset.Record) (Prediction, error) {
 	res, err := s.Classify(context.Background(), rec, WithAbsorb())
 	if err != nil {
@@ -373,6 +404,8 @@ func (s *System) Absorb(rec *dataset.Record) (Prediction, error) {
 // aborts promptly on timeout or client disconnect. PredictBatch is
 // ClassifyBatch(context.Background(), records) reduced to the legacy
 // Prediction shape; behavior and errors are unchanged.
+//
+//grafics:ctxok deprecated wrapper; callers migrate to ClassifyBatch
 func (s *System) PredictBatch(records []dataset.Record) ([]Prediction, []error) {
 	results, errs := s.ClassifyBatch(context.Background(), records)
 	preds := make([]Prediction, len(records))
@@ -532,6 +565,7 @@ func (s *System) ClusterModel() (*cluster.Model, error) {
 	if !s.trained {
 		return nil, ErrNotTrained
 	}
+	// grafics:lockok model is immutable once trained; refits hot-swap the whole System
 	return s.model, nil
 }
 

@@ -255,6 +255,8 @@ func buildTrainContext(g *rfgraph.Graph) (*trainContext, error) {
 
 // Train learns embeddings for every live node of g under cfg. It is
 // TrainCtx with a background context.
+//
+//grafics:ctxok compatibility wrapper; callers migrate to TrainCtx
 func Train(g *rfgraph.Graph, cfg Config) (*Embedding, error) {
 	return TrainCtx(context.Background(), g, cfg)
 }

@@ -112,6 +112,8 @@ type Workspace struct {
 // pointers the last request cached into rows — so a pooled workspace
 // cannot pin a retired model's embedding tables in memory after a
 // lifecycle hot swap. The numeric buffers are kept for reuse.
+//
+//grafics:hotpath
 func (ws *Workspace) Release() {
 	for i := range ws.rows {
 		ws.rows[i] = nil
@@ -132,9 +134,11 @@ func EmbedDetachedEgo(view rfgraph.View, emb *Embedding, id rfgraph.NodeID, cfg 
 // the returned ego vector is owned by ws and valid only until its next
 // use, and the call allocates nothing once ws has warmed up. The result
 // is bit-identical to EmbedDetachedEgo.
+//
+//grafics:hotpath
 func EmbedDetachedEgoInto(ws *Workspace, view rfgraph.View, emb *Embedding, id rfgraph.NodeID, cfg IncrementalConfig, neg *NegativeSampler) ([]float64, error) {
 	if ws == nil {
-		ws = &Workspace{}
+		ws = &Workspace{} // grafics:allocok nil-workspace fallback, not the pooled path
 	}
 	ego, _, err := embedDetached(view, emb, id, cfg, neg, false, ws)
 	return ego, err
@@ -157,6 +161,7 @@ func EmbedDetached(view rfgraph.View, emb *Embedding, id rfgraph.NodeID, cfg Inc
 	return embedDetached(view, emb, id, cfg, neg, true, nil)
 }
 
+//grafics:hotpath
 func embedDetached(view rfgraph.View, emb *Embedding, id rfgraph.NodeID, cfg IncrementalConfig, neg *NegativeSampler, wantCtx bool, ws *Workspace) (ego, ctx []float64, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
@@ -171,7 +176,7 @@ func embedDetached(view rfgraph.View, emb *Embedding, id rfgraph.NodeID, cfg Inc
 	if ws == nil {
 		// One-shot callers get a private workspace; its buffers become the
 		// returned vectors, so nothing is shared or overwritten later.
-		ws = &Workspace{}
+		ws = &Workspace{} // grafics:allocok one-shot callers, not the pooled path
 	}
 	seeder := sampling.NewSeeder(cfg.Seed)
 	initRng := sampling.NewFast(seeder.Next())
@@ -285,6 +290,8 @@ func EmbedNewNode(g rfgraph.View, emb *Embedding, id rfgraph.NodeID, cfg Increme
 // source first (gs/rows are caller scratch of size len(zs)+1), then
 // applied directly — equivalent to accumulating into a grad buffer but
 // two fewer passes over the vectors per sample.
+//
+//grafics:hotpath
 func frozenUpdate(source, target []float64, table [][]float64, j, id rfgraph.NodeID, zs []rfgraph.NodeID, lr float64, gs []float64, rows [][]float64) {
 	if len(source) == 8 {
 		frozenUpdate8(source, target, table, j, id, zs, lr, gs, rows)
@@ -314,6 +321,8 @@ func frozenUpdate(source, target []float64, table [][]float64, j, id rfgraph.Nod
 // kernels (dot8/axpy8) are small enough for the compiler to inline, which
 // removes a dozen function calls per SGD sample — measurable when a
 // single classification takes thousands of samples.
+//
+//grafics:hotpath
 func frozenUpdate8(source, target []float64, table [][]float64, j, id rfgraph.NodeID, zs []rfgraph.NodeID, lr float64, gs []float64, rows [][]float64) {
 	src := (*[8]float64)(source)
 	n := 0
@@ -342,6 +351,8 @@ func frozenUpdate8(source, target []float64, table [][]float64, j, id rfgraph.No
 // dot8 is the eight-wide dot product over array pointers: no bounds
 // checks, and small enough that the compiler inlines it into the sample
 // loop.
+//
+//grafics:hotpath
 func dot8(a, b *[8]float64) float64 {
 	return ((a[0]*b[0] + a[1]*b[1]) + (a[2]*b[2] + a[3]*b[3])) +
 		((a[4]*b[4] + a[5]*b[5]) + (a[6]*b[6] + a[7]*b[7]))
@@ -349,6 +360,8 @@ func dot8(a, b *[8]float64) float64 {
 
 // axpy8 is the eight-wide dst += g*row over array pointers, inlinable
 // like dot8.
+//
+//grafics:hotpath
 func axpy8(g float64, row, dst *[8]float64) {
 	dst[0] += g * row[0]
 	dst[1] += g * row[1]
@@ -367,6 +380,8 @@ func axpy8(g float64, row, dst *[8]float64) {
 // floating-point summation order, so results differ from dot in the last
 // bits — irrelevant under SGD noise, and every inference path shares
 // this kernel so they stay mutually bit-identical.
+//
+//grafics:hotpath
 func dotU(a, b []float64) float64 {
 	if len(a) == 8 && len(b) >= 8 {
 		b = b[:8]
@@ -390,6 +405,8 @@ func dotU(a, b []float64) float64 {
 }
 
 // axpy computes dst += g*row, unrolled to match dotU.
+//
+//grafics:hotpath
 func axpy(g float64, row, dst []float64) {
 	if len(dst) == 8 && len(row) >= 8 {
 		row = row[:8]
@@ -419,6 +436,8 @@ func axpy(g float64, row, dst []float64) {
 
 // resizeVec returns v with length n, reusing the backing array when it is
 // large enough. Contents are unspecified; callers overwrite.
+//
+//grafics:hotpath
 func resizeVec(v []float64, n int) []float64 {
 	if cap(v) < n {
 		return make([]float64, n)
@@ -429,6 +448,8 @@ func resizeVec(v []float64, n int) []float64 {
 // randomVectorInto fills v like randomVector but from the allocation-free
 // Fast RNG the rest of the inference hot path uses, sparing the ~5 KB
 // math/rand source that dominated per-request allocations.
+//
+//grafics:hotpath
 func randomVectorInto(v []float64, rng *sampling.Fast) {
 	for d := range v {
 		v[d] = (rng.Float64() - 0.5) / float64(len(v))

@@ -117,12 +117,17 @@ type Manager struct {
 	// stmu guards st, the snapshot counters, and closing. The refitting
 	// flag and wg.Add live under it so startRefit cannot race Close's
 	// wg.Wait (the WaitGroup-reuse misuse the sync docs forbid).
-	stmu         sync.Mutex
-	st           map[string]*buildingState
-	snapshots    int
+	stmu sync.Mutex
+	// grafics:guardedby stmu
+	st map[string]*buildingState
+	// grafics:guardedby stmu
+	snapshots int
+	// grafics:guardedby stmu
 	lastSnapshot time.Time
-	replayed     int // WAL records replayed at Open
-	closing      bool
+	// grafics:guardedby stmu
+	replayed int // WAL records replayed at Open
+	// grafics:guardedby stmu
+	closing bool
 
 	wg       sync.WaitGroup
 	stop     chan struct{}
@@ -140,8 +145,23 @@ type Manager struct {
 // loads the portfolio snapshot if one exists (cold start otherwise),
 // replays the WAL tail — every absorb acknowledged after the last
 // snapshot — into the restored models, and opens the journal for new
-// absorbs. cfg configures buildings registered after the restore.
+// absorbs. cfg configures buildings registered after the restore. It is
+// OpenCtx with a background context.
+//
+//grafics:ctxok compatibility wrapper; callers migrate to OpenCtx
 func Open(cfg core.Config, opts Options) (*Manager, error) {
+	return OpenCtx(context.Background(), cfg, opts)
+}
+
+// OpenCtx is Open with cancellation threaded through the boot sequence:
+// WAL-tail replay re-runs every absorb acknowledged since the last
+// snapshot through the full inference pipeline, which on a large fleet
+// is the slow half of a restart, so a cancelled ctx (deploy rollback,
+// SIGTERM during boot) aborts the restore promptly with ctx.Err()
+// instead of finishing a boot nobody wants. ctx governs only the open
+// itself, not the returned Manager's lifetime — background refits are
+// cancelled by Close, not by ctx.
+func OpenCtx(ctx context.Context, cfg core.Config, opts Options) (*Manager, error) {
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -172,9 +192,12 @@ func Open(cfg core.Config, opts Options) (*Manager, error) {
 		walDir.Dir = walPath(opts.StateDir)
 		// Replay before opening: the journal's torn tail, if any, is the
 		// crash point, and Open would add a fresh segment after it.
-		ctx := context.Background()
 		skipped := 0
 		n, err := wal.Replay(walDir.Dir, func(r wal.Record) error {
+			if err := ctx.Err(); err != nil {
+				// Abort the boot: a half-replayed portfolio must not open.
+				return err
+			}
 			if r.RetireMAC != "" {
 				// ErrUnknownMAC just means no restored building holds the
 				// AP anymore (e.g. retired again after a re-absorb) —
@@ -210,6 +233,7 @@ func Open(cfg core.Config, opts Options) (*Manager, error) {
 		}
 	}
 
+	// grafics:ctxok manager-lifetime root: refits outlive the open ctx and are cancelled by Close
 	refitCtx, refitCancel := context.WithCancel(context.Background())
 	m := &Manager{
 		p:           p,
@@ -583,6 +607,7 @@ func (m *Manager) refitOnce(ctx context.Context, name string) error {
 	// the tail is final. The drain itself runs to completion even on a
 	// cancelled ctx — it is cheap, and stopping halfway would swap in a
 	// model missing acknowledged absorbs.
+	// grafics:ctxok deliberate: the drain must finish even on a cancelled refit ctx
 	drainCtx := context.Background()
 	for _, rec := range sys.AbsorbedSince(drained) {
 		if _, err := next.Classify(drainCtx, &rec, core.WithAbsorb()); err != nil {

@@ -191,10 +191,11 @@ func LoadPortfolio(dir string, cfg core.Config) (*Portfolio, error) {
 		if err := validateName(b.Name); err != nil {
 			return nil, fmt.Errorf("portfolio: manifest: %w", err)
 		}
+		// grafics:lockok pre-publication: p is local until LoadPortfolio returns
 		if _, dup := p.systems[b.Name]; dup {
 			return nil, fmt.Errorf("portfolio: manifest: %w: %q", ErrDuplicateName, b.Name)
 		}
-		p.systems[b.Name] = nil // placeholder: claimed, loaded below
+		p.systems[b.Name] = nil // grafics:lockok placeholder: claimed, loaded below; p unpublished
 	}
 	// Per-building snapshot loads are independent (each rebuilds its own
 	// graph and replays its own absorbs), so a warm restart of a large
@@ -221,8 +222,8 @@ func LoadPortfolio(dir string, cfg core.Config) (*Portfolio, error) {
 		for _, mac := range b.MACs {
 			macs[mac] = struct{}{}
 		}
-		p.systems[b.Name] = systems[i]
-		p.macIndex[b.Name] = macs
+		p.systems[b.Name] = systems[i] // grafics:lockok pre-publication: p is local until LoadPortfolio returns
+		p.macIndex[b.Name] = macs      // grafics:lockok pre-publication: p is local until LoadPortfolio returns
 	}
 	return p, nil
 }

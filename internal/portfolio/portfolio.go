@@ -69,12 +69,17 @@ type Match struct {
 type Portfolio struct {
 	mu sync.RWMutex
 
-	cfg      core.Config
-	systems  map[string]*core.System
+	cfg core.Config // immutable after New
+
+	// grafics:guardedby mu
+	systems map[string]*core.System
+	// grafics:guardedby mu
 	macIndex map[string]map[string]struct{} // building -> MAC set
 	// pending reserves names whose System is still fitting outside the
 	// lock, so concurrent registrations of the same name race cleanly and
 	// classifications never see a half-built building.
+	//
+	// grafics:guardedby mu
 	pending map[string]struct{}
 }
 
@@ -93,6 +98,8 @@ func New(cfg core.Config) *Portfolio {
 // by the HTTP surface (reserved literals like "batch", the empty name, or
 // names containing a path separator) are rejected with ErrReservedName.
 // It is AddBuildingCtx with a background context.
+//
+//grafics:ctxok compatibility wrapper; callers migrate to AddBuildingCtx
 func (p *Portfolio) AddBuilding(name string, train []dataset.Record) error {
 	return p.AddBuildingCtx(context.Background(), name, train)
 }
@@ -492,6 +499,8 @@ type Prediction struct {
 // Deprecated: Use Classify (or ClassifyRouted to keep the attribution),
 // which adds context cancellation, confidence, and top-K candidates.
 // Behavior and errors are unchanged.
+//
+//grafics:ctxok deprecated wrapper; callers migrate to Classify
 func (p *Portfolio) Predict(rec *dataset.Record) (Prediction, error) {
 	routed, err := p.ClassifyRouted(context.Background(), rec)
 	if err != nil {
@@ -510,6 +519,8 @@ func (r Routed) legacy() Prediction {
 // Deprecated: Use ClassifyBatch (or ClassifyRoutedBatch), which adds
 // cancellation so a batch aborts promptly on timeout or client
 // disconnect. Behavior and errors are unchanged.
+//
+//grafics:ctxok deprecated wrapper; callers migrate to ClassifyBatch
 func (p *Portfolio) PredictBatch(records []dataset.Record) ([]Prediction, []error) {
 	routed, errs := p.ClassifyRoutedBatch(context.Background(), records)
 	preds := make([]Prediction, len(records))

@@ -148,6 +148,8 @@ func (a *Alias) Draw(rng *rand.Rand) int {
 // DrawFast samples one outcome index using a Fast RNG. It is the
 // inference-hot-path sibling of Draw: one RNG step serves both the slot
 // choice (high 32 bits) and the coin flip (low bits).
+//
+//grafics:hotpath
 func (a *Alias) DrawFast(rng *Fast) int {
 	u := rng.Uint64()
 	i := int((uint64(uint32(u>>32)) * uint64(len(a.thresh))) >> 32)

@@ -51,11 +51,15 @@ func NewFast(seed int64) *Fast {
 }
 
 // Uint64 returns the next pseudo-random 64-bit value.
+//
+//grafics:hotpath
 func (f *Fast) Uint64() uint64 {
 	return splitMix64(&f.state)
 }
 
 // Float64 returns a uniform float64 in [0, 1).
+//
+//grafics:hotpath
 func (f *Fast) Float64() float64 {
 	return float64(f.Uint64()>>11) / (1 << 53)
 }
@@ -63,6 +67,8 @@ func (f *Fast) Float64() float64 {
 // Intn returns a uniform int in [0, n). n must be positive. The tiny
 // modulo bias (< 2^-32 for any realistic table size) is irrelevant for
 // SGD sampling.
+//
+//grafics:hotpath
 func (f *Fast) Intn(n int) int {
 	// Lemire's multiply-shift range reduction.
 	return int((uint64(uint32(f.Uint64())) * uint64(n)) >> 32)

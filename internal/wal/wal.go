@@ -11,6 +11,14 @@
 // every segment — the caller does this after the absorbed records have
 // been captured by a model snapshot, bounding the log's size by the
 // snapshot cadence.
+//
+// A segment completed by a graceful rotation or Close ends with a seal
+// marker. The seal is what lets Replay tell crash debris from disk
+// corruption: a damaged tail in an unsealed segment is the torn frame of
+// an interrupted append — expected after a crash, even in a non-final
+// segment, because the next Open starts a new segment after it — and
+// replay stops that segment cleanly and moves on. The same damage inside
+// a sealed segment can only be corruption and surfaces as ErrCorrupt.
 package wal
 
 import (
@@ -74,22 +82,37 @@ const frameHeader = 8
 // make replay attempt a multi-gigabyte allocation.
 const maxFrameBytes = 16 << 20
 
-// ErrCorrupt marks a frame whose checksum or length is invalid somewhere
-// other than the final segment's tail — real corruption, not a torn
-// append.
+// The end-of-segment seal is an 8-byte pseudo-frame: a length field no
+// record can have (it exceeds maxFrameBytes) plus a fixed magic in the
+// checksum slot. rotateLocked and Close write it; Replay uses it to
+// distinguish a gracefully completed segment from a crash tail.
+const (
+	sealLen   = ^uint32(0)
+	sealMagic = 0x5ea1ed0f
+)
+
+// ErrCorrupt marks a frame whose checksum or length is invalid inside a
+// sealed segment, data following a seal, or a checksum-valid frame whose
+// payload does not decode — real corruption, not a torn append.
 var ErrCorrupt = errors.New("wal: corrupt frame")
 
 // Log is an open write-ahead log. It is safe for concurrent use.
 type Log struct {
-	opts Options
+	opts Options // immutable after Open
 
-	mu       sync.Mutex
-	f        *os.File
-	seg      int   // current segment index
-	segSize  int64 // bytes written to the current segment
-	appended int   // records appended since Open/Reset
-	unsynced int   // appends since the last fsync
-	closed   bool
+	mu sync.Mutex
+	// grafics:guardedby mu
+	f *os.File
+	// grafics:guardedby mu
+	seg int // current segment index
+	// grafics:guardedby mu
+	segSize int64 // bytes written to the current segment
+	// grafics:guardedby mu
+	appended int // records appended since Open/Reset
+	// grafics:guardedby mu
+	unsynced int // appends since the last fsync
+	// grafics:guardedby mu
+	closed bool
 }
 
 // Open creates (or reuses) the log directory and starts a fresh segment
@@ -117,6 +140,7 @@ func Open(opts Options) (*Log, error) {
 		next = segs[len(segs)-1] + 1
 	}
 	l := &Log{opts: opts, seg: next - 1}
+	// grafics:lockok pre-publication: l is local until Open returns
 	if err := l.rotateLocked(); err != nil {
 		return nil, err
 	}
@@ -155,9 +179,11 @@ func segments(dir string) ([]int, error) {
 
 // rotateLocked closes the current segment (if any) and opens the next
 // one. The caller holds l.mu (or is Open, pre-publication).
+//
+//grafics:locked mu
 func (l *Log) rotateLocked() error {
 	if l.f != nil {
-		if err := l.syncLocked(); err != nil {
+		if err := l.sealLocked(); err != nil {
 			return err
 		}
 		if err := l.f.Close(); err != nil {
@@ -198,7 +224,29 @@ func syncDir(dir string) error {
 	return nil
 }
 
+// sealLocked writes the end-of-segment marker and flushes it, completing
+// the current segment. Only a seal that actually reaches disk counts; a
+// crash between the seal write and the sync just leaves the segment
+// looking like a crash tail, which replays fine.
+//
+//grafics:locked mu
+func (l *Log) sealLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	var seal [frameHeader]byte
+	binary.LittleEndian.PutUint32(seal[0:4], sealLen)
+	binary.LittleEndian.PutUint32(seal[4:8], sealMagic)
+	if _, err := l.f.Write(seal[:]); err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	l.unsynced++
+	return l.syncLocked()
+}
+
 // syncLocked flushes pending appends to stable storage per the policy.
+//
+//grafics:locked mu
 func (l *Log) syncLocked() error {
 	if l.unsynced == 0 || l.opts.SyncEvery < 0 || l.f == nil {
 		l.unsynced = 0
@@ -346,7 +394,7 @@ func (l *Log) Close() error {
 	if l.f == nil {
 		return nil
 	}
-	if err := l.syncLocked(); err != nil {
+	if err := l.sealLocked(); err != nil {
 		l.f.Close()
 		return err
 	}
@@ -355,21 +403,22 @@ func (l *Log) Close() error {
 
 // Replay reads every complete record in dir, in append order, invoking fn
 // for each. A torn tail — a truncated or checksum-failing frame at the
-// end of the final segment, the signature of a crash mid-append — ends
-// replay cleanly; the same damage in any earlier segment returns
-// ErrCorrupt, because an append-only log can only be torn at its very
-// end. A missing directory replays zero records. Replay returns the
-// number of records delivered; fn returning an error aborts with that
-// error.
+// end of an unsealed segment, the signature of a crash mid-append — ends
+// that segment cleanly and replay continues with the next one (a crash
+// can leave its debris mid-directory, because the next Open starts a
+// fresh segment after it). The same damage inside a sealed segment, or
+// anything following a seal, returns ErrCorrupt: a gracefully completed
+// segment has no excuse for a bad frame. A missing directory replays
+// zero records. Replay returns the number of records delivered; fn
+// returning an error aborts with that error.
 func Replay(dir string, fn func(Record) error) (int, error) {
 	segs, err := segments(dir)
 	if err != nil {
 		return 0, err
 	}
 	total := 0
-	for si, seg := range segs {
-		final := si == len(segs)-1
-		n, err := replaySegment(segPath(dir, seg), final, fn)
+	for _, seg := range segs {
+		n, err := replaySegment(segPath(dir, seg), fn)
 		total += n
 		if err != nil {
 			return total, err
@@ -378,9 +427,9 @@ func Replay(dir string, fn func(Record) error) (int, error) {
 	return total, nil
 }
 
-// replaySegment replays one segment file. When final is true, a torn or
-// corrupt tail stops cleanly instead of failing.
-func replaySegment(path string, final bool, fn func(Record) error) (int, error) {
+// replaySegment replays one segment file up to its seal, its torn tail,
+// or its end.
+func replaySegment(path string, fn func(Record) error) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, fmt.Errorf("wal: open segment: %w", err)
@@ -389,28 +438,45 @@ func replaySegment(path string, final bool, fn func(Record) error) (int, error) 
 	n := 0
 	var header [frameHeader]byte
 	var payload []byte
+	// damaged classifies an unreadable frame: inside a sealed segment it
+	// is corruption; otherwise it is the torn tail of a crashed append and
+	// the segment stops cleanly.
+	damaged := func(what string) (int, error) {
+		if sealedAtEnd(path) {
+			return n, fmt.Errorf("%w: %s: %s in sealed segment", ErrCorrupt, filepath.Base(path), what)
+		}
+		return n, nil
+	}
 	for {
 		if _, err := io.ReadFull(f, header[:]); err != nil {
 			if errors.Is(err, io.EOF) {
-				return n, nil // clean end of segment
+				// Frame-boundary end without a seal: a pre-seal writer, or a
+				// crash that landed exactly between frames.
+				return n, nil
 			}
-			// Partial header: torn tail.
-			return n, tornErr(final, path, "truncated frame header")
+			return damaged("truncated frame header")
 		}
 		size := binary.LittleEndian.Uint32(header[0:4])
 		want := binary.LittleEndian.Uint32(header[4:8])
+		if size == sealLen && want == sealMagic {
+			var one [1]byte
+			if _, err := io.ReadFull(f, one[:]); !errors.Is(err, io.EOF) {
+				return n, fmt.Errorf("%w: %s: data after segment seal", ErrCorrupt, filepath.Base(path))
+			}
+			return n, nil
+		}
 		if size > maxFrameBytes {
-			return n, tornErr(final, path, "implausible frame length")
+			return damaged("implausible frame length")
 		}
 		if cap(payload) < int(size) {
 			payload = make([]byte, size)
 		}
 		payload = payload[:size]
 		if _, err := io.ReadFull(f, payload); err != nil {
-			return n, tornErr(final, path, "truncated frame payload")
+			return damaged("truncated frame payload")
 		}
 		if crc32.ChecksumIEEE(payload) != want {
-			return n, tornErr(final, path, "checksum mismatch")
+			return damaged("checksum mismatch")
 		}
 		var rec Record
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
@@ -426,11 +492,22 @@ func replaySegment(path string, final bool, fn func(Record) error) (int, error) 
 	}
 }
 
-// tornErr returns nil for a torn tail in the final segment (clean stop)
-// and ErrCorrupt anywhere else.
-func tornErr(final bool, path, what string) error {
-	if final {
-		return nil
+// sealedAtEnd reports whether the segment file ends with a seal marker,
+// i.e. it was completed by a graceful rotation or Close.
+func sealedAtEnd(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
 	}
-	return fmt.Errorf("%w: %s: %s in non-final segment", ErrCorrupt, filepath.Base(path), what)
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil || fi.Size() < frameHeader {
+		return false
+	}
+	var b [frameHeader]byte
+	if _, err := f.ReadAt(b[:], fi.Size()-frameHeader); err != nil {
+		return false
+	}
+	return binary.LittleEndian.Uint32(b[0:4]) == sealLen &&
+		binary.LittleEndian.Uint32(b[4:8]) == sealMagic
 }

@@ -120,10 +120,13 @@ func TestSegmentRotationAndReopen(t *testing.T) {
 }
 
 // TestTornTailRecovery simulates a crash mid-append by truncating the
-// final segment inside its last frame: replay must deliver every complete
-// record and stop cleanly.
+// final segment inside its last record frame (the cut also removes the
+// seal, exactly as a crash before sealing would): replay must deliver
+// every complete record and stop cleanly.
 func TestTornTailRecovery(t *testing.T) {
-	for _, cut := range []int64{1, 3, 9} { // inside header, inside header, inside payload
+	// Cuts are measured past the 8-byte seal: inside the last frame's
+	// header (+1, +3) and inside its payload (+9).
+	for _, cut := range []int64{frameHeader + 1, frameHeader + 3, frameHeader + 9} {
 		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
 			dir := t.TempDir()
 			l, err := Open(Options{Dir: dir})
@@ -157,6 +160,96 @@ func TestTornTailRecovery(t *testing.T) {
 				t.Fatalf("replayed %d records after torn tail, want %d", len(got), n-1)
 			}
 		})
+	}
+}
+
+// TestCrashReopenReplay is the double-crash regression: a crash leaves a
+// torn frame in the then-current segment, the daemon reboots (Open
+// starts a fresh segment after the debris) and absorbs more, and the
+// NEXT boot must replay both epochs — the torn tail now sits in a
+// non-final, unsealed segment and is crash debris, not corruption.
+func TestCrashReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: tear the last frame mid-payload and never
+	// Close, so no seal is written.
+	segs, err := segments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v, err %v", segs, err)
+	}
+	path := segPath(dir, segs[0])
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 5; i++ {
+		if err := l2.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := collect(t, dir)
+	want := []string{"scan-0", "scan-1", "scan-3", "scan-4"} // scan-2's frame was torn by the crash
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records across the crash epochs, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Scan.ID != want[i] {
+			t.Fatalf("record %d = %s, want %s", i, r.Scan.ID, want[i])
+		}
+	}
+}
+
+// TestDataAfterSealFails: bytes following a segment seal can only be
+// corruption (nothing is ever appended after a seal) and must surface as
+// ErrCorrupt.
+func TestDataAfterSealFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(segPath(dir, 0), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(dir, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay error = %v, want ErrCorrupt", err)
 	}
 }
 
