@@ -33,6 +33,24 @@
 // runs under a context with -request-timeout; cancellation (timeout or
 // client disconnect) aborts in-flight batch work promptly. SIGINT/SIGTERM
 // drain in-flight requests before exit (graceful shutdown).
+//
+// # Scaling out
+//
+// -role selects the node's place in a replicated fleet (see
+// internal/fleet). "single" (the default) is the standalone daemon
+// above. "primary" serves the same API plus the replication source
+// endpoints under /v2/repl/; -min-sync-acks N holds each absorb until N
+// followers have durably mirrored it. "follower" bootstraps from
+// -primary's snapshot, tails its WAL into -state-dir, and serves
+// read-only classifications (writes answer 421 naming the primary); a
+// POST /v2/admin/promote turns it into a primary after a mirror audit.
+// "router" fronts -peers shard groups, forwarding writes to each owning
+// primary, spreading reads over caught-up followers, and auto-promoting
+// the freshest follower when a primary dies:
+//
+//	graficsd -role primary  -corpus corpus.json -state-dir /var/lib/grafics-a -addr :8081 -min-sync-acks 1
+//	graficsd -role follower -primary http://localhost:8081 -state-dir /var/lib/grafics-b -addr :8082
+//	graficsd -role router   -peers "http://localhost:8081,http://localhost:8082" -addr :8080
 package main
 
 import (
@@ -45,12 +63,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/embed"
+	"repro/internal/fleet"
 	"repro/internal/lifecycle"
 	"repro/internal/server"
 	"repro/internal/wal"
@@ -69,10 +89,54 @@ func main() {
 type app struct {
 	handler      http.Handler
 	manager      *lifecycle.Manager
+	node         *fleet.Node
+	router       *fleet.Router
+	role         string
 	addr         string
 	drainTimeout time.Duration
 	stateDir     string
 	buildings    int
+}
+
+// validateTopology rejects contradictory role/flag combinations before
+// any state is touched, so a typo'd deployment fails fast with a message
+// naming the conflict instead of half-booting.
+func validateTopology(role, primary, peers, corpusPath, stateDir string) error {
+	switch role {
+	case "single", "primary", "follower", "router":
+	default:
+		return fmt.Errorf("unknown -role %q (want single, primary, follower, or router)", role)
+	}
+	if role != "follower" && primary != "" {
+		return fmt.Errorf("-primary is only meaningful for -role follower, not %q", role)
+	}
+	if role != "router" && peers != "" {
+		return fmt.Errorf("-peers is only meaningful for -role router, not %q", role)
+	}
+	switch role {
+	case "primary":
+		if stateDir == "" {
+			return errors.New("-role primary requires -state-dir: the WAL is the replication source")
+		}
+	case "follower":
+		if primary == "" {
+			return errors.New("-role follower requires -primary")
+		}
+		if stateDir == "" {
+			return errors.New("-role follower requires -state-dir: the mirrored WAL is what makes promotion lossless")
+		}
+		if corpusPath != "" {
+			return errors.New("-role follower bootstraps from the primary; -corpus is contradictory")
+		}
+	case "router":
+		if peers == "" {
+			return errors.New("-role router requires -peers")
+		}
+		if corpusPath != "" || stateDir != "" {
+			return errors.New("-role router holds no models; -corpus and -state-dir are contradictory")
+		}
+	}
+	return nil
 }
 
 // newApp parses flags, restores or trains the fleet, and wires the
@@ -93,7 +157,17 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 	refitRatio := fs.Float64("refit-overlay-ratio", 0, "background-refit once absorbed scans exceed this fraction of the fitted corpus (0 disables)")
 	refitMaxAge := fs.Duration("refit-max-age", 0, "background-refit a building whose model is older than this (0 disables)")
 	walSync := fs.Int("wal-sync", 1, "fsync the absorb WAL every n appends (negative disables fsync)")
+	role := fs.String("role", "single", "node role: single, primary, follower, or router")
+	primaryURL := fs.String("primary", "", "primary base URL to replicate from (role=follower)")
+	peers := fs.String("peers", "", `router shard groups: comma-separated member URLs, ";"-separated groups (role=router)`)
+	minSyncAcks := fs.Int("min-sync-acks", 0, "followers that must durably mirror an absorb before it is acked (role=primary; 0 = async)")
+	ackTimeout := fs.Duration("ack-timeout", 5*time.Second, "semi-sync replication wait bound (role=primary)")
+	replPoll := fs.Duration("repl-poll", 250*time.Millisecond, "WAL tail poll interval (role=follower)")
+	lagBound := fs.Int64("lag-bound", 1<<20, "byte lag within which a follower reports ready (role=follower)")
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := validateTopology(*role, *primaryURL, *peers, *corpusPath, *stateDir); err != nil {
 		return nil, err
 	}
 
@@ -102,7 +176,7 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 	if *samples > 0 {
 		cfg.Embed.SamplesPerEdge = *samples
 	}
-	m, err := lifecycle.OpenCtx(ctx, cfg, lifecycle.Options{
+	lopts := lifecycle.Options{
 		StateDir: *stateDir,
 		WAL:      walOptions(*walSync),
 		Policy: lifecycle.Policy{
@@ -111,7 +185,55 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 			MaxModelAge:       *refitMaxAge,
 		},
 		Logf: logf,
-	})
+	}
+
+	switch *role {
+	case "router":
+		groups, err := fleet.ParseGroups(*peers)
+		if err != nil {
+			return nil, fmt.Errorf("-peers: %w", err)
+		}
+		rt, err := fleet.NewRouter(fleet.RouterOptions{Groups: groups, Logf: logf})
+		if err != nil {
+			return nil, err
+		}
+		rt.Start(ctx)
+		return &app{
+			handler:      withRequestTimeout(*reqTimeout, rt),
+			router:       rt,
+			role:         *role,
+			addr:         *addr,
+			drainTimeout: *drainTimeout,
+		}, nil
+	case "follower":
+		node, err := fleet.NewFollowerNode(ctx, fleet.NodeOptions{
+			StateDir:  *stateDir,
+			Lifecycle: lopts,
+			Primary:   fleet.PrimaryOptions{MinSyncAcks: *minSyncAcks, AckTimeout: *ackTimeout},
+			Follower: fleet.FollowerOptions{
+				Primary:      *primaryURL,
+				Config:       cfg,
+				PollInterval: *replPoll,
+				LagBound:     *lagBound,
+			},
+			Logf: logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		node.Start(ctx)
+		logf("follower replicating from %s into %s", *primaryURL, *stateDir)
+		return &app{
+			handler:      fleetHandler(*reqTimeout, node),
+			node:         node,
+			role:         *role,
+			addr:         *addr,
+			drainTimeout: *drainTimeout,
+			stateDir:     *stateDir,
+		}, nil
+	}
+
+	m, err := lifecycle.OpenCtx(ctx, cfg, lopts)
 	if err != nil {
 		return nil, err
 	}
@@ -163,14 +285,31 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 			return nil, fmt.Errorf("initial snapshot: %w", err)
 		}
 	}
-	return &app{
-		handler:      withRequestTimeout(*reqTimeout, server.HandlerWithLifecycle(m)),
+	a := &app{
 		manager:      m,
+		role:         *role,
 		addr:         *addr,
 		drainTimeout: *drainTimeout,
 		stateDir:     *stateDir,
 		buildings:    buildings,
-	}, nil
+	}
+	if *role == "primary" {
+		node, err := fleet.NewPrimaryNode(ctx, m, fleet.NodeOptions{
+			StateDir:  *stateDir,
+			Lifecycle: lopts,
+			Primary:   fleet.PrimaryOptions{MinSyncAcks: *minSyncAcks, AckTimeout: *ackTimeout},
+			Logf:      logf,
+		})
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		a.node = node
+		a.handler = fleetHandler(*reqTimeout, node)
+	} else {
+		a.handler = withRequestTimeout(*reqTimeout, server.HandlerWithLifecycle(m))
+	}
+	return a, nil
 }
 
 // walOptions maps the -wal-sync flag onto wal.Options (the Dir is
@@ -179,15 +318,47 @@ func walOptions(syncEvery int) wal.Options {
 	return wal.Options{SyncEvery: syncEvery}
 }
 
-// shutdown finalizes the lifecycle state: a last snapshot (when durable),
-// then manager close (waits for in-flight refits, closes the WAL).
+// shutdown finalizes whatever state the role owns: routers stop polling,
+// followers stop tailing, and any lifecycle manager (single, primary, or
+// a follower that was promoted while serving) takes a last snapshot and
+// closes its WAL.
 func (a *app) shutdown(logf func(string, ...any)) error {
+	if a.router != nil {
+		a.router.Stop()
+		return nil
+	}
+	m := a.manager
+	if a.node != nil {
+		a.node.Close() // stops a follower's tail loop; no-op for primaries
+		m = a.node.Manager()
+	}
+	if m == nil {
+		return nil // a never-promoted follower owns no journal
+	}
 	if a.stateDir != "" {
-		if err := a.manager.Snapshot(); err != nil {
+		if err := m.Snapshot(); err != nil {
 			logf("final snapshot failed (WAL still covers the absorbs): %v", err)
 		}
 	}
-	return a.manager.Close()
+	return m.Close()
+}
+
+// fleetHandler applies the request deadline to serving routes but exempts
+// the replication and admin surface: WAL tailing, snapshot streaming, and
+// promotion (which re-replays the whole mirror) are legitimately
+// long-running and must not be cut off mid-transfer.
+func fleetHandler(d time.Duration, node *fleet.Node) http.Handler {
+	if d <= 0 {
+		return node
+	}
+	timed := withRequestTimeout(d, node)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v2/repl/") || strings.HasPrefix(r.URL.Path, "/v2/admin/") {
+			node.ServeHTTP(w, r)
+			return
+		}
+		timed.ServeHTTP(w, r)
+	})
 }
 
 func run(args []string) error {
@@ -206,7 +377,14 @@ func run(args []string) error {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("serving %d buildings on %s (v1 + v2)", a.buildings, a.addr)
+		switch a.role {
+		case "router":
+			log.Printf("routing fleet traffic on %s (v2)", a.addr)
+		case "follower":
+			log.Printf("serving read-only replica on %s (writes redirect to the primary)", a.addr)
+		default:
+			log.Printf("serving %d buildings on %s (v1 + v2, role=%s)", a.buildings, a.addr, a.role)
+		}
 		errCh <- srv.ListenAndServe()
 	}()
 	select {

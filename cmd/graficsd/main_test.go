@@ -219,6 +219,116 @@ func TestBootRequiresData(t *testing.T) {
 	}
 }
 
+// TestValidateTopology is the contradictory-flag table: every role's
+// required and forbidden combinations fail fast with a named conflict.
+func TestValidateTopology(t *testing.T) {
+	cases := []struct {
+		name                                   string
+		role, primary, peers, corpus, stateDir string
+		wantErr                                string // substring; empty = valid
+	}{
+		{name: "single default", role: "single", corpus: "c.json"},
+		{name: "single durable", role: "single", corpus: "c.json", stateDir: "/s"},
+		{name: "primary", role: "primary", corpus: "c.json", stateDir: "/s"},
+		{name: "follower", role: "follower", primary: "http://p:8080", stateDir: "/s"},
+		{name: "router", role: "router", peers: "http://a,http://b"},
+
+		{name: "unknown role", role: "replica", wantErr: "unknown -role"},
+		{name: "single with primary", role: "single", corpus: "c.json", primary: "http://p", wantErr: "-primary is only meaningful"},
+		{name: "primary with primary", role: "primary", stateDir: "/s", primary: "http://p", wantErr: "-primary is only meaningful"},
+		{name: "router with primary", role: "router", peers: "http://a", primary: "http://p", wantErr: "-primary is only meaningful"},
+		{name: "single with peers", role: "single", corpus: "c.json", peers: "http://a", wantErr: "-peers is only meaningful"},
+		{name: "follower with peers", role: "follower", primary: "http://p", stateDir: "/s", peers: "http://a", wantErr: "-peers is only meaningful"},
+		{name: "primary without state dir", role: "primary", corpus: "c.json", wantErr: "requires -state-dir"},
+		{name: "follower without primary", role: "follower", stateDir: "/s", wantErr: "requires -primary"},
+		{name: "follower without state dir", role: "follower", primary: "http://p", wantErr: "requires -state-dir"},
+		{name: "follower with corpus", role: "follower", primary: "http://p", stateDir: "/s", corpus: "c.json", wantErr: "-corpus is contradictory"},
+		{name: "router without peers", role: "router", wantErr: "requires -peers"},
+		{name: "router with corpus", role: "router", peers: "http://a", corpus: "c.json", wantErr: "contradictory"},
+		{name: "router with state dir", role: "router", peers: "http://a", stateDir: "/s", wantErr: "contradictory"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateTopology(tc.role, tc.primary, tc.peers, tc.corpus, tc.stateDir)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid combo rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// The same validation is reachable through flag parsing.
+	if _, err := newApp(context.Background(), []string{"-role", "follower"}, t.Logf); err == nil || !strings.Contains(err.Error(), "requires -primary") {
+		t.Fatalf("newApp follower without -primary: %v", err)
+	}
+}
+
+// TestRoleBootPrimaryFollowerRouter boots a primary, a follower, and a
+// router through the daemon flag surface and checks replication plus
+// routed serving work end to end.
+func TestRoleBootPrimaryFollowerRouter(t *testing.T) {
+	corpusPath, corpus := writeCorpus(t)
+
+	pApp, pSrv := boot(t,
+		"-role", "primary",
+		"-corpus", corpusPath,
+		"-state-dir", filepath.Join(t.TempDir(), "primary"),
+		"-samples-per-edge", "40",
+	)
+	defer pApp.shutdown(t.Logf)
+	if pApp.node == nil || pApp.buildings != 2 {
+		t.Fatalf("primary boot: node=%v buildings=%d", pApp.node, pApp.buildings)
+	}
+
+	fApp, fSrv := boot(t,
+		"-role", "follower",
+		"-primary", pSrv.URL,
+		"-state-dir", filepath.Join(t.TempDir(), "follower"),
+		"-repl-poll", "25ms",
+	)
+	defer fApp.shutdown(t.Logf)
+
+	rApp, rSrv := boot(t, "-role", "router", "-peers", pSrv.URL+","+fSrv.URL)
+	defer rApp.shutdown(t.Logf)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for !fApp.node.ReplInfo().Ready {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never became ready")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A routed classify answers from the fleet.
+	rec := corpus.Buildings[0].Records[0]
+	resp := postJSON(t, rSrv.URL+"/v2/classify", map[string]any{"id": "probe", "readings": rec.Readings})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed classify: status %d", resp.StatusCode)
+	}
+	var cr struct {
+		Building string `json:"building"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Building != corpus.Buildings[0].Name {
+		t.Fatalf("routed classify attributed to %q, want %q", cr.Building, corpus.Buildings[0].Name)
+	}
+
+	// The follower redirects writes at the primary.
+	wResp := postJSON(t, fSrv.URL+"/v2/absorb", map[string]any{"id": "w", "readings": rec.Readings})
+	wResp.Body.Close()
+	if wResp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("follower absorb: status %d, want 421", wResp.StatusCode)
+	}
+}
+
 // TestRefitFlagWiring boots with -refit-after and checks absorbs trigger
 // a hot swap end to end through the daemon wiring.
 func TestRefitFlagWiring(t *testing.T) {

@@ -44,6 +44,7 @@ var libraryPackages = map[string]bool{
 	"core":      true,
 	"portfolio": true,
 	"lifecycle": true,
+	"fleet":     true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// Client speaks the fleet replication and admin protocol to one node.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a node's base URL (scheme://host:port, no trailing
+// slash required).
+func NewClient(base string, timeout time.Duration) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: nonZero(timeout, defaultHTTPTimeout)},
+	}
+}
+
+// Base returns the node URL this client targets.
+func (c *Client) Base() string { return c.base }
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.hc.Do(req)
+}
+
+func (c *Client) post(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.hc.Do(req)
+}
+
+// drainError turns a non-2xx response into an error carrying the body.
+func drainError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("fleet: %s %s: %s", resp.Request.Method, resp.Request.URL.Path,
+		strings.TrimSpace(resp.Status+" "+string(body)))
+}
+
+// Status fetches GET /v2/repl/status.
+func (c *Client) Status(ctx context.Context) (ReplStatus, error) {
+	resp, err := c.get(ctx, "/v2/repl/status")
+	if err != nil {
+		return ReplStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ReplStatus{}, drainError(resp)
+	}
+	var st ReplStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<22)).Decode(&st); err != nil {
+		return ReplStatus{}, fmt.Errorf("fleet: decode status: %w", err)
+	}
+	return st, nil
+}
+
+// WALChunk is one shipped span of raw journal bytes.
+type WALChunk struct {
+	Data []byte
+	// Epoch echoes the primary's current epoch.
+	Epoch string
+	// Source is the primary's committed append position at serve time.
+	Source wal.Position
+	// SegDone reports that the chunk reaches the end of a finished
+	// segment; the follower advances to {Seg+1, 0} after consuming it.
+	SegDone bool
+}
+
+// Ack carries the follower's durable mirror watermark to the primary.
+type Ack struct {
+	ID    string
+	Epoch string
+	Pos   wal.Position
+}
+
+// FetchWAL requests committed journal bytes from pos under epoch. An
+// upstream epoch change surfaces as ErrEpochGone (wrapped with the new
+// epoch when the primary reported one).
+func (c *Client) FetchWAL(ctx context.Context, epoch string, pos wal.Position, ack Ack) (WALChunk, error) {
+	q := url.Values{}
+	q.Set("seg", strconv.Itoa(pos.Seg))
+	q.Set("off", strconv.FormatInt(pos.Off, 10))
+	q.Set("epoch", epoch)
+	if ack.ID != "" {
+		q.Set("id", ack.ID)
+		q.Set("ackepoch", ack.Epoch)
+		q.Set("ackseg", strconv.Itoa(ack.Pos.Seg))
+		q.Set("ackoff", strconv.FormatInt(ack.Pos.Off, 10))
+	}
+	resp, err := c.get(ctx, "/v2/repl/wal?"+q.Encode())
+	if err != nil {
+		return WALChunk{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return WALChunk{}, fmt.Errorf("upstream epoch now %q: %w", resp.Header.Get(headerEpoch), ErrEpochGone)
+	default:
+		return WALChunk{}, drainError(resp)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, replMaxChunk+1))
+	if err != nil {
+		return WALChunk{}, fmt.Errorf("fleet: read wal chunk: %w", err)
+	}
+	ch := WALChunk{
+		Data:    data,
+		Epoch:   resp.Header.Get(headerEpoch),
+		SegDone: resp.Header.Get(headerSegDone) == "1",
+	}
+	ch.Source.Seg, _ = strconv.Atoi(resp.Header.Get(headerSrcSeg))
+	ch.Source.Off, _ = strconv.ParseInt(resp.Header.Get(headerSrcOff), 10, 64)
+	return ch, nil
+}
+
+// Snapshot streams GET /v2/repl/snapshot into destDir and returns the
+// WAL epoch and position the snapshot covers.
+func (c *Client) Snapshot(ctx context.Context, destDir string) (epoch string, pos wal.Position, err error) {
+	resp, err := c.get(ctx, "/v2/repl/snapshot")
+	if err != nil {
+		return "", wal.Position{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", wal.Position{}, drainError(resp)
+	}
+	epoch = resp.Header.Get(headerEpoch)
+	pos.Seg, _ = strconv.Atoi(resp.Header.Get(headerSeg))
+	pos.Off, _ = strconv.ParseInt(resp.Header.Get(headerOff), 10, 64)
+	if epoch == "" {
+		return "", wal.Position{}, fmt.Errorf("fleet: snapshot response missing epoch")
+	}
+	if err := untarDir(resp.Body, destDir); err != nil {
+		return "", wal.Position{}, fmt.Errorf("fleet: restore snapshot: %w", err)
+	}
+	return epoch, pos, nil
+}
+
+// Promote asks a node to take over as primary (POST /v2/admin/promote).
+func (c *Client) Promote(ctx context.Context) (PromoteResult, error) {
+	resp, err := c.post(ctx, "/v2/admin/promote")
+	if err != nil {
+		return PromoteResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return PromoteResult{}, drainError(resp)
+	}
+	var res PromoteResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&res); err != nil {
+		return PromoteResult{}, fmt.Errorf("fleet: decode promote result: %w", err)
+	}
+	return res, nil
+}
+
+// Follow re-points a follower at a new primary (POST /v2/admin/follow).
+func (c *Client) Follow(ctx context.Context, primary string) error {
+	q := url.Values{}
+	q.Set("primary", primary)
+	resp, err := c.post(ctx, "/v2/admin/follow?"+q.Encode())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return drainError(resp)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	return nil
+}

@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/wal"
+)
+
+// TestKillPrimaryFailover is the tentpole acceptance test: a 3-node
+// shard (primary + two followers) behind a router takes live classify
+// and semi-sync absorb traffic; the primary is killed mid-traffic the
+// way the daemon tests kill a node (server closed, manager abandoned
+// with no shutdown hooks); the router detects the death, promotes the
+// freshest follower, re-points the survivor, and classification
+// continues — with every absorb that was acked before the kill present
+// on the promoted primary, verified both via the portfolio and by
+// replaying the shipped WAL mirror.
+func TestKillPrimaryFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover e2e skipped in -short")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Semi-sync primary: an absorb is acked only after >=1 follower has
+	// durably mirrored it — the invariant the kill must not break.
+	_, pSrv, _, pool := startPrimary(t, ctx, "alpha", 9,
+		PrimaryOptions{MinSyncAcks: 1, AckTimeout: 10 * time.Second})
+	f1, f1Srv := startFollower(t, ctx, pSrv.URL)
+	f2, f2Srv := startFollower(t, ctx, pSrv.URL)
+	waitFor(t, 20*time.Second, "both followers ready", func() bool {
+		return f1.ReplInfo().Ready && f2.ReplInfo().Ready
+	})
+
+	router, err := NewRouter(RouterOptions{
+		Groups:         [][]string{{pSrv.URL, f1Srv.URL, f2Srv.URL}},
+		HealthInterval: 100 * time.Millisecond,
+		FailThreshold:  3,
+		HTTPTimeout:    2 * time.Second,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	router.Start(ctx)
+	t.Cleanup(router.Stop)
+	rSrv := newTestServer(t, router)
+	waitFor(t, 20*time.Second, "router sees a healthy primary", func() bool {
+		fs := router.fleetStatus()
+		return len(fs.Groups) == 1 && fs.Groups[0].Primary == pSrv.URL
+	})
+
+	// Live traffic: absorbs with unique MACs plus interleaved reads.
+	// Only 200-acked absorbs enter the must-survive set.
+	var mu sync.Mutex
+	acked := make(map[string]bool)
+	stopTraffic := make(chan struct{})
+	var traffic sync.WaitGroup
+	traffic.Add(1)
+	go func() {
+		defer traffic.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopTraffic:
+				return
+			default:
+			}
+			rec, mac := uniqueScan(pool[i%len(pool)], i)
+			status := postClassifyQuiet(rSrv.URL, "/v2/absorb", &rec)
+			if status == http.StatusOK {
+				mu.Lock()
+				acked[mac] = true
+				mu.Unlock()
+			}
+			postClassifyQuiet(rSrv.URL, "/v2/classify", &pool[(i+1)%len(pool)])
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// Let traffic flow, then kill the primary mid-stream.
+	waitFor(t, 20*time.Second, "some absorbs acked pre-kill", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(acked) >= 5
+	})
+	pSrv.Close() // SIGKILL stand-in: no drain, no snapshot, manager abandoned
+
+	// The router must promote a follower and classification must
+	// continue through it.
+	var promoted *Node
+	waitFor(t, 45*time.Second, "router to promote a follower", func() bool {
+		fs := router.fleetStatus()
+		p := fs.Groups[0].Primary
+		switch p {
+		case f1Srv.URL:
+			promoted = f1
+		case f2Srv.URL:
+			promoted = f2
+		default:
+			return false
+		}
+		return promoted.Role() == RolePrimary
+	})
+	waitFor(t, 30*time.Second, "absorbs to succeed via the new primary", func() bool {
+		rec, mac := uniqueScan(pool[3], 90000)
+		status := postClassifyQuiet(rSrv.URL, "/v2/absorb", &rec)
+		if status != http.StatusOK {
+			return false
+		}
+		mu.Lock()
+		acked[mac] = true
+		mu.Unlock()
+		return true
+	})
+	close(stopTraffic)
+	traffic.Wait()
+
+	// Reads still answer through the router.
+	if status := postClassifyQuiet(rSrv.URL, "/v2/classify", &pool[5]); status != http.StatusOK {
+		t.Fatalf("post-failover classify: status %d", status)
+	}
+
+	// Every acked absorb survived onto the promoted primary.
+	sys, err := promoted.Portfolio().System("alpha")
+	if err != nil {
+		t.Fatalf("System on promoted node: %v", err)
+	}
+	mu.Lock()
+	macs := make([]string, 0, len(acked))
+	for mac := range acked {
+		macs = append(macs, mac)
+	}
+	mu.Unlock()
+	if len(macs) < 6 {
+		t.Fatalf("too few acked absorbs to prove anything: %d", len(macs))
+	}
+	lost := 0
+	for _, mac := range macs {
+		if !sys.HasMAC(mac) {
+			lost++
+			t.Errorf("acked absorb lost across failover: %s", mac)
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d/%d acked absorbs lost", lost, len(macs))
+	}
+	t.Logf("failover preserved all %d acked absorbs", len(macs))
+
+	// Independent audit: replay the promoted node's shipped-WAL mirror
+	// end to end (the followers bootstrapped at position 0:0, so the
+	// whole mirror is frames). Every record the mirror holds must have
+	// been applied — the promotion already verified counts; here we
+	// additionally check the journal bytes themselves survived the kill
+	// intact.
+	mirrorDir := filepath.Join(promoted.opts.Follower.StateDir, "mirror")
+	records := 0
+	if _, n, err := wal.ReplayFrom(mirrorDir, wal.Position{}, func(wal.Record) error {
+		records++
+		return nil
+	}); err != nil {
+		t.Fatalf("replaying shipped mirror: %v", err)
+	} else if n != records || records == 0 {
+		t.Fatalf("mirror replay: %d records (n=%d)", records, n)
+	}
+	t.Logf("shipped WAL mirror replays %d records cleanly", records)
+
+	// Shutdown: the promoted node owns a manager now.
+	if m := promoted.Manager(); m != nil {
+		if err := m.Close(); err != nil {
+			t.Fatalf("close promoted manager: %v", err)
+		}
+	}
+}
+
+// postClassifyQuiet posts a scan without test plumbing, for traffic
+// loops that tolerate failures.
+func postClassifyQuiet(base, path string, rec *dataset.Record) int {
+	body, err := json.Marshal(map[string]any{"id": rec.ID, "readings": rec.Readings})
+	if err != nil {
+		return 0
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	return resp.StatusCode
+}
+
+// newTestServer serves h and closes it with the test.
+func newTestServer(t *testing.T, h http.Handler) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}

@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestFollowerBootstrapAndTail covers the tentpole's follower half:
+// snapshot bootstrap, WAL tailing through the lifecycle replay path,
+// read-only serving, readiness, and write refusal.
+func TestFollowerBootstrapAndTail(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pNode, pSrv, m, pool := startPrimary(t, ctx, "alpha", 1, PrimaryOptions{})
+	fNode, fSrv := startFollower(t, ctx, pSrv.URL)
+
+	waitFor(t, 15*time.Second, "follower ready", func() bool {
+		ri := fNode.ReplInfo()
+		return ri.Ready && len(fNode.Portfolio().Buildings()) == 1
+	})
+
+	// Absorb scans with unique MACs on the primary; the follower must
+	// apply each one through the shipped WAL.
+	macs := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		rec, mac := uniqueScan(pool[i], i)
+		if _, err := m.Classify(ctx, &rec, core.WithAbsorb()); err != nil {
+			t.Fatalf("absorb %d: %v", i, err)
+		}
+		macs = append(macs, mac)
+	}
+	waitFor(t, 15*time.Second, "follower to apply 5 absorbs", func() bool {
+		return fNode.ReplInfo().AppliedRecords >= 5
+	})
+	sys, err := fNode.Portfolio().System("alpha")
+	if err != nil {
+		t.Fatalf("follower System: %v", err)
+	}
+	for _, mac := range macs {
+		if !sys.HasMAC(mac) {
+			t.Fatalf("follower missing absorbed MAC %s", mac)
+		}
+	}
+
+	// The follower serves reads and reports ready on /v2/healthz.
+	if status, body := postClassify(t, fSrv.URL, "/v2/classify", &pool[10], false); status != http.StatusOK {
+		t.Fatalf("follower classify: status %d body %v", status, body)
+	}
+	if got := httpStatus(t, fSrv.URL+"/v2/healthz"); got != http.StatusOK {
+		t.Fatalf("follower healthz: %d", got)
+	}
+
+	// Writes are refused with 421 and point at the primary.
+	status, body := postClassify(t, fSrv.URL, "/v2/absorb", &pool[11], true)
+	if status != http.StatusMisdirectedRequest {
+		t.Fatalf("follower absorb: status %d, want 421 (body %v)", status, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, pSrv.URL) {
+		t.Fatalf("421 body should name the primary, got %v", body)
+	}
+
+	// Primary repl status advertises the building and its segments.
+	st, err := NewClient(pSrv.URL, 0).Status(ctx)
+	if err != nil {
+		t.Fatalf("primary status: %v", err)
+	}
+	if st.Role != string(RolePrimary) || len(st.Buildings) != 1 || st.Buildings[0] != "alpha" {
+		t.Fatalf("primary status: %+v", st)
+	}
+	if pNode.Role() != RolePrimary {
+		t.Fatalf("primary node role = %s", pNode.Role())
+	}
+}
+
+// TestFollowerReBootstrapOnEpochChange forces a WAL truncation on the
+// primary (snapshot → Reset → new epoch) and checks the follower
+// detects 410, re-bootstraps, and keeps tracking new absorbs.
+func TestFollowerReBootstrapOnEpochChange(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, pSrv, m, pool := startPrimary(t, ctx, "alpha", 2, PrimaryOptions{})
+	fNode, _ := startFollower(t, ctx, pSrv.URL)
+
+	waitFor(t, 15*time.Second, "follower ready", func() bool { return fNode.ReplInfo().Ready })
+	firstEpoch := fNode.ReplInfo().Epoch
+
+	rec0, mac0 := uniqueScan(pool[0], 100)
+	if _, err := m.Classify(ctx, &rec0, core.WithAbsorb()); err != nil {
+		t.Fatalf("absorb: %v", err)
+	}
+	// Snapshot truncates the WAL and regenerates the epoch.
+	if err := m.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	rec1, mac1 := uniqueScan(pool[1], 101)
+	if _, err := m.Classify(ctx, &rec1, core.WithAbsorb()); err != nil {
+		t.Fatalf("absorb: %v", err)
+	}
+	waitFor(t, 15*time.Second, "follower re-bootstrap onto new epoch", func() bool {
+		ri := fNode.ReplInfo()
+		return ri.Ready && ri.Epoch != firstEpoch
+	})
+	sys, err := fNode.Portfolio().System("alpha")
+	if err != nil {
+		t.Fatalf("System: %v", err)
+	}
+	// Both pre-resync absorbs arrived via the re-bootstrap snapshot
+	// (the second was journaled before the follower refetched it).
+	if !sys.HasMAC(mac0) || !sys.HasMAC(mac1) {
+		t.Fatalf("follower missing absorbs across epochs: mac0=%v mac1=%v", sys.HasMAC(mac0), sys.HasMAC(mac1))
+	}
+	// Tailing works on the new epoch too: a post-resync absorb ships
+	// through the new WAL.
+	rec2, mac2 := uniqueScan(pool[2], 102)
+	if _, err := m.Classify(ctx, &rec2, core.WithAbsorb()); err != nil {
+		t.Fatalf("absorb: %v", err)
+	}
+	waitFor(t, 15*time.Second, "new-epoch absorb to ship", func() bool {
+		return sys.HasMAC(mac2) && fNode.ReplInfo().AppliedRecords >= 1
+	})
+}
+
+// TestSemiSyncAck checks the "no acked absorb lost" mechanism: with
+// MinSyncAcks=1 an absorb fails until a follower is mirroring, then
+// succeeds once acks flow.
+func TestSemiSyncAck(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pNode, pSrv, _, pool := startPrimary(t, ctx, "alpha", 3,
+		PrimaryOptions{MinSyncAcks: 1, AckTimeout: 400 * time.Millisecond})
+
+	// No follower yet: the absorb journals locally but the ack wait must
+	// time out.
+	rec, _ := uniqueScan(pool[0], 0)
+	pr := pNode.state.Load().primary
+	if _, err := pr.ClassifyRouted(ctx, &rec, core.WithAbsorb()); !errors.Is(err, ErrReplicationLag) {
+		t.Fatalf("absorb without followers: err = %v, want ErrReplicationLag", err)
+	}
+
+	fNode, _ := startFollower(t, ctx, pSrv.URL)
+	waitFor(t, 15*time.Second, "follower ready", func() bool { return fNode.ReplInfo().Ready })
+
+	// With a live follower the ack arrives within a poll interval.
+	rec2, mac2 := uniqueScan(pool[1], 1)
+	if _, err := pr.ClassifyRouted(ctx, &rec2, core.WithAbsorb()); err != nil {
+		t.Fatalf("semi-sync absorb with follower: %v", err)
+	}
+	waitFor(t, 15*time.Second, "acked absorb visible on follower", func() bool {
+		sys, err := fNode.Portfolio().System("alpha")
+		return err == nil && sys.HasMAC(mac2)
+	})
+}
+
+// TestPromoteFollower kills a primary and promotes its follower
+// directly (no router), checking the mirror audit and that the promoted
+// node journals new writes under a fresh epoch.
+func TestPromoteFollower(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, pSrv, m, pool := startPrimary(t, ctx, "alpha", 4, PrimaryOptions{MinSyncAcks: 1})
+	fNode, fSrv := startFollower(t, ctx, pSrv.URL)
+	waitFor(t, 15*time.Second, "follower ready", func() bool { return fNode.ReplInfo().Ready })
+
+	macs := make([]string, 0, 4)
+	for i := 0; i < 4; i++ {
+		rec, mac := uniqueScan(pool[i], i)
+		if _, err := m.Classify(ctx, &rec, core.WithAbsorb()); err != nil {
+			t.Fatalf("absorb %d: %v", i, err)
+		}
+		macs = append(macs, mac)
+	}
+	waitFor(t, 15*time.Second, "follower applies absorbs", func() bool {
+		return fNode.ReplInfo().AppliedRecords >= 4
+	})
+
+	// "Kill" the primary the way the daemon tests do: close its server
+	// and abandon the manager without any shutdown hooks.
+	pSrv.Close()
+
+	res, err := fNode.Promote(ctx)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if res.Verified != res.Records+res.Skipped || res.Records < 4 {
+		t.Fatalf("promotion audit mismatch: %+v", res)
+	}
+	if res.NewEpoch == "" || res.NewEpoch == res.FromEpoch {
+		t.Fatalf("promotion must open a fresh epoch: %+v", res)
+	}
+	if fNode.Role() != RolePrimary {
+		t.Fatalf("role after promote = %s", fNode.Role())
+	}
+	sys, err := fNode.Portfolio().System("alpha")
+	if err != nil {
+		t.Fatalf("System: %v", err)
+	}
+	for _, mac := range macs {
+		if !sys.HasMAC(mac) {
+			t.Fatalf("promoted primary missing acked MAC %s", mac)
+		}
+	}
+
+	// The promoted node now accepts writes over HTTP and serves the
+	// replication surface.
+	rec, mac := uniqueScan(pool[10], 50)
+	if status, body := postClassify(t, fSrv.URL, "/v2/absorb", &rec, true); status != http.StatusOK {
+		t.Fatalf("absorb on promoted primary: status %d body %v", status, body)
+	}
+	if !sys.HasMAC(mac) {
+		t.Fatalf("promoted primary did not absorb %s", mac)
+	}
+	st, err := NewClient(fSrv.URL, 0).Status(ctx)
+	if err != nil || st.Role != string(RolePrimary) {
+		t.Fatalf("promoted repl status: %+v, err %v", st, err)
+	}
+	// Second promote is an idempotent success.
+	res2, err := fNode.Promote(ctx)
+	if err != nil || !res2.AlreadyPrimary {
+		t.Fatalf("re-promote: %+v, err %v", res2, err)
+	}
+
+	// Shutdown path for the promoted manager.
+	if m2 := fNode.Manager(); m2 == nil {
+		t.Fatal("promoted node has no manager")
+	} else if err := m2.Close(); err != nil {
+		t.Fatalf("close promoted manager: %v", err)
+	}
+}

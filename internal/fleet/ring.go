@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring consistent-hashes string keys (building names) onto members
+// (shard group keys). Each member projects VirtualNodes points onto a
+// 64-bit circle; a key belongs to the first point at or after its hash.
+// Adding or removing one member only moves the keys that hashed to its
+// points — the property that makes rebalance plans small.
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over members with the given number of virtual
+// nodes per member (0 means a sensible default). Member order does not
+// matter; the ring is fully determined by the member set.
+func NewRing(members []string, virtualNodes int) *Ring {
+	if virtualNodes <= 0 {
+		virtualNodes = defaultVirtualNodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(members)*virtualNodes)}
+	for _, m := range members {
+		for i := 0; i < virtualNodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the distinct member set, sorted.
+func (r *Ring) Members() []string {
+	seen := make(map[string]struct{})
+	for _, p := range r.points {
+		seen[p.member] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	members := []string{"shard-0", "shard-1", "shard-2"}
+	r1 := NewRing(members, 64)
+	r2 := NewRing([]string{"shard-2", "shard-0", "shard-1"}, 64)
+	counts := make(map[string]int)
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("building-%d", i)
+		o1, o2 := r1.Owner(key), r2.Owner(key)
+		if o1 != o2 {
+			t.Fatalf("ring not order-independent: %s vs %s for %s", o1, o2, key)
+		}
+		counts[o1]++
+	}
+	for _, m := range members {
+		if counts[m] < 300 {
+			t.Fatalf("ring badly skewed: %v", counts)
+		}
+	}
+	if got := r1.Members(); len(got) != 3 {
+		t.Fatalf("Members = %v", got)
+	}
+}
+
+// TestRingStability checks the consistent-hashing property: removing one
+// member only moves the keys that it owned.
+func TestRingStability(t *testing.T) {
+	full := NewRing([]string{"shard-0", "shard-1", "shard-2"}, 64)
+	reduced := NewRing([]string{"shard-0", "shard-1"}, 64)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("building-%d", i)
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before != "shard-2" && before != after {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", key, before, after)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if got := NewRing(nil, 8).Owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+}

@@ -1,0 +1,1002 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// RouterOptions configures the stateless routing tier.
+type RouterOptions struct {
+	// Groups is the static shard membership: each inner slice is one
+	// replication group's node URLs. Membership is configuration; roles
+	// within a group are discovered (and change on failover).
+	Groups [][]string
+	// HealthInterval is the status poll cadence (default 1s).
+	HealthInterval time.Duration
+	// FailThreshold is how many consecutive failed polls mark a member
+	// down (default 3).
+	FailThreshold int
+	// DisableFailover turns off automatic promotion (manual promote via
+	// the admin surface still works).
+	DisableFailover bool
+	// VirtualNodes tunes the rebalance-plan ring.
+	VirtualNodes int
+	// HTTPTimeout bounds each forwarded or health request.
+	HTTPTimeout time.Duration
+	Logf        func(string, ...any)
+}
+
+// MemberState is one node's last observed replication state, as reported
+// by /v2/admin/fleet.
+type MemberState struct {
+	URL       string       `json:"url"`
+	Group     int          `json:"group"`
+	Role      string       `json:"role,omitempty"`
+	Primary   string       `json:"primary,omitempty"`
+	Epoch     string       `json:"epoch,omitempty"`
+	Applied   wal.Position `json:"applied"`
+	Mirrored  wal.Position `json:"mirrored"`
+	LagBytes  int64        `json:"lag_bytes"`
+	Ready     bool         `json:"ready"`
+	Healthy   bool         `json:"healthy"`
+	Drained   bool         `json:"drained,omitempty"`
+	Failures  int          `json:"failures,omitempty"`
+	Buildings []string     `json:"buildings,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	LastSeen  time.Time    `json:"last_seen"`
+}
+
+// GroupStatus is one shard group's health rollup.
+type GroupStatus struct {
+	Index   int           `json:"index"`
+	Key     string        `json:"key"`
+	Primary string        `json:"primary,omitempty"`
+	Healthy bool          `json:"healthy"`
+	Members []MemberState `json:"members"`
+}
+
+// FleetStatus is the GET /v2/admin/fleet reply.
+type FleetStatus struct {
+	Healthy bool          `json:"healthy"`
+	Groups  []GroupStatus `json:"groups"`
+}
+
+// RebalanceMove is one entry of a rebalance plan.
+type RebalanceMove struct {
+	Building string `json:"building"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+}
+
+// routerMaxBatch bounds a routed batch; per-scan scatter makes batches
+// G times as expensive as on a node, so the cap is tighter than a
+// node's.
+const routerMaxBatch = 4096
+
+// routerBatchWorkers bounds concurrent scatters inside one batch.
+const routerBatchWorkers = 16
+
+// failoverCooldown is how long a group waits between promotion attempts,
+// in health intervals.
+const failoverCooldownTicks = 5
+
+// Router is the fleet's front door: it spreads reads over caught-up
+// followers, forwards writes to the owning group's primary, aggregates
+// stats, health-checks every member, and promotes the freshest follower
+// when a primary dies.
+type Router struct {
+	opts   RouterOptions
+	groups [][]string
+	ring   *Ring // immutable: group keys never change
+	hc     *http.Client
+	logf   func(string, ...any)
+	mux    *http.ServeMux
+	rr     atomic.Uint64
+
+	mu sync.Mutex
+	// grafics:guardedby mu
+	state map[string]MemberState
+	// grafics:guardedby mu
+	drained map[string]bool
+	// grafics:guardedby mu
+	lastFailover map[int]time.Time
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// ParseGroups parses the -peers flag syntax: groups separated by ';',
+// members within a group separated by ','.
+func ParseGroups(s string) ([][]string, error) {
+	var groups [][]string
+	for _, g := range strings.Split(s, ";") {
+		var members []string
+		for _, m := range strings.Split(g, ",") {
+			m = strings.TrimRight(strings.TrimSpace(m), "/")
+			if m == "" {
+				continue
+			}
+			if !strings.HasPrefix(m, "http://") && !strings.HasPrefix(m, "https://") {
+				return nil, fmt.Errorf("fleet: peer %q is not an http(s) URL", m)
+			}
+			members = append(members, m)
+		}
+		if len(members) > 0 {
+			groups = append(groups, members)
+		}
+	}
+	if len(groups) == 0 {
+		return nil, errors.New("fleet: no peers")
+	}
+	seen := make(map[string]struct{})
+	for _, g := range groups {
+		for _, m := range g {
+			if _, dup := seen[m]; dup {
+				return nil, fmt.Errorf("fleet: peer %q listed twice", m)
+			}
+			seen[m] = struct{}{}
+		}
+	}
+	return groups, nil
+}
+
+// groupKey names a shard group on the ring; group identity is positional
+// and stable across failover.
+func groupKey(i int) string { return "shard-" + strconv.Itoa(i) }
+
+// NewRouter builds the routing tier. Call Start to begin health checks.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if len(opts.Groups) == 0 {
+		return nil, errors.New("fleet: router requires at least one group")
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = defaultFailThreshold
+	}
+	opts.HealthInterval = nonZero(opts.HealthInterval, defaultHealthInterval)
+	opts.HTTPTimeout = nonZero(opts.HTTPTimeout, defaultHTTPTimeout)
+	logf := opts.Logf
+	if logf == nil {
+		logf = nopLogf
+	}
+	keys := make([]string, len(opts.Groups))
+	for i := range opts.Groups {
+		keys[i] = groupKey(i)
+	}
+	rt := &Router{
+		opts:         opts,
+		groups:       opts.Groups,
+		ring:         NewRing(keys, opts.VirtualNodes),
+		hc:           &http.Client{Timeout: opts.HTTPTimeout},
+		logf:         logf,
+		state:        make(map[string]MemberState),
+		drained:      make(map[string]bool),
+		lastFailover: make(map[int]time.Time),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /v2/stats", rt.handleStats)
+	mux.HandleFunc("POST /v2/classify", rt.handleClassify(false))
+	mux.HandleFunc("POST /v2/absorb", rt.handleClassify(true))
+	mux.HandleFunc("POST /v2/classify/batch", rt.handleClassifyBatch)
+	mux.HandleFunc("DELETE /v2/macs/{mac}", rt.handleRemoveMAC)
+	mux.HandleFunc("GET /v2/admin/fleet", rt.handleFleet)
+	mux.HandleFunc("POST /v2/admin/fleet/promote", rt.handleFleetPromote)
+	mux.HandleFunc("POST /v2/admin/fleet/drain", rt.handleFleetDrain)
+	mux.HandleFunc("GET /v2/admin/fleet/rebalance", rt.handleFleetRebalance)
+	rt.mux = mux
+	return rt, nil
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Start launches the health/failover loop; ctx cancellation or Stop ends
+// it. The first poll runs synchronously so the router boots with a view
+// of the fleet.
+func (rt *Router) Start(ctx context.Context) {
+	rt.startOnce.Do(func() {
+		rt.pollAll(ctx)
+		go rt.loop(ctx)
+	})
+}
+
+// Stop halts the health loop and waits for it to exit.
+func (rt *Router) Stop() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.startOnce.Do(func() { close(rt.done) })
+	<-rt.done
+}
+
+func (rt *Router) loop(ctx context.Context) {
+	defer close(rt.done)
+	t := time.NewTicker(rt.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-rt.stop:
+			return
+		case <-t.C:
+		}
+		rt.pollAll(ctx)
+		if !rt.opts.DisableFailover {
+			rt.checkFailover(ctx)
+		}
+	}
+}
+
+// pollAll refreshes every member's observed state in parallel.
+func (rt *Router) pollAll(ctx context.Context) {
+	type slot struct {
+		url   string
+		group int
+	}
+	var slots []slot
+	for gi, g := range rt.groups {
+		for _, u := range g {
+			slots = append(slots, slot{url: u, group: gi})
+		}
+	}
+	fresh := make([]MemberState, len(slots))
+	_ = par.ForEachCtx(ctx, len(slots), func(i int) {
+		fresh[i] = rt.pollMember(ctx, slots[i].url, slots[i].group)
+	})
+	rt.mu.Lock()
+	for _, ms := range fresh {
+		if ms.URL == "" { // cancelled before this slot ran
+			continue
+		}
+		ms.Drained = rt.drained[ms.URL]
+		rt.state[ms.URL] = ms
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *Router) pollMember(ctx context.Context, url string, group int) MemberState {
+	prev, _ := rt.member(url)
+	ms := MemberState{URL: url, Group: group, LastSeen: time.Now()}
+	st, err := NewClient(url, rt.opts.HTTPTimeout).Status(ctx)
+	if err != nil {
+		ms.Role = prev.Role
+		ms.Primary = prev.Primary
+		ms.Epoch = prev.Epoch
+		ms.Applied = prev.Applied
+		ms.Mirrored = prev.Mirrored
+		ms.Buildings = prev.Buildings
+		ms.Failures = prev.Failures + 1
+		ms.Healthy = ms.Failures < rt.opts.FailThreshold && prev.Role != ""
+		ms.Error = err.Error()
+		ms.LastSeen = prev.LastSeen
+		return ms
+	}
+	ms.Role = st.Role
+	ms.Primary = st.Primary
+	ms.Epoch = st.Epoch
+	ms.Applied = st.Applied
+	ms.Mirrored = st.Mirrored
+	ms.LagBytes = st.LagBytes
+	ms.Ready = st.Ready
+	ms.Healthy = true
+	ms.Buildings = st.Buildings
+	return ms
+}
+
+func (rt *Router) member(url string) (MemberState, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ms, ok := rt.state[url]
+	return ms, ok
+}
+
+// groupStates snapshots one group's member states in config order.
+func (rt *Router) groupStates(gi int) []MemberState {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]MemberState, 0, len(rt.groups[gi]))
+	for _, u := range rt.groups[gi] {
+		ms, ok := rt.state[u]
+		if !ok {
+			ms = MemberState{URL: u, Group: gi}
+		}
+		ms.Drained = rt.drained[u]
+		out = append(out, ms)
+	}
+	return out
+}
+
+// checkFailover promotes the freshest follower of any group whose
+// primary is down. One attempt per cooldown window per group; the next
+// poll observes the new topology.
+func (rt *Router) checkFailover(ctx context.Context) {
+	for gi := range rt.groups {
+		var primaryAlive, primaryDead bool
+		var candidates []MemberState
+		for _, ms := range rt.groupStates(gi) {
+			switch {
+			case ms.Role == string(RolePrimary) && ms.Healthy:
+				primaryAlive = true
+			case ms.Role == string(RolePrimary) && ms.Failures >= rt.opts.FailThreshold:
+				primaryDead = true
+			case ms.Role == string(RoleFollower) && ms.Healthy && ms.Epoch != "":
+				candidates = append(candidates, ms)
+			}
+		}
+		if primaryAlive || !primaryDead || len(candidates) == 0 {
+			continue
+		}
+		rt.mu.Lock()
+		last := rt.lastFailover[gi]
+		cooldown := time.Duration(failoverCooldownTicks) * rt.opts.HealthInterval
+		if !last.IsZero() && time.Since(last) < cooldown {
+			rt.mu.Unlock()
+			continue
+		}
+		rt.lastFailover[gi] = time.Now()
+		rt.mu.Unlock()
+		rt.promoteGroup(ctx, gi, candidates, "")
+	}
+}
+
+// promoteGroup promotes the freshest candidate (or the named member) and
+// re-points the group's other followers at it.
+func (rt *Router) promoteGroup(ctx context.Context, gi int, candidates []MemberState, pick string) (string, error) {
+	sort.Slice(candidates, func(i, j int) bool {
+		// Freshest mirror first: promotion drains the mirror, so the
+		// candidate with the most durable bytes loses nothing.
+		if candidates[i].Mirrored != candidates[j].Mirrored {
+			return candidates[j].Mirrored.Less(candidates[i].Mirrored)
+		}
+		if candidates[i].Applied != candidates[j].Applied {
+			return candidates[j].Applied.Less(candidates[i].Applied)
+		}
+		return candidates[i].URL < candidates[j].URL
+	})
+	target := ""
+	for _, c := range candidates {
+		if pick == "" || c.URL == pick {
+			target = c.URL
+			break
+		}
+	}
+	if target == "" {
+		return "", fmt.Errorf("fleet: no promotion candidate in group %d", gi)
+	}
+	rt.logf("fleet: router: promoting %s in group %d", target, gi)
+	res, err := NewClient(target, 2*time.Minute).Promote(ctx)
+	if err != nil {
+		rt.logf("fleet: router: promote %s: %v", target, err)
+		return "", err
+	}
+	rt.logf("fleet: router: %s promoted: %d records verified, epoch %s", target, res.Verified, res.NewEpoch)
+	rt.mu.Lock()
+	if ms, ok := rt.state[target]; ok {
+		ms.Role = string(RolePrimary)
+		ms.Primary = ""
+		ms.Healthy = true
+		ms.Failures = 0
+		rt.state[target] = ms
+	}
+	rt.mu.Unlock()
+	for _, u := range rt.groups[gi] {
+		if u == target {
+			continue
+		}
+		ms, ok := rt.member(u)
+		if !ok || ms.Role != string(RoleFollower) || !ms.Healthy {
+			continue
+		}
+		if err := NewClient(u, rt.opts.HTTPTimeout).Follow(ctx, target); err != nil {
+			rt.logf("fleet: router: re-point %s at %s: %v", u, target, err)
+		}
+	}
+	return target, nil
+}
+
+// pickRead selects the member of group gi to serve a read: ready,
+// undrained followers round-robin first (spreading load off the
+// primary), then a healthy primary, then any healthy member (stale reads
+// beat no reads during a failover window).
+func (rt *Router) pickRead(gi int) (string, bool) {
+	states := rt.groupStates(gi)
+	var followers, primaries, healthy []string
+	for _, ms := range states {
+		if ms.Drained {
+			continue
+		}
+		switch {
+		case ms.Role == string(RoleFollower) && ms.Healthy && ms.Ready:
+			followers = append(followers, ms.URL)
+		case ms.Role == string(RolePrimary) && ms.Healthy:
+			primaries = append(primaries, ms.URL)
+		case ms.Healthy:
+			healthy = append(healthy, ms.URL)
+		}
+	}
+	for _, pool := range [][]string{followers, primaries, healthy} {
+		if len(pool) > 0 {
+			return pool[rt.rr.Add(1)%uint64(len(pool))], true
+		}
+	}
+	// Nothing confirmed healthy; try anything undrained rather than
+	// failing outright (the member may be back before the next poll).
+	for _, ms := range states {
+		if !ms.Drained {
+			return ms.URL, true
+		}
+	}
+	return "", false
+}
+
+// pickPrimary selects group gi's write target: the healthy primary, or
+// the last known primary as a best effort.
+func (rt *Router) pickPrimary(gi int) (string, bool) {
+	states := rt.groupStates(gi)
+	for _, ms := range states {
+		if ms.Role == string(RolePrimary) && ms.Healthy {
+			return ms.URL, true
+		}
+	}
+	for _, ms := range states {
+		if ms.Role == string(RolePrimary) {
+			return ms.URL, true
+		}
+	}
+	return "", false
+}
+
+// forward relays body to url+path and returns the raw response.
+func (rt *Router) forward(ctx context.Context, method, url, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// scatterOutcome is one group's answer to a scattered classify.
+type scatterOutcome struct {
+	group  int
+	url    string
+	status int
+	body   []byte
+	parsed *server.ClassifyResponse
+	err    error
+}
+
+// scatterClassify sends a read-only classify to one read node per group
+// and returns the outcomes. The caller picks a winner by overlap.
+func (rt *Router) scatterClassify(ctx context.Context, body []byte) []scatterOutcome {
+	out := make([]scatterOutcome, len(rt.groups))
+	_ = par.ForEachCtx(ctx, len(rt.groups), func(gi int) {
+		out[gi].group = gi
+		url, ok := rt.pickRead(gi)
+		if !ok {
+			out[gi].err = fmt.Errorf("fleet: group %d has no serving member", gi)
+			return
+		}
+		out[gi].url = url
+		status, data, err := rt.forward(ctx, http.MethodPost, url, "/v2/classify", body)
+		if err != nil {
+			out[gi].err = err
+			return
+		}
+		out[gi].status = status
+		out[gi].body = data
+		if status == http.StatusOK {
+			var cr server.ClassifyResponse
+			if err := json.Unmarshal(data, &cr); err == nil {
+				out[gi].parsed = &cr
+			}
+		}
+	})
+	return out
+}
+
+// bestOutcome picks the attribution winner: the 200 with the highest
+// MAC overlap. 422 means "no building of mine matches" and is skipped.
+func bestOutcome(outcomes []scatterOutcome) (best *scatterOutcome, firstErr *scatterOutcome) {
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.parsed != nil {
+			if best == nil || o.parsed.Overlap > best.parsed.Overlap {
+				best = o
+			}
+			continue
+		}
+		if o.status == http.StatusUnprocessableEntity {
+			continue
+		}
+		if firstErr == nil && (o.err != nil || o.status != http.StatusOK) {
+			firstErr = o
+		}
+	}
+	return best, firstErr
+}
+
+// handleClassify serves POST /v2/classify and /v2/absorb. Reads scatter
+// to one node per group and return the best-overlap answer. Writes first
+// attribute the scan the same way, then forward the original request to
+// the owning group's primary so exactly one journal records it.
+func (rt *Router) handleClassify(forceAbsorb bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req server.ClassifyRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("decode scan: %w", err))
+			return
+		}
+		if len(req.Readings) == 0 {
+			writeJSONError(w, http.StatusBadRequest, errors.New("scan has no readings"))
+			return
+		}
+		req.Absorb = req.Absorb || forceAbsorb
+		rt.routeClassify(r.Context(), w, &req)
+	}
+}
+
+// routeClassify routes one parsed scan: scatter for reads, locate-then-
+// forward for absorbs.
+func (rt *Router) routeClassify(ctx context.Context, w http.ResponseWriter, req *server.ClassifyRequest) {
+	if !req.Absorb {
+		body, _ := json.Marshal(req)
+		outcomes := rt.scatterClassify(ctx, body)
+		best, firstErr := bestOutcome(outcomes)
+		rt.writeOutcome(w, best, firstErr)
+		return
+	}
+	gi, outcome := rt.locateOwner(ctx, req)
+	if gi < 0 {
+		rt.writeOutcome(w, nil, outcome)
+		return
+	}
+	primary, ok := rt.pickPrimary(gi)
+	if !ok {
+		writeJSONError(w, http.StatusServiceUnavailable, fmt.Errorf("fleet: group %d has no primary", gi))
+		return
+	}
+	body, _ := json.Marshal(req)
+	status, data, err := rt.forward(ctx, http.MethodPost, primary, "/v2/classify", body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadGateway, fmt.Errorf("fleet: forward absorb to %s: %w", primary, err))
+		return
+	}
+	relay(w, status, data)
+}
+
+// locateOwner attributes a scan via read-only scatter and returns the
+// owning group, or -1 with the outcome to relay. A single-group fleet
+// skips the extra round trip.
+func (rt *Router) locateOwner(ctx context.Context, req *server.ClassifyRequest) (int, *scatterOutcome) {
+	if len(rt.groups) == 1 {
+		return 0, nil
+	}
+	probe := *req
+	probe.Absorb = false
+	body, _ := json.Marshal(&probe)
+	outcomes := rt.scatterClassify(ctx, body)
+	best, firstErr := bestOutcome(outcomes)
+	if best == nil {
+		if firstErr != nil {
+			return -1, firstErr
+		}
+		return -1, &scatterOutcome{status: http.StatusUnprocessableEntity,
+			body: jsonError(errors.New("fleet: no group attributes this scan"))}
+	}
+	return best.group, nil
+}
+
+// writeOutcome relays the winning (or failing) scatter outcome.
+func (rt *Router) writeOutcome(w http.ResponseWriter, best, firstErr *scatterOutcome) {
+	switch {
+	case best != nil:
+		relay(w, best.status, best.body)
+	case firstErr != nil && firstErr.err != nil:
+		writeJSONError(w, http.StatusBadGateway, firstErr.err)
+	case firstErr != nil:
+		relay(w, firstErr.status, firstErr.body)
+	default:
+		writeJSONError(w, http.StatusUnprocessableEntity,
+			errors.New("fleet: no group attributes this scan"))
+	}
+}
+
+// handleClassifyBatch serves POST /v2/classify/batch: scans decode at
+// the router (JSON array or NDJSON), each routes independently with
+// bounded parallelism, and results stream back as NDJSON in request
+// order.
+func (rt *Router) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
+	absorbParam := r.URL.Query().Get("absorb")
+	absorb := false
+	if absorbParam != "" {
+		v, err := strconv.ParseBool(absorbParam)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("query absorb: %w", err))
+			return
+		}
+		absorb = v
+	}
+	topK := 0
+	if s := r.URL.Query().Get("top_k"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("query top_k: %w", err))
+			return
+		}
+		topK = v
+	}
+	reqs, err := decodeBatch(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(reqs) == 0 {
+		writeJSONError(w, http.StatusBadRequest, errors.New("batch has no scans"))
+		return
+	}
+	if len(reqs) > routerMaxBatch {
+		writeJSONError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("fleet: batch exceeds %d scans", routerMaxBatch))
+		return
+	}
+	ctx := r.Context()
+	type lineResult struct {
+		status int
+		body   []byte
+		err    error
+	}
+	results := make([]lineResult, len(reqs))
+	_ = par.ForEachCtxBounded(ctx, len(reqs), routerBatchWorkers, func(i int) {
+		req := reqs[i]
+		req.Absorb = req.Absorb || absorb
+		req.TopK = topK
+		rec := &routeRecorder{}
+		rt.routeClassify(ctx, rec, &req)
+		results[i] = lineResult{status: rec.status, body: rec.body.Bytes()}
+	})
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i, res := range results {
+		item := server.StreamItem{ID: reqs[i].ID}
+		if res.status == http.StatusOK {
+			var cr server.ClassifyResponse
+			if err := json.Unmarshal(res.body, &cr); err == nil {
+				item.Result = &cr
+			} else {
+				item.Error = "fleet: malformed node response"
+			}
+		} else if res.status == 0 {
+			item.Error = "fleet: scan not routed (request cancelled)"
+		} else {
+			item.Error = errorMessage(res.body, res.status)
+		}
+		if err := enc.Encode(item); err != nil {
+			return
+		}
+		if flusher != nil && i%64 == 63 {
+			flusher.Flush()
+		}
+	}
+}
+
+// routeRecorder captures one routed scan's response for batch assembly.
+type routeRecorder struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func (rr *routeRecorder) Header() http.Header {
+	if rr.header == nil {
+		rr.header = make(http.Header)
+	}
+	return rr.header
+}
+func (rr *routeRecorder) WriteHeader(status int) { rr.status = status }
+func (rr *routeRecorder) Write(p []byte) (int, error) {
+	if rr.status == 0 {
+		rr.status = http.StatusOK
+	}
+	return rr.body.Write(p)
+}
+
+// decodeBatch reads a batch body as a JSON array or NDJSON stream of
+// classify requests.
+func decodeBatch(r io.Reader) ([]server.ClassifyRequest, error) {
+	br := bytes.NewBuffer(nil)
+	if _, err := io.Copy(br, r); err != nil {
+		return nil, fmt.Errorf("read batch: %w", err)
+	}
+	data := bytes.TrimSpace(br.Bytes())
+	if len(data) == 0 {
+		return nil, errors.New("batch has no scans")
+	}
+	var reqs []server.ClassifyRequest
+	if data[0] == '[' {
+		if err := json.Unmarshal(data, &reqs); err != nil {
+			return nil, fmt.Errorf("decode batch: %w", err)
+		}
+		return reqs, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for {
+		var req server.ClassifyRequest
+		if err := dec.Decode(&req); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode batch: %w", err)
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs, nil
+}
+
+// handleRemoveMAC broadcasts a MAC retirement to every group's primary
+// and sums the touched-building counts.
+func (rt *Router) handleRemoveMAC(w http.ResponseWriter, r *http.Request) {
+	mac := r.PathValue("mac")
+	total := 0
+	found := false
+	var lastErr error
+	for gi := range rt.groups {
+		primary, ok := rt.pickPrimary(gi)
+		if !ok {
+			lastErr = fmt.Errorf("fleet: group %d has no primary", gi)
+			continue
+		}
+		status, data, err := rt.forward(r.Context(), http.MethodDelete, primary, "/v2/macs/"+mac, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch status {
+		case http.StatusOK:
+			var body struct {
+				Buildings int `json:"buildings"`
+			}
+			if err := json.Unmarshal(data, &body); err == nil {
+				total += body.Buildings
+			}
+			found = true
+		case http.StatusNotFound:
+		default:
+			lastErr = fmt.Errorf("fleet: retire on %s: %s", primary, errorMessage(data, status))
+		}
+	}
+	switch {
+	case found:
+		writeJSON(w, http.StatusOK, map[string]any{"mac": mac, "buildings": total})
+	case lastErr != nil:
+		writeJSONError(w, http.StatusBadGateway, lastErr)
+	default:
+		writeJSONError(w, http.StatusNotFound, fmt.Errorf("unknown MAC %q", mac))
+	}
+}
+
+// handleStats aggregates /v2/stats across groups (one node per group).
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	agg := server.StatsResponse{}
+	for gi := range rt.groups {
+		url, ok := rt.pickPrimary(gi)
+		if !ok {
+			if url, ok = rt.pickRead(gi); !ok {
+				continue
+			}
+		}
+		_, data, err := rt.forward(r.Context(), http.MethodGet, url, "/v2/stats", nil)
+		if err != nil {
+			continue
+		}
+		var st server.StatsResponse
+		if err := json.Unmarshal(data, &st); err != nil {
+			continue
+		}
+		agg.Buildings += st.Buildings
+		agg.Records += st.Records
+		agg.MACs += st.MACs
+		agg.Edges += st.Edges
+		agg.SamplerRebuildFailures += st.SamplerRebuildFailures
+		agg.PerBuilding = append(agg.PerBuilding, st.PerBuilding...)
+	}
+	sort.Slice(agg.PerBuilding, func(i, j int) bool {
+		return agg.PerBuilding[i].Building < agg.PerBuilding[j].Building
+	})
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// fleetStatus assembles the current topology view.
+func (rt *Router) fleetStatus() FleetStatus {
+	fs := FleetStatus{Healthy: true}
+	for gi := range rt.groups {
+		gs := GroupStatus{Index: gi, Key: groupKey(gi), Members: rt.groupStates(gi)}
+		for _, ms := range gs.Members {
+			if ms.Role == string(RolePrimary) && ms.Healthy {
+				gs.Primary = ms.URL
+				gs.Healthy = true
+			}
+		}
+		if !gs.Healthy {
+			fs.Healthy = false
+		}
+		fs.Groups = append(fs.Groups, gs)
+	}
+	return fs
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fs := rt.fleetStatus()
+	status := http.StatusOK
+	state := "ok"
+	if !fs.Healthy {
+		status = http.StatusServiceUnavailable
+		state = "degraded"
+	}
+	writeJSON(w, status, map[string]any{"status": state, "role": string(RoleRouter), "fleet": fs})
+}
+
+func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.fleetStatus())
+}
+
+// handleFleetPromote manually promotes ?member= (or the freshest
+// follower of ?group=).
+func (rt *Router) handleFleetPromote(w http.ResponseWriter, r *http.Request) {
+	pick := strings.TrimRight(r.URL.Query().Get("member"), "/")
+	gi := -1
+	if g := r.URL.Query().Get("group"); g != "" {
+		v, err := strconv.Atoi(g)
+		if err != nil || v < 0 || v >= len(rt.groups) {
+			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("bad group %q", g))
+			return
+		}
+		gi = v
+	}
+	if gi < 0 && pick != "" {
+		for i, g := range rt.groups {
+			for _, u := range g {
+				if u == pick {
+					gi = i
+				}
+			}
+		}
+	}
+	if gi < 0 {
+		writeJSONError(w, http.StatusBadRequest, errors.New("fleet: promote needs ?member= or ?group="))
+		return
+	}
+	var candidates []MemberState
+	for _, ms := range rt.groupStates(gi) {
+		if ms.Role == string(RoleFollower) && ms.Healthy {
+			candidates = append(candidates, ms)
+		}
+	}
+	target, err := rt.promoteGroup(r.Context(), gi, candidates, pick)
+	if err != nil {
+		writeJSONError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"promoted": target, "group": gi})
+}
+
+// handleFleetDrain toggles a member out of (or back into) read rotation.
+func (rt *Router) handleFleetDrain(w http.ResponseWriter, r *http.Request) {
+	member := strings.TrimRight(r.URL.Query().Get("member"), "/")
+	if member == "" {
+		writeJSONError(w, http.StatusBadRequest, errors.New("fleet: drain needs ?member="))
+		return
+	}
+	known := false
+	for _, g := range rt.groups {
+		for _, u := range g {
+			if u == member {
+				known = true
+			}
+		}
+	}
+	if !known {
+		writeJSONError(w, http.StatusNotFound, fmt.Errorf("fleet: unknown member %q", member))
+		return
+	}
+	undo := r.URL.Query().Get("undo") == "true"
+	rt.mu.Lock()
+	rt.drained[member] = !undo
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"member": member, "drained": !undo})
+}
+
+// handleFleetRebalance reports, without acting, where the ring would
+// place each building versus where it lives today. Moving a building
+// means retraining it on the target group's primary (models are not
+// shipped), so rebalancing stays a deliberate operator action.
+func (rt *Router) handleFleetRebalance(w http.ResponseWriter, r *http.Request) {
+	var moves []RebalanceMove
+	counts := make(map[string]int)
+	for gi := range rt.groups {
+		current := groupKey(gi)
+		seen := make(map[string]struct{})
+		for _, ms := range rt.groupStates(gi) {
+			for _, b := range ms.Buildings {
+				if _, dup := seen[b]; dup {
+					continue
+				}
+				seen[b] = struct{}{}
+				counts[current]++
+				if want := rt.ring.Owner(b); want != current {
+					moves = append(moves, RebalanceMove{Building: b, From: current, To: want})
+				}
+			}
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].Building < moves[j].Building })
+	writeJSON(w, http.StatusOK, map[string]any{
+		"moves":     moves,
+		"buildings": counts,
+		"note":      "plan only: apply by retraining the listed buildings on their target group",
+	})
+}
+
+// relay copies a node's raw response through.
+func relay(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// errorMessage extracts a node's {"error": ...} body, falling back to
+// the status code.
+func errorMessage(body []byte, status int) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	return http.StatusText(status)
+}
+
+func jsonError(err error) []byte {
+	data, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return data
+}
+
+func writeJSONError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(jsonError(err))
+}

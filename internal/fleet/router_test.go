@@ -1,0 +1,230 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/lifecycle"
+	"repro/internal/server"
+	"repro/internal/simulate"
+)
+
+// twoShardFleet boots two single-node shard groups over distinct
+// buildings from one simulated corpus (disjoint MAC spaces) plus a
+// router fronting both.
+func twoShardFleet(t *testing.T, ctx context.Context) (router *Router, rSrv *httptest.Server, pools [][]dataset.Record, nodes []*Node) {
+	t.Helper()
+	corpus, err := simulate.Generate(simulate.MicrosoftLike(2, 30, 7))
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	var urls []string
+	for bi := range corpus.Buildings {
+		b := &corpus.Buildings[bi]
+		rng := rand.New(rand.NewSource(int64(bi + 1)))
+		train, pool, err := dataset.Split(b, 0.7, rng)
+		if err != nil {
+			t.Fatalf("split: %v", err)
+		}
+		dataset.SelectLabels(train, 4, rng)
+		dir := t.TempDir()
+		m, err := lifecycle.Open(fastConfig(), lifecycle.Options{StateDir: dir, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("lifecycle.Open: %v", err)
+		}
+		if err := m.Portfolio().AddBuilding(b.Name, train); err != nil {
+			t.Fatalf("AddBuilding: %v", err)
+		}
+		if err := m.Snapshot(); err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		node, err := NewPrimaryNode(ctx, m, NodeOptions{StateDir: dir, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("NewPrimaryNode: %v", err)
+		}
+		srv := httptest.NewServer(node)
+		t.Cleanup(srv.Close)
+		t.Cleanup(func() { m.Close() })
+		urls = append(urls, srv.URL)
+		pools = append(pools, pool)
+		nodes = append(nodes, node)
+	}
+	router, err = NewRouter(RouterOptions{
+		Groups:         [][]string{{urls[0]}, {urls[1]}},
+		HealthInterval: 50 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	router.Start(ctx)
+	t.Cleanup(router.Stop)
+	rSrv = httptest.NewServer(router)
+	t.Cleanup(rSrv.Close)
+	return router, rSrv, pools, nodes
+}
+
+func TestRouterScatterAndWriteForwarding(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, rSrv, pools, nodes := twoShardFleet(t, ctx)
+
+	// Reads for either building resolve through the router to the right
+	// shard.
+	for gi := range pools {
+		status, body := postClassify(t, rSrv.URL, "/v2/classify", &pools[gi][0], false)
+		if status != http.StatusOK {
+			t.Fatalf("routed classify group %d: status %d body %v", gi, status, body)
+		}
+		wantBuilding := nodes[gi].Portfolio().Buildings()[0]
+		if got, _ := body["building"].(string); got != wantBuilding {
+			t.Fatalf("scan for group %d attributed to %q, want %q", gi, got, wantBuilding)
+		}
+	}
+
+	// An absorb via the router lands on exactly the owning shard's
+	// journal.
+	rec, mac := uniqueScan(pools[1][1], 7)
+	status, body := postClassify(t, rSrv.URL, "/v2/absorb", &rec, true)
+	if status != http.StatusOK {
+		t.Fatalf("routed absorb: status %d body %v", status, body)
+	}
+	owner := nodes[1].Portfolio().Buildings()[0]
+	sys1, err := nodes[1].Portfolio().System(owner)
+	if err != nil {
+		t.Fatalf("System: %v", err)
+	}
+	if !sys1.HasMAC(mac) {
+		t.Fatal("absorb did not reach the owning shard")
+	}
+	other := nodes[0].Portfolio().Buildings()[0]
+	sys0, err := nodes[0].Portfolio().System(other)
+	if err != nil {
+		t.Fatalf("System: %v", err)
+	}
+	if sys0.HasMAC(mac) {
+		t.Fatal("absorb leaked to a non-owning shard")
+	}
+
+	// A scan no shard can attribute is a 422.
+	junk := dataset.Record{ID: "junk", Readings: []dataset.Reading{{MAC: "de:ad:be:ef:00:01", RSS: -40}}}
+	if status, _ := postClassify(t, rSrv.URL, "/v2/classify", &junk, false); status != http.StatusUnprocessableEntity {
+		t.Fatalf("unattributable scan: status %d, want 422", status)
+	}
+}
+
+func TestRouterBatchStatsAndAdmin(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	router, rSrv, pools, _ := twoShardFleet(t, ctx)
+
+	// Batch: scans from both shards, NDJSON back in order.
+	var lines []string
+	for gi := range pools {
+		b, _ := json.Marshal(map[string]any{"id": fmt.Sprintf("g%d", gi), "readings": pools[gi][2].Readings})
+		lines = append(lines, string(b))
+	}
+	resp, err := http.Post(rSrv.URL+"/v2/classify/batch", "application/x-ndjson", strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for gi := 0; gi < 2; gi++ {
+		var item server.StreamItem
+		if err := dec.Decode(&item); err != nil {
+			t.Fatalf("decode batch line %d: %v", gi, err)
+		}
+		if item.ID != fmt.Sprintf("g%d", gi) || item.Result == nil {
+			t.Fatalf("batch line %d: %+v", gi, item)
+		}
+	}
+
+	// Stats aggregate across shards.
+	sResp, err := http.Get(rSrv.URL + "/v2/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer sResp.Body.Close()
+	var stats server.StatsResponse
+	if err := json.NewDecoder(sResp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if stats.Buildings != 2 || len(stats.PerBuilding) != 2 {
+		t.Fatalf("aggregated stats: %+v", stats)
+	}
+
+	// Fleet admin: healthy topology with one primary per group.
+	fResp, err := http.Get(rSrv.URL + "/v2/admin/fleet")
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	defer fResp.Body.Close()
+	var fs FleetStatus
+	if err := json.NewDecoder(fResp.Body).Decode(&fs); err != nil {
+		t.Fatalf("decode fleet: %v", err)
+	}
+	if !fs.Healthy || len(fs.Groups) != 2 || fs.Groups[0].Primary == "" || fs.Groups[1].Primary == "" {
+		t.Fatalf("fleet status: %+v", fs)
+	}
+	if got := httpStatus(t, rSrv.URL+"/v2/healthz"); got != http.StatusOK {
+		t.Fatalf("router healthz: %d", got)
+	}
+
+	// Rebalance is a plan, not an action: it answers 200 and moves
+	// nothing.
+	before := router.fleetStatus()
+	rbResp, err := http.Get(rSrv.URL + "/v2/admin/fleet/rebalance")
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	defer rbResp.Body.Close()
+	var plan struct {
+		Moves     []RebalanceMove `json:"moves"`
+		Buildings map[string]int  `json:"buildings"`
+	}
+	if err := json.NewDecoder(rbResp.Body).Decode(&plan); err != nil {
+		t.Fatalf("decode rebalance: %v", err)
+	}
+	total := 0
+	for _, n := range plan.Buildings {
+		total += n
+	}
+	if total != 2 {
+		t.Fatalf("rebalance building census: %+v", plan.Buildings)
+	}
+	after := router.fleetStatus()
+	if len(before.Groups) != len(after.Groups) {
+		t.Fatal("rebalance mutated topology")
+	}
+
+	// Drain pulls a member out of rotation and undo restores it.
+	member := fs.Groups[0].Primary
+	dResp, err := http.Post(rSrv.URL+"/v2/admin/fleet/drain?member="+member, "", nil)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	dResp.Body.Close()
+	if status, _ := postClassify(t, rSrv.URL, "/v2/classify", &pools[0][3], false); status != http.StatusBadGateway && status != http.StatusUnprocessableEntity {
+		t.Fatalf("classify with sole member drained: status %d, want no serving member", status)
+	}
+	uResp, err := http.Post(rSrv.URL+"/v2/admin/fleet/drain?member="+member+"&undo=true", "", nil)
+	if err != nil {
+		t.Fatalf("undo drain: %v", err)
+	}
+	uResp.Body.Close()
+	if status, _ := postClassify(t, rSrv.URL, "/v2/classify", &pools[0][3], false); status != http.StatusOK {
+		t.Fatalf("classify after undo drain: status %d", status)
+	}
+}

@@ -198,24 +198,12 @@ func OpenCtx(ctx context.Context, cfg core.Config, opts Options) (*Manager, erro
 				// Abort the boot: a half-replayed portfolio must not open.
 				return err
 			}
-			if r.RetireMAC != "" {
-				// ErrUnknownMAC just means no restored building holds the
-				// AP anymore (e.g. retired again after a re-absorb) —
-				// already the desired end state.
-				if _, rerr := p.RemoveMAC(r.RetireMAC); rerr != nil && !errors.Is(rerr, portfolio.ErrUnknownMAC) {
-					skipped++
-					logf("lifecycle: replay: skipping retirement of %q: %v", r.RetireMAC, rerr)
-				} else {
-					replayed++
-				}
-				return nil
-			}
-			if _, aerr := p.AbsorbBuilding(ctx, r.Building, &r.Scan); aerr != nil {
+			if aerr := ApplyRecord(ctx, p, r); aerr != nil {
 				// A record for a building the snapshot doesn't know (or a
 				// scan the restored model rejects) cannot be replayed;
 				// dropping it beats refusing to boot the whole fleet.
 				skipped++
-				logf("lifecycle: replay: skipping %q for %q: %v", r.Scan.ID, r.Building, aerr)
+				logf("lifecycle: replay: skipping %s: %v", describeRecord(&r), aerr)
 			} else {
 				replayed++
 			}
@@ -270,8 +258,129 @@ func OpenCtx(ctx context.Context, cfg core.Config, opts Options) (*Manager, erro
 	return m, nil
 }
 
+// Manage wraps an already-populated portfolio in a Manager without any
+// restore: no snapshot load, no WAL replay — the portfolio is taken as
+// the current truth. This is the replication promotion path: a follower
+// that has applied the shipped log up to the primary's death already
+// holds the freshest state in memory, and wrapping it (rather than
+// re-opening from disk) turns it into a primary without a restart. With
+// a StateDir, Manage opens a fresh journal and immediately snapshots the
+// adopted fleet, so the new primary's durability contract starts at the
+// moment of promotion; any stale WAL content under StateDir from an
+// earlier incarnation is superseded by that snapshot.
+func Manage(p *portfolio.Portfolio, opts Options) (*Manager, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	if opts.Policy.CheckInterval <= 0 {
+		opts.Policy.CheckInterval = time.Minute
+	}
+	var jrnl *wal.Log
+	if opts.StateDir != "" {
+		walDir := opts.WAL
+		walDir.Dir = walPath(opts.StateDir)
+		var err error
+		jrnl, err = wal.Open(walDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// grafics:ctxok manager-lifetime root: refits are cancelled by Close
+	refitCtx, refitCancel := context.WithCancel(context.Background())
+	m := &Manager{
+		p:           p,
+		log:         jrnl,
+		stateDir:    opts.StateDir,
+		policy:      opts.Policy,
+		logf:        logf,
+		now:         now,
+		st:          make(map[string]*buildingState),
+		stop:        make(chan struct{}),
+		refitCtx:    refitCtx,
+		refitCancel: refitCancel,
+	}
+	if m.stateDir != "" {
+		if err := m.Snapshot(); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("lifecycle: adoption snapshot: %w", err)
+		}
+	}
+	if m.policy.MaxModelAge > 0 {
+		m.wg.Add(1)
+		go m.ageLoop()
+	}
+	return m, nil
+}
+
+// WALPosition reports the journal's replication coordinates: its epoch
+// (changes on every truncation) and the current append position. ok is
+// false when the manager runs without durability (no WAL to replicate).
+func (m *Manager) WALPosition() (epoch string, pos wal.Position, ok bool) {
+	if m.log == nil {
+		return "", wal.Position{}, false
+	}
+	return m.log.Epoch(), m.log.Position(), true
+}
+
+// CaptureSnapshot writes a consistent point-in-time snapshot of the
+// fleet into dir — not the manager's state directory; the journal is NOT
+// truncated — and returns the WAL epoch and append position the snapshot
+// corresponds to. It holds the exclusive writer lock, so no absorb is
+// mid-journal while the portfolio is saved: every record at or past the
+// returned position is exactly the set of writes the snapshot does not
+// contain. This is the replication bootstrap source — a follower restores
+// the captured snapshot and tails the WAL from the returned position.
+func (m *Manager) CaptureSnapshot(dir string) (epoch string, pos wal.Position, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.p.Save(dir); err != nil {
+		return "", wal.Position{}, err
+	}
+	if m.log != nil {
+		epoch = m.log.Epoch()
+		pos = m.log.Position()
+	}
+	return epoch, pos, nil
+}
+
 // walPath returns the WAL directory under a state dir.
 func walPath(stateDir string) string { return filepath.Join(stateDir, walSubdir) }
+
+// WALDir exposes the WAL directory under a state dir — where a
+// replication source finds the raw segment files to ship.
+func WALDir(stateDir string) string { return walPath(stateDir) }
+
+// ApplyRecord applies one journaled record to a portfolio: an absorb is
+// routed to its attributed building (no re-attribution — the journal
+// already knows the owner), a retirement is re-run fleet-wide. This is
+// the single replay path shared by boot-time WAL recovery and by
+// replication followers applying a shipped log, so the two can never
+// drift in how they interpret a record. ErrUnknownMAC on a retirement is
+// not an error: no restored building holds the AP anymore (e.g. retired
+// again after a re-absorb), which is already the desired end state.
+func ApplyRecord(ctx context.Context, p *portfolio.Portfolio, r wal.Record) error {
+	if r.RetireMAC != "" {
+		if _, err := p.RemoveMAC(r.RetireMAC); err != nil && !errors.Is(err, portfolio.ErrUnknownMAC) {
+			return err
+		}
+		return nil
+	}
+	_, err := p.AbsorbBuilding(ctx, r.Building, &r.Scan)
+	return err
+}
+
+// describeRecord names a record for log lines.
+func describeRecord(r *wal.Record) string {
+	if r.RetireMAC != "" {
+		return fmt.Sprintf("retirement of %q", r.RetireMAC)
+	}
+	return fmt.Sprintf("absorb %q for %q", r.Scan.ID, r.Building)
+}
 
 // Portfolio returns the managed portfolio, for registration
 // (AddBuilding) and read paths that want to skip the Manager.

@@ -268,6 +268,31 @@ func (p *Portfolio) ReplaceSystem(name string, sys *core.System) error {
 	return nil
 }
 
+// Adopt atomically replaces p's entire fleet — systems and attribution
+// index — with other's. Classifications in flight finish against the old
+// fleet; every later attribution sees the new one. This is the
+// replication re-bootstrap path: a follower whose upstream truncated its
+// WAL loads the fresh snapshot into a throwaway portfolio and adopts it,
+// keeping the *Portfolio identity its HTTP handler and router hold
+// stable. The donor must be discarded after Adopt (its maps are shared,
+// not copied deeply).
+func (p *Portfolio) Adopt(other *Portfolio) {
+	other.mu.RLock()
+	systems := make(map[string]*core.System, len(other.systems))
+	for name, sys := range other.systems {
+		systems[name] = sys
+	}
+	macIndex := make(map[string]map[string]struct{}, len(other.macIndex))
+	for name, macs := range other.macIndex {
+		macIndex[name] = macs
+	}
+	other.mu.RUnlock()
+	p.mu.Lock()
+	p.systems = systems
+	p.macIndex = macIndex
+	p.mu.Unlock()
+}
+
 // AbsorbBuilding classifies a scan directly against a named building with
 // WithAbsorb forced, keeping the attribution MAC index in step — the
 // warm-restart path, where the write-ahead log already knows which

@@ -51,11 +51,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/lifecycle"
 	"repro/internal/portfolio"
+	"repro/internal/wal"
 )
 
 // Router is the write-path entry point the HTTP surface talks to:
@@ -104,6 +106,12 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// ErrReadOnly is returned by a Router that serves a read-only replica: a
+// write (absorb, MAC retirement) reached a node that cannot journal it.
+// The HTTP surface maps it to 421 Misdirected Request — the client (or
+// the fleet routing tier) should resend the write to the primary.
+var ErrReadOnly = errors.New("server: read-only replica, writes go to the primary")
+
 // maxBodyBytes bounds single-scan request bodies; a WiFi scan is a few KB
 // at most.
 const maxBodyBytes = 1 << 20
@@ -114,11 +122,66 @@ const maxBatchBytes = 32 << 20
 // maxBatchScans caps how many scans one batch request may carry.
 const maxBatchScans = 10000
 
+// ReplInfo describes a node's replication state, reported by /v2/healthz
+// and /v2/stats when the handler is built with Options.Repl (a fleet
+// deployment; a standalone daemon has no replication to report). The
+// positions are WAL coordinates in the primary's epoch.
+type ReplInfo struct {
+	// Role is the node's serving role: "single", "primary", or
+	// "follower".
+	Role string `json:"role"`
+	// Primary is the upstream base URL a follower replicates from.
+	Primary string `json:"primary,omitempty"`
+	// Epoch identifies the WAL segment numbering the positions live in;
+	// it changes whenever the primary truncates its log.
+	Epoch string `json:"epoch,omitempty"`
+	// Applied is the WAL position up to which this node has applied
+	// records (a primary has applied everything it has journaled).
+	Applied wal.Position `json:"applied"`
+	// Mirrored is the WAL position up to which this node holds durable
+	// journal bytes (a follower mirrors slightly ahead of applying; a
+	// primary's mirror is its own log). Failover picks the follower with
+	// the highest Mirrored position, since promotion drains the mirror
+	// before serving.
+	Mirrored wal.Position `json:"mirrored"`
+	// Source is the upstream's append position at the last sync (for a
+	// primary, its own).
+	Source wal.Position `json:"source"`
+	// LagBytes is how many journal bytes the node is behind its source;
+	// AppliedRecords counts records applied since the current epoch
+	// began.
+	LagBytes       int64 `json:"lag_bytes"`
+	AppliedRecords int   `json:"applied_records"`
+	// LagBoundBytes is the configured readiness bound: a follower is
+	// Ready only while LagBytes stays within it.
+	LagBoundBytes int64 `json:"lag_bound_bytes,omitempty"`
+	// Ready reports whether the node should receive read traffic: a
+	// follower is ready only once bootstrapped and caught up within the
+	// lag bound.
+	Ready bool `json:"ready"`
+	// LastSync is when the node last heard from its source.
+	LastSync time.Time `json:"last_sync,omitempty"`
+	// Error is the most recent replication failure, empty while healthy.
+	Error string `json:"error,omitempty"`
+}
+
+// Options configures NewHandler beyond the plain read-only surface.
+type Options struct {
+	// Lifecycle, when set, mounts the /v2/admin routes (snapshot, refit,
+	// lifecycle status). The Router passed to NewHandler should then be
+	// the manager (or wrap it) so absorbs are journaled.
+	Lifecycle *lifecycle.Manager
+	// Repl, when set, reports the node's replication state: /v2/healthz
+	// gates readiness on it (a lagging follower answers 503 so load
+	// balancers stop routing reads to it) and /v2/stats embeds it.
+	Repl func() ReplInfo
+}
+
 // Handler builds the HTTP handler (v1 and v2 surfaces) over a trained
 // portfolio. Absorbs taken through this handler live only in process
 // memory; use HandlerWithLifecycle for the durable deployment.
 func Handler(p *portfolio.Portfolio) http.Handler {
-	return buildHandler(p, p, nil)
+	return NewHandler(p, p, Options{})
 }
 
 // HandlerWithLifecycle builds the HTTP handler over a lifecycle-managed
@@ -126,14 +189,24 @@ func Handler(p *portfolio.Portfolio) http.Handler {
 // counters advance, and the /v2/admin routes (snapshot, refit,
 // lifecycle status) are mounted.
 func HandlerWithLifecycle(m *lifecycle.Manager) http.Handler {
-	return buildHandler(m.Portfolio(), m, m)
+	return NewHandler(m.Portfolio(), m, Options{Lifecycle: m})
+}
+
+// NewHandler builds the HTTP handler with explicit wiring: p serves the
+// registration-level reads, rt the classifications (absorbs included),
+// and opts attaches the lifecycle admin surface and replication
+// reporting. The fleet node roles (primary, follower) use this
+// constructor to interpose their own Router while keeping the whole v1
+// and v2 surface.
+func NewHandler(p *portfolio.Portfolio, rt Router, opts Options) http.Handler {
+	return buildHandler(p, rt, opts)
 }
 
 // buildHandler mounts every route over the portfolio (registration-level
 // reads) and the router (classification, absorbs).
-func buildHandler(p *portfolio.Portfolio, rt Router, m *lifecycle.Manager) http.Handler {
+func buildHandler(p *portfolio.Portfolio, rt Router, opts Options) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", healthz(p))
+	mux.HandleFunc("GET /v1/healthz", healthz(p, opts.Repl))
 	mux.HandleFunc("GET /v1/buildings", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, p.Buildings())
 	})
@@ -212,24 +285,36 @@ func buildHandler(p *portfolio.Portfolio, rt Router, m *lifecycle.Manager) http.
 			Result:   res,
 		}))
 	})
-	registerV2(mux, p, rt)
-	if m != nil {
-		registerAdmin(mux, m)
+	registerV2(mux, p, rt, opts.Repl)
+	if opts.Lifecycle != nil {
+		registerAdmin(mux, opts.Lifecycle)
 	}
 	return mux
 }
 
 // healthz reports readiness, not just liveness: a portfolio with no
 // trained buildings answers 503 so load balancers don't route traffic to
-// cold instances that would reject every scan.
-func healthz(p *portfolio.Portfolio) http.HandlerFunc {
+// cold instances that would reject every scan, and a replication
+// follower answers 503 until it has bootstrapped and caught up within
+// its configured lag bound — a stale follower serving reads would answer
+// with classifications the fleet has already outgrown.
+func healthz(p *portfolio.Portfolio, repl func() ReplInfo) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		n := len(p.Buildings())
 		status, state := http.StatusOK, "ok"
 		if n == 0 {
 			status, state = http.StatusServiceUnavailable, "empty"
 		}
-		writeJSON(w, status, map[string]any{"status": state, "buildings": n})
+		body := map[string]any{"buildings": n}
+		if repl != nil {
+			ri := repl()
+			if status == http.StatusOK && !ri.Ready {
+				status, state = http.StatusServiceUnavailable, "lagging"
+			}
+			body["replication"] = ri
+		}
+		body["status"] = state
+		writeJSON(w, status, body)
 	}
 }
 
@@ -276,6 +361,8 @@ func predictStatus(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, portfolio.ErrAmbiguousMatch):
 		return http.StatusConflict
+	case errors.Is(err, ErrReadOnly):
+		return http.StatusMisdirectedRequest
 	case errors.Is(err, portfolio.ErrNoBuildings),
 		errors.Is(err, core.ErrNotTrained):
 		return http.StatusServiceUnavailable

@@ -112,6 +112,99 @@ func TestHealthzNotReady(t *testing.T) {
 	}
 }
 
+// TestHealthzReplication: with Options.Repl wired, /v2/healthz gates
+// readiness on the replication state (a lagging or stale follower must
+// answer 503 "lagging" so load balancers stop routing reads to it) and
+// /v2/stats embeds the report.
+func TestHealthzReplication(t *testing.T) {
+	p, _ := testPortfolio(t)
+	cases := []struct {
+		name       string
+		repl       ReplInfo
+		wantStatus int
+		wantState  string
+	}{
+		{
+			name:       "caught-up follower",
+			repl:       ReplInfo{Role: "follower", Ready: true, LagBytes: 12},
+			wantStatus: http.StatusOK,
+			wantState:  "ok",
+		},
+		{
+			name:       "lagging follower",
+			repl:       ReplInfo{Role: "follower", Ready: false, LagBytes: 5 << 20},
+			wantStatus: http.StatusServiceUnavailable,
+			wantState:  "lagging",
+		},
+		{
+			name:       "primary always ready",
+			repl:       ReplInfo{Role: "primary", Ready: true},
+			wantStatus: http.StatusOK,
+			wantState:  "ok",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ri := tc.repl
+			srv := httptest.NewServer(NewHandler(p, p, Options{Repl: func() ReplInfo { return ri }}))
+			defer srv.Close()
+
+			resp, err := http.Get(srv.URL + "/v2/healthz")
+			if err != nil {
+				t.Fatalf("GET: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("healthz status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			var body struct {
+				Status      string    `json:"status"`
+				Replication *ReplInfo `json:"replication"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if body.Status != tc.wantState {
+				t.Fatalf("healthz state = %q, want %q", body.Status, tc.wantState)
+			}
+			if body.Replication == nil || body.Replication.Role != tc.repl.Role || body.Replication.LagBytes != tc.repl.LagBytes {
+				t.Fatalf("healthz replication = %+v, want role %q lag %d", body.Replication, tc.repl.Role, tc.repl.LagBytes)
+			}
+
+			// /v2/stats carries the same report.
+			sResp, err := http.Get(srv.URL + "/v2/stats")
+			if err != nil {
+				t.Fatalf("GET stats: %v", err)
+			}
+			defer sResp.Body.Close()
+			var stats StatsResponse
+			if err := json.NewDecoder(sResp.Body).Decode(&stats); err != nil {
+				t.Fatalf("decode stats: %v", err)
+			}
+			if stats.Replication == nil || stats.Replication.Role != tc.repl.Role || stats.Replication.Ready != tc.repl.Ready {
+				t.Fatalf("stats replication = %+v, want %+v", stats.Replication, tc.repl)
+			}
+		})
+	}
+
+	// Without Options.Repl the report is absent entirely — the standalone
+	// daemon's wire shape is unchanged.
+	srv := httptest.NewServer(Handler(p))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v2/healthz")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if _, ok := raw["replication"]; ok {
+		t.Fatal("standalone healthz should not report replication")
+	}
+}
+
 func TestBuildings(t *testing.T) {
 	srv, tests := testServer(t)
 	resp, err := http.Get(srv.URL + "/v1/buildings")

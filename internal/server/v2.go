@@ -78,6 +78,9 @@ type StatsResponse struct {
 	// which, and for the most recent error).
 	SamplerRebuildFailures int64               `json:"sampler_rebuild_failures"`
 	PerBuilding            []BuildingStatsItem `json:"per_building"`
+	// Replication reports the node's role, applied WAL position, and lag
+	// in a fleet deployment; absent on a standalone daemon.
+	Replication *ReplInfo `json:"replication,omitempty"`
 }
 
 // BuildingStatsItem is one building's graph statistics.
@@ -104,8 +107,8 @@ const ndjsonChunkSize = 64
 // registerV2 mounts the v2 routes on mux. Classification goes through rt
 // so an attached lifecycle manager sees (and journals) every absorb;
 // fleet-level reads and MAC retirement address the portfolio directly.
-func registerV2(mux *http.ServeMux, p *portfolio.Portfolio, rt Router) {
-	mux.HandleFunc("GET /v2/healthz", healthz(p))
+func registerV2(mux *http.ServeMux, p *portfolio.Portfolio, rt Router, repl func() ReplInfo) {
+	mux.HandleFunc("GET /v2/healthz", healthz(p, repl))
 	mux.HandleFunc("POST /v2/classify", classifyV2(rt, false))
 	mux.HandleFunc("POST /v2/absorb", classifyV2(rt, true))
 	mux.HandleFunc("POST /v2/classify/batch", classifyBatchV2(rt))
@@ -135,6 +138,10 @@ func registerV2(mux *http.ServeMux, p *portfolio.Portfolio, rt Router) {
 			resp.MACs += b.MACs
 			resp.Edges += b.Edges
 			resp.SamplerRebuildFailures += b.SamplerRebuildFailures
+		}
+		if repl != nil {
+			ri := repl()
+			resp.Replication = &ri
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})

@@ -1,0 +1,366 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+// collectFrom replays dir from a position into a slice.
+func collectFrom(t *testing.T, dir string, from Position) ([]Record, Position) {
+	t.Helper()
+	var out []Record
+	pos, n, err := ReplayFrom(dir, from, func(r Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplayFrom(%v): %v", from, err)
+	}
+	if n != len(out) {
+		t.Fatalf("ReplayFrom reported %d records, delivered %d", n, len(out))
+	}
+	return out, pos
+}
+
+func TestSegmentsEnumeration(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := l.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("got %d segments, want rotation to have produced >= 2", len(segs))
+	}
+	for i, s := range segs {
+		final := i == len(segs)-1
+		if s.Sealed == final {
+			t.Errorf("segment %d sealed=%v; want every segment but the live tail sealed", s.Index, s.Sealed)
+		}
+		if s.Size <= 0 {
+			t.Errorf("segment %d has size %d", s.Index, s.Size)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close seals the tail: now every segment is immutable.
+	segs, err = Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if !s.Sealed {
+			t.Errorf("segment %d unsealed after Close", s.Index)
+		}
+	}
+}
+
+func TestReplayFromTailsIncrementally(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	pos := l.Position()
+	var got []Record
+	total := 0
+	for i := 0; i < 30; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+		// Tail after every single append: each incremental replay must
+		// deliver exactly the one new record, across seals and rotations.
+		recs, next := collectFrom(t, dir, pos)
+		got = append(got, recs...)
+		total += len(recs)
+		if len(recs) != 1 {
+			t.Fatalf("append %d: incremental replay delivered %d records, want 1", i, len(recs))
+		}
+		if next.Less(pos) {
+			t.Fatalf("append %d: resume position went backwards: %v -> %v", i, pos, next)
+		}
+		pos = next
+	}
+	if total != 30 {
+		t.Fatalf("tailed %d records, want 30", total)
+	}
+	for i, r := range got {
+		if want := testRecord(i); r.Scan.ID != want.Scan.ID {
+			t.Fatalf("record %d: got %q, want %q", i, r.Scan.ID, want.Scan.ID)
+		}
+	}
+	// A tail at the live position is a clean no-op.
+	recs, next := collectFrom(t, dir, pos)
+	if len(recs) != 0 || next != pos {
+		t.Fatalf("tail at head delivered %d records, moved %v -> %v", len(recs), pos, next)
+	}
+}
+
+// TestReplayFromMidSegment starts a replay at the exact byte offset of a
+// later record and checks earlier records are skipped, not redelivered.
+func TestReplayFromMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var marks []Position
+	for i := 0; i < 10; i++ {
+		marks = append(marks, l.Position())
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, mark := range marks {
+		recs, _ := collectFrom(t, dir, mark)
+		if len(recs) != 10-i {
+			t.Fatalf("replay from record %d's offset delivered %d records, want %d", i, len(recs), 10-i)
+		}
+		if recs[0].Scan.ID != testRecord(i).Scan.ID {
+			t.Fatalf("replay from record %d's offset starts at %q", i, recs[0].Scan.ID)
+		}
+	}
+}
+
+// TestReplayFromSealAdvances: resuming exactly past a seal parks the
+// position at the next segment, and replaying from there works whether or
+// not that segment exists yet.
+func TestReplayFromSealAdvances(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // seals segment 0
+		t.Fatal(err)
+	}
+	recs, pos := collectFrom(t, dir, Position{})
+	if len(recs) != 1 {
+		t.Fatalf("delivered %d records, want 1", len(recs))
+	}
+	if pos.Seg != 1 || pos.Off != 0 {
+		t.Fatalf("resume after seal = %v, want 1:0", pos)
+	}
+	// Segment 1 does not exist yet: replaying from the parked position is
+	// a clean no-op.
+	recs, pos2 := collectFrom(t, dir, pos)
+	if len(recs) != 0 || pos2 != pos {
+		t.Fatalf("replay past the seal delivered %d records at %v", len(recs), pos2)
+	}
+	// A reopen creates segment 1; the parked position picks it up.
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.Append(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = collectFrom(t, dir, pos)
+	if len(recs) != 1 || recs[0].Scan.ID != testRecord(1).Scan.ID {
+		t.Fatalf("replay across the reopen delivered %v", recs)
+	}
+}
+
+// TestReplayFromSkipsCrashDebris reproduces PR 6's double-crash shape at
+// the ReplayFrom level: a torn tail in a non-final unsealed segment is
+// skipped cleanly (the next Open started a fresh segment after it), and
+// the resume position lands past the debris, not inside it.
+func TestReplayFromSkipsCrashDebris(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: no Close, no seal. Tear the tail by truncating mid-frame.
+	path := SegmentPath(dir, 0)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	// The next boot opens a fresh segment after the debris.
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(testRecord(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, pos := collectFrom(t, dir, Position{})
+	if len(recs) != 3 {
+		t.Fatalf("delivered %d records, want 3 (two before the tear, one after)", len(recs))
+	}
+	if recs[2].Scan.ID != testRecord(3).Scan.ID {
+		t.Fatalf("last record %q, want the post-crash append", recs[2].Scan.ID)
+	}
+	if pos.Seg != 2 {
+		t.Fatalf("resume position %v, want past the sealed post-crash segment", pos)
+	}
+}
+
+// TestReplayFromTornTailInSealedSegmentIsCorrupt: the same damage inside
+// a sealed segment must surface as ErrCorrupt, never be skipped.
+func TestReplayFromTornTailInSealedSegmentIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte mid-segment; the seal at the end is intact.
+	path := SegmentPath(dir, 0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReplayFrom(dir, Position{}, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReplayFrom over a damaged sealed segment = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReplayFromGoneAfterReset: a position taken before a truncation is
+// rejected with ErrGone, and the epoch changes so a consumer can detect
+// the truncation without ever replaying.
+func TestReplayFromGoneAfterReset(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 20; i++ { // rotate past segment 0
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pos := l.Position()
+	if pos.Seg == 0 {
+		t.Fatal("test needs rotation past segment 0")
+	}
+	before := l.Epoch()
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if after := l.Epoch(); after == before || after == "" {
+		t.Fatalf("epoch %q unchanged across Reset", after)
+	}
+	// Reset renumbers from segment 0, so the held position's segment is
+	// numerically beyond the log: a replay from it silently delivering
+	// nothing would be correct-looking and wrong. The epoch mismatch is
+	// the contract; ReplayFrom's ErrGone covers the positions that are
+	// detectably stale even without the epoch.
+	if err := l.Append(testRecord(99)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayFrom(dir, Position{Seg: -1}, func(Record) error { return nil }); err == nil {
+		t.Fatal("negative position accepted")
+	}
+}
+
+// TestReplayFromErrGone: with the oldest segments deleted (retention), a
+// position inside them is ErrGone.
+func TestReplayFromErrGone(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("got %d segments, want >= 3", len(segs))
+	}
+	if err := os.Remove(SegmentPath(dir, segs[0].Index)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReplayFrom(dir, Position{Seg: segs[0].Index}, func(Record) error { return nil })
+	if !errors.Is(err, ErrGone) {
+		t.Fatalf("ReplayFrom below the oldest segment = %v, want ErrGone", err)
+	}
+	// From the surviving segments it replays fine.
+	recs, _ := collectFrom(t, dir, Position{Seg: segs[1].Index})
+	if len(recs) == 0 {
+		t.Fatal("no records from the surviving segments")
+	}
+}
+
+// TestPositionCoversCommittedBytes: Position never points into a torn
+// frame — a reader that stays below it sees only complete frames.
+func TestPositionCoversCommittedBytes(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+		pos := l.Position()
+		fi, err := os.Stat(SegmentPath(dir, pos.Seg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != pos.Off {
+			t.Fatalf("append %d: segment size %d != position offset %d", i, fi.Size(), pos.Off)
+		}
+		recs, resume := collectFrom(t, dir, Position{Seg: pos.Seg})
+		if len(recs) != i+1 {
+			t.Fatalf("append %d: %d records below position, want %d", i, len(recs), i+1)
+		}
+		if resume != pos {
+			t.Fatalf("append %d: replay resume %v != position %v", i, resume, pos)
+		}
+	}
+}

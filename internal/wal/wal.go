@@ -23,8 +23,10 @@ package wal
 
 import (
 	"bytes"
+	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/gob"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -33,6 +35,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dataset"
 )
@@ -96,6 +99,44 @@ const (
 // payload does not decode — real corruption, not a torn append.
 var ErrCorrupt = errors.New("wal: corrupt frame")
 
+// ErrGone reports a ReplayFrom position that predates the oldest segment
+// on disk: the log was truncated (Reset) since the position was taken,
+// so the records between the position and the current log head no longer
+// exist. A replication follower seeing ErrGone (or an epoch change) must
+// re-bootstrap from a snapshot instead of tailing.
+var ErrGone = errors.New("wal: position predates the log")
+
+// Position addresses a byte inside the log: a segment index plus a byte
+// offset into that segment file. Positions are comparable only within
+// one epoch — a Reset renumbers segments from zero and changes the
+// epoch, invalidating every earlier position.
+type Position struct {
+	// Seg is the segment index (the number in the file name).
+	Seg int `json:"seg"`
+	// Off is the byte offset into that segment.
+	Off int64 `json:"off"`
+}
+
+// Less orders positions within one epoch.
+func (p Position) Less(q Position) bool {
+	return p.Seg < q.Seg || (p.Seg == q.Seg && p.Off < q.Off)
+}
+
+// String formats a position as seg:off.
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Seg, p.Off) }
+
+// SegmentInfo describes one on-disk segment file.
+type SegmentInfo struct {
+	// Index is the segment number in the file name.
+	Index int `json:"index"`
+	// Size is the file size in bytes (seal marker included when sealed).
+	Size int64 `json:"size"`
+	// Sealed reports whether the segment ends with the end-of-segment
+	// seal, i.e. it was completed by a graceful rotation or Close and is
+	// immutable — safe to ship whole to a replica.
+	Sealed bool `json:"sealed"`
+}
+
 // Log is an open write-ahead log. It is safe for concurrent use.
 type Log struct {
 	opts Options // immutable after Open
@@ -113,6 +154,23 @@ type Log struct {
 	unsynced int // appends since the last fsync
 	// grafics:guardedby mu
 	closed bool
+	// epoch names this log's segment numbering: regenerated at Open and
+	// at every Reset, so a position taken before a truncation can never
+	// be confused with the same (seg, off) coordinates afterwards.
+	//
+	// grafics:guardedby mu
+	epoch string
+}
+
+// newEpoch mints a fresh epoch identifier.
+func newEpoch() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// The clock fallback is still unique enough per process: epochs
+		// only ever need to differ from each other, not be unguessable.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Open creates (or reuses) the log directory and starts a fresh segment
@@ -139,7 +197,7 @@ func Open(opts Options) (*Log, error) {
 	if len(segs) > 0 {
 		next = segs[len(segs)-1] + 1
 	}
-	l := &Log{opts: opts, seg: next - 1}
+	l := &Log{opts: opts, seg: next - 1, epoch: newEpoch()}
 	// grafics:lockok pre-publication: l is local until Open returns
 	if err := l.rotateLocked(); err != nil {
 		return nil, err
@@ -380,8 +438,32 @@ func (l *Log) Reset() error {
 	l.seg = -1
 	l.appended = 0
 	l.unsynced = 0
+	l.epoch = newEpoch()
 	return l.rotateLocked()
 }
+
+// Epoch identifies this log's segment numbering. It changes at every
+// Reset (and at Open), so a replication consumer comparing epochs can
+// tell "the log grew" from "the log was truncated and renumbered".
+func (l *Log) Epoch() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// Position returns the current append position: every record appended so
+// far lives strictly below it, and bytes below it are fully written
+// (Append bumps the offset only after its single Write call returns), so
+// a concurrent reader that stays below Position never observes a torn
+// frame.
+func (l *Log) Position() Position {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Position{Seg: l.seg, Off: l.segSize}
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.opts.Dir }
 
 // Close flushes and closes the log.
 func (l *Log) Close() error {
@@ -430,29 +512,45 @@ func Replay(dir string, fn func(Record) error) (int, error) {
 // replaySegment replays one segment file up to its seal, its torn tail,
 // or its end.
 func replaySegment(path string, fn func(Record) error) (int, error) {
+	n, _, _, err := replaySegmentFrom(path, 0, fn)
+	return n, err
+}
+
+// replaySegmentFrom replays one segment file starting at byte offset off,
+// up to its seal, its torn tail, or its end. It returns the number of
+// records delivered, the resume offset (the first byte not consumed: the
+// byte after the seal, the start of a torn frame, or end-of-file), and
+// whether the seal terminated the segment.
+func replaySegmentFrom(path string, off int64, fn func(Record) error) (n int, resume int64, sealed bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, fmt.Errorf("wal: open segment: %w", err)
+		return 0, off, false, fmt.Errorf("wal: open segment: %w", err)
 	}
 	defer f.Close()
-	n := 0
+	if off > 0 {
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return 0, off, false, fmt.Errorf("wal: seek segment: %w", err)
+		}
+	}
+	pos := off
 	var header [frameHeader]byte
 	var payload []byte
 	// damaged classifies an unreadable frame: inside a sealed segment it
 	// is corruption; otherwise it is the torn tail of a crashed append and
-	// the segment stops cleanly.
-	damaged := func(what string) (int, error) {
+	// the segment stops cleanly, resuming at the start of the bad frame.
+	damaged := func(what string) (int, int64, bool, error) {
 		if sealedAtEnd(path) {
-			return n, fmt.Errorf("%w: %s: %s in sealed segment", ErrCorrupt, filepath.Base(path), what)
+			return n, pos, false, fmt.Errorf("%w: %s: %s in sealed segment", ErrCorrupt, filepath.Base(path), what)
 		}
-		return n, nil
+		return n, pos, false, nil
 	}
 	for {
 		if _, err := io.ReadFull(f, header[:]); err != nil {
 			if errors.Is(err, io.EOF) {
-				// Frame-boundary end without a seal: a pre-seal writer, or a
-				// crash that landed exactly between frames.
-				return n, nil
+				// Frame-boundary end without a seal: a pre-seal writer, a
+				// crash that landed exactly between frames, or simply the
+				// live tail of a log still being appended to.
+				return n, pos, false, nil
 			}
 			return damaged("truncated frame header")
 		}
@@ -461,9 +559,9 @@ func replaySegment(path string, fn func(Record) error) (int, error) {
 		if size == sealLen && want == sealMagic {
 			var one [1]byte
 			if _, err := io.ReadFull(f, one[:]); !errors.Is(err, io.EOF) {
-				return n, fmt.Errorf("%w: %s: data after segment seal", ErrCorrupt, filepath.Base(path))
+				return n, pos, true, fmt.Errorf("%w: %s: data after segment seal", ErrCorrupt, filepath.Base(path))
 			}
-			return n, nil
+			return n, pos + frameHeader, true, nil
 		}
 		if size > maxFrameBytes {
 			return damaged("implausible frame length")
@@ -483,13 +581,106 @@ func replaySegment(path string, fn func(Record) error) (int, error) {
 			// The payload passed its checksum, so this is a frame from an
 			// incompatible writer rather than disk damage; surface it even
 			// at the tail.
-			return n, fmt.Errorf("%w: %s: decode: %v", ErrCorrupt, filepath.Base(path), err)
+			return n, pos, false, fmt.Errorf("%w: %s: decode: %v", ErrCorrupt, filepath.Base(path), err)
 		}
 		if err := fn(rec); err != nil {
-			return n, err
+			return n, pos, false, err
 		}
 		n++
+		pos += int64(frameHeader) + int64(size)
 	}
+}
+
+// Segments enumerates the on-disk segment files of a log directory in
+// ascending index order: index, size, and whether the segment is sealed
+// (completed by a graceful rotation or Close, hence immutable and safe to
+// ship whole). A missing directory enumerates zero segments.
+func Segments(dir string) ([]SegmentInfo, error) {
+	idx, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SegmentInfo, 0, len(idx))
+	for _, i := range idx {
+		path := segPath(dir, i)
+		fi, err := os.Stat(path)
+		if err != nil {
+			// Lost a race with Reset; the segment is gone, not an error.
+			continue
+		}
+		out = append(out, SegmentInfo{Index: i, Size: fi.Size(), Sealed: sealedAtEnd(path)})
+	}
+	return out, nil
+}
+
+// Segments enumerates this log's on-disk segments.
+func (l *Log) Segments() ([]SegmentInfo, error) { return Segments(l.opts.Dir) }
+
+// SegmentPath returns the file path of a segment by index, for tooling
+// that ships raw segment bytes (replication, backup).
+func SegmentPath(dir string, index int) string { return segPath(dir, index) }
+
+// ReplayFrom replays every complete record at or after from, in append
+// order, and returns the resume position — the first byte not consumed —
+// plus the number of records delivered. Calling it again later with the
+// returned position picks up exactly where this call stopped, which is
+// how a replication follower tails a shipped log incrementally.
+//
+// Semantics at the edges mirror Replay's: a seal advances to the next
+// segment; a torn tail in an unsealed segment stops that segment cleanly
+// at the start of the bad frame (and, when a later segment exists — the
+// crash-debris case — skips over it); the same damage in a sealed
+// segment is ErrCorrupt. A torn or frame-boundary tail in the *final*
+// segment leaves the resume position parked there, because on a live log
+// the missing bytes are simply the append that has not happened yet. A
+// position older than the oldest segment on disk returns ErrGone — the
+// log was truncated and the caller must re-bootstrap from a snapshot.
+func ReplayFrom(dir string, from Position, fn func(Record) error) (Position, int, error) {
+	if from.Seg < 0 || from.Off < 0 {
+		return from, 0, fmt.Errorf("wal: invalid position %v", from)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		return from, 0, err
+	}
+	if len(segs) == 0 {
+		return from, 0, nil
+	}
+	if from.Seg < segs[0] {
+		return from, 0, fmt.Errorf("%w: %v (oldest segment %d)", ErrGone, from, segs[0])
+	}
+	pos := from
+	total := 0
+	for k := 0; k < len(segs); k++ {
+		seg := segs[k]
+		if seg < pos.Seg {
+			continue
+		}
+		if seg > pos.Seg {
+			// The resume segment does not exist (e.g. a seal advanced pos
+			// past the last segment, or debris skipping): jump forward.
+			pos = Position{Seg: seg, Off: 0}
+		}
+		n, resume, sealed, err := replaySegmentFrom(segPath(dir, seg), pos.Off, fn)
+		total += n
+		if err != nil {
+			return pos, total, err
+		}
+		pos = Position{Seg: seg, Off: resume}
+		if sealed {
+			pos = Position{Seg: seg + 1, Off: 0}
+			continue
+		}
+		// Unsealed stop: on the final segment this is the live tail and
+		// the resume point; mid-directory it is crash debris (the writer
+		// moved on to a later segment, this one will never grow) and
+		// replay continues with the next segment.
+		if k == len(segs)-1 {
+			return pos, total, nil
+		}
+		pos = Position{Seg: segs[k+1], Off: 0}
+	}
+	return pos, total, nil
 }
 
 // sealedAtEnd reports whether the segment file ends with a seal marker,
