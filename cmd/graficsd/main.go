@@ -28,6 +28,15 @@
 // than D), it is re-fitted on the accumulated corpus in the background
 // and the new model is hot-swapped in while requests continue.
 //
+// # Observability
+//
+// GET /v2/metrics serves the process's metrics in Prometheus text
+// exposition format; GET /v2/version reports the build. Every request is
+// traced: the response carries an X-Grafics-Trace header, fleet hops
+// propagate it, and debug-level logs join the hops up. -pprof mounts
+// net/http/pprof under /debug/pprof/; -version prints the build and
+// exits.
+//
 // Read-only classifications are snapshot-overlay inference against the
 // trained models, so concurrent requests scale with cores. Every request
 // runs under a context with -request-timeout; cancellation (timeout or
@@ -61,6 +70,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -72,9 +82,14 @@ import (
 	"repro/internal/embed"
 	"repro/internal/fleet"
 	"repro/internal/lifecycle"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
+
+// errVersion signals that -version was requested; run prints the build
+// info and exits successfully instead of serving.
+var errVersion = errors.New("version requested")
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -164,8 +179,13 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 	ackTimeout := fs.Duration("ack-timeout", 5*time.Second, "semi-sync replication wait bound (role=primary)")
 	replPoll := fs.Duration("repl-poll", 250*time.Millisecond, "WAL tail poll interval (role=follower)")
 	lagBound := fs.Int64("lag-bound", 1<<20, "byte lag within which a follower reports ready (role=follower)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; profiling is not free)")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if *version {
+		return nil, errVersion
 	}
 	if err := validateTopology(*role, *primaryURL, *peers, *corpusPath, *stateDir); err != nil {
 		return nil, err
@@ -199,7 +219,7 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 		}
 		rt.Start(ctx)
 		return &app{
-			handler:      withRequestTimeout(*reqTimeout, rt),
+			handler:      withPprof(*pprofOn, withRequestTimeout(*reqTimeout, rt)),
 			router:       rt,
 			role:         *role,
 			addr:         *addr,
@@ -224,7 +244,7 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 		node.Start(ctx)
 		logf("follower replicating from %s into %s", *primaryURL, *stateDir)
 		return &app{
-			handler:      fleetHandler(*reqTimeout, node),
+			handler:      withPprof(*pprofOn, fleetHandler(*reqTimeout, node)),
 			node:         node,
 			role:         *role,
 			addr:         *addr,
@@ -309,7 +329,25 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 	} else {
 		a.handler = withRequestTimeout(*reqTimeout, server.HandlerWithLifecycle(m))
 	}
+	a.handler = withPprof(*pprofOn, a.handler)
 	return a, nil
+}
+
+// withPprof mounts the net/http/pprof surface in front of h when the
+// -pprof flag is set. The profile endpoints bypass the request timeout:
+// a 30-second CPU profile is the point, not a stuck request.
+func withPprof(enabled bool, h http.Handler) http.Handler {
+	if !enabled {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 // walOptions maps the -wal-sync flag onto wal.Options (the Dir is
@@ -367,6 +405,10 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	a, err := newApp(ctx, args, log.Printf)
+	if errors.Is(err, errVersion) {
+		fmt.Println("graficsd", obs.Version().String())
+		return nil
+	}
 	if err != nil {
 		return err
 	}

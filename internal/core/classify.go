@@ -16,6 +16,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/embed"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rfgraph"
 )
@@ -33,6 +34,9 @@ type classifyWorkspace struct {
 	embed        embed.Workspace
 	floorDist    []float64
 	floorCluster []int32
+	// clk times the pipeline stages (overlay, embed, reduce) without
+	// allocating; the hot path flushes it into the obs stage histograms.
+	clk obs.StageClock
 }
 
 var classifyPool = sync.Pool{New: func() any {
@@ -384,11 +388,13 @@ func (s *System) embedDetachedRLocked(rec *dataset.Record, o options, ws *classi
 	if err := ov.Reset(s.graph, rec); err != nil {
 		return nil, fmt.Errorf("core: online overlay: %w", err)
 	}
+	ws.clk.Mark(stageOverlay)
 	inc := s.incrementalFor(o, s.predictSeq.Add(1))
 	ego, err := embed.EmbedDetachedEgoInto(&ws.embed, ov, s.emb, ov.Node(), inc, s.neg)
 	if err != nil {
 		return nil, fmt.Errorf("core: online embedding: %w", err)
 	}
+	ws.clk.Mark(stageEmbed)
 	return ego, nil
 }
 
@@ -437,11 +443,21 @@ func (s *System) classifyRLocked(rec *dataset.Record, o options) (Result, error)
 		ws.overlay.Release()
 		classifyPool.Put(ws)
 	}()
+	ws.clk.Start()
 	ego, err := s.embedDetachedRLocked(rec, o, ws)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.resultFromEgo(ego, o, ws), nil
+	res := s.resultFromEgo(ego, o, ws)
+	ws.clk.Mark(stageReduce)
+	// Flush the stage clock into the registered histograms: atomic adds
+	// through pre-resolved children, allocation-free like the rest of the
+	// path (the bench gate holds classify at 2 allocs/op).
+	stageOverlayHist.Observe(ws.clk.Seconds(stageOverlay))
+	stageEmbedHist.Observe(ws.clk.Seconds(stageEmbed))
+	stageReduceHist.Observe(ws.clk.Seconds(stageReduce))
+	classifyTotal.Inc()
+	return res, nil
 }
 
 // absorbClassify is the write path behind WithAbsorb: classify the scan
@@ -503,6 +519,7 @@ func (s *System) absorbClassify(ctx context.Context, rec *dataset.Record, o opti
 		delete(s.retired, mac)
 	}
 	s.refreshSampler()
+	absorbsTotal.Inc()
 	return s.resultFromEgo(ego, o, nil), nil
 }
 

@@ -32,7 +32,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/embed"
-	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rfgraph"
 )
 
@@ -184,7 +184,7 @@ type System struct {
 	// were absorbed (the stale sampler kept serving); lastSamplerErr holds
 	// the most recent failure message. Atomics so the read-locked stats
 	// path can report them without taking the write lock.
-	samplerFailures metrics.Counter
+	samplerFailures obs.Counter
 	lastSamplerErr  atomic.Value // string
 }
 
@@ -297,6 +297,7 @@ func (s *System) refreshSampler() {
 	neg, err := embed.NewNegativeSampler(s.graph, s.emb)
 	if err != nil {
 		s.samplerFailures.Inc()
+		samplerRebuildFailuresTotal.Inc()
 		s.lastSamplerErr.Store(err.Error())
 		return
 	}

@@ -172,6 +172,7 @@ func (f *Follower) loop(ctx context.Context) {
 }
 
 func (f *Follower) noteError(err error) {
+	syncErrorsTotal.Inc()
 	f.logf("fleet: follower %s: %v", f.opts.ID, err)
 	f.mu.Lock()
 	f.st.lastErr = err.Error()
@@ -225,6 +226,8 @@ func (f *Follower) syncOnce(ctx context.Context) error {
 	f.st.lastSync = time.Now()
 	f.st.lastErr = ""
 	f.mu.Unlock()
+	appliedRecordsTotal.Add(int64(n))
+	replLagBytes.SetInt(lagBetween(applyPos, chunk.Source))
 	return nil
 }
 
@@ -283,6 +286,7 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 		lastSync:     time.Now(),
 	}
 	f.mu.Unlock()
+	bootstrapsTotal.Inc()
 	f.logf("fleet: follower %s: bootstrapped %d buildings from %s at %s",
 		f.opts.ID, len(restored.Buildings()), client.Base(), describePos(epoch, pos))
 	return nil

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/lifecycle"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/server"
 	"repro/internal/wal"
@@ -119,11 +120,14 @@ func newNode(lifeCtx context.Context, p *portfolio.Portfolio, opts NodeOptions) 
 	}
 	n := &Node{p: p, opts: opts, logf: logf, lifeCtx: lifeCtx}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v2/repl/status", n.handleReplStatus)
-	mux.HandleFunc("GET /v2/repl/wal", n.handleReplWAL)
-	mux.HandleFunc("GET /v2/repl/snapshot", n.handleReplSnapshot)
-	mux.HandleFunc("POST /v2/admin/promote", n.handlePromote)
-	mux.HandleFunc("POST /v2/admin/follow", n.handleFollow)
+	nhandle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, obs.InstrumentHandler(pattern, h))
+	}
+	nhandle("GET /v2/repl/status", n.handleReplStatus)
+	nhandle("GET /v2/repl/wal", n.handleReplWAL)
+	nhandle("GET /v2/repl/snapshot", n.handleReplSnapshot)
+	nhandle("POST /v2/admin/promote", n.handlePromote)
+	nhandle("POST /v2/admin/follow", n.handleFollow)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		n.state.Load().handler.ServeHTTP(w, r)
 	})
@@ -235,6 +239,7 @@ func (n *Node) Promote(ctx context.Context) (PromoteResult, error) {
 		res.NewEpoch = epoch
 		res.Applied = pos
 	}
+	promotionsTotal.Inc()
 	n.logf("fleet: promoted to primary: %d records verified from %s, new epoch %s",
 		res.Verified, res.FromEpoch, res.NewEpoch)
 	return res, nil

@@ -66,7 +66,10 @@ func (pr *Primary) waitReplicated(ctx context.Context) error {
 	if !ok {
 		return nil
 	}
-	return pr.src.WaitReplicated(ctx, epoch, pos, pr.minAcks, pr.ackWait)
+	start := time.Now()
+	err := pr.src.WaitReplicated(ctx, epoch, pos, pr.minAcks, pr.ackWait)
+	ackWaitSeconds.Observe(time.Since(start).Seconds())
+	return err
 }
 
 func (pr *Primary) ClassifyRouted(ctx context.Context, rec *dataset.Record, opts ...core.Option) (portfolio.Routed, error) {

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/server"
 	"repro/internal/wal"
@@ -192,16 +193,20 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		done:         make(chan struct{}),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v2/healthz", rt.handleHealthz)
-	mux.HandleFunc("GET /v2/stats", rt.handleStats)
-	mux.HandleFunc("POST /v2/classify", rt.handleClassify(false))
-	mux.HandleFunc("POST /v2/absorb", rt.handleClassify(true))
-	mux.HandleFunc("POST /v2/classify/batch", rt.handleClassifyBatch)
-	mux.HandleFunc("DELETE /v2/macs/{mac}", rt.handleRemoveMAC)
-	mux.HandleFunc("GET /v2/admin/fleet", rt.handleFleet)
-	mux.HandleFunc("POST /v2/admin/fleet/promote", rt.handleFleetPromote)
-	mux.HandleFunc("POST /v2/admin/fleet/drain", rt.handleFleetDrain)
-	mux.HandleFunc("GET /v2/admin/fleet/rebalance", rt.handleFleetRebalance)
+	rhandle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, obs.InstrumentHandler(pattern, h))
+	}
+	rhandle("GET /v2/healthz", rt.handleHealthz)
+	rhandle("GET /v2/stats", rt.handleStats)
+	rhandle("GET /v2/metrics", obs.Default().Handler().ServeHTTP)
+	rhandle("POST /v2/classify", rt.handleClassify(false))
+	rhandle("POST /v2/absorb", rt.handleClassify(true))
+	rhandle("POST /v2/classify/batch", rt.handleClassifyBatch)
+	rhandle("DELETE /v2/macs/{mac}", rt.handleRemoveMAC)
+	rhandle("GET /v2/admin/fleet", rt.handleFleet)
+	rhandle("POST /v2/admin/fleet/promote", rt.handleFleetPromote)
+	rhandle("POST /v2/admin/fleet/drain", rt.handleFleetDrain)
+	rhandle("GET /v2/admin/fleet/rebalance", rt.handleFleetRebalance)
 	rt.mux = mux
 	return rt, nil
 }
@@ -276,6 +281,7 @@ func (rt *Router) pollMember(ctx context.Context, url string, group int) MemberS
 	ms := MemberState{URL: url, Group: group, LastSeen: time.Now()}
 	st, err := NewClient(url, rt.opts.HTTPTimeout).Status(ctx)
 	if err != nil {
+		healthPollFailuresTotal.Inc()
 		ms.Role = prev.Role
 		ms.Primary = prev.Primary
 		ms.Epoch = prev.Epoch
@@ -387,6 +393,7 @@ func (rt *Router) promoteGroup(ctx context.Context, gi int, candidates []MemberS
 		return "", err
 	}
 	rt.logf("fleet: router: %s promoted: %d records verified, epoch %s", target, res.Verified, res.NewEpoch)
+	failoversTotal.Inc()
 	rt.mu.Lock()
 	if ms, ok := rt.state[target]; ok {
 		ms.Role = string(RolePrimary)
@@ -476,6 +483,11 @@ func (rt *Router) forward(ctx context.Context, method, url, path string, body []
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Carry the request's trace across the hop so the node's logs join up
+	// with the router's.
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := rt.hc.Do(req)
 	if err != nil {
 		return 0, nil, err
@@ -501,6 +513,10 @@ type scatterOutcome struct {
 // scatterClassify sends a read-only classify to one read node per group
 // and returns the outcomes. The caller picks a winner by overlap.
 func (rt *Router) scatterClassify(ctx context.Context, body []byte) []scatterOutcome {
+	spanDone := obs.StartSpan(ctx, "scatter")
+	defer spanDone()
+	start := time.Now()
+	defer func() { scatterSeconds.Observe(time.Since(start).Seconds()) }()
 	out := make([]scatterOutcome, len(rt.groups))
 	_ = par.ForEachCtx(ctx, len(rt.groups), func(gi int) {
 		out[gi].group = gi
@@ -591,11 +607,14 @@ func (rt *Router) routeClassify(ctx context.Context, w http.ResponseWriter, req 
 		return
 	}
 	body, _ := json.Marshal(req)
+	spanDone := obs.StartSpan(ctx, "forward")
 	status, data, err := rt.forward(ctx, http.MethodPost, primary, "/v2/classify", body)
+	spanDone()
 	if err != nil {
 		writeJSONError(w, http.StatusBadGateway, fmt.Errorf("fleet: forward absorb to %s: %w", primary, err))
 		return
 	}
+	forwardedWritesTotal.Inc()
 	relay(w, status, data)
 }
 

@@ -219,7 +219,9 @@ func (s *Source) handleWAL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer f.Close()
-	if _, err := io.Copy(w, io.NewSectionReader(f, off, n)); err != nil {
+	copied, err := io.Copy(w, io.NewSectionReader(f, off, n))
+	walShippedBytesTotal.Add(copied)
+	if err != nil {
 		s.logf("fleet: source: ship %s[%d:%d]: %v", filepath.Base(path), off, off+n, err)
 	}
 }
@@ -244,6 +246,7 @@ func (s *Source) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(headerEpoch, epoch)
 	w.Header().Set(headerSeg, strconv.Itoa(pos.Seg))
 	w.Header().Set(headerOff, strconv.FormatInt(pos.Off, 10))
+	snapshotsServedTotal.Inc()
 	if err := tarDir(tmp, w); err != nil {
 		s.logf("fleet: source: snapshot stream: %v", err)
 	}

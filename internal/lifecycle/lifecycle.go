@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/wal"
 )
@@ -215,6 +216,7 @@ func OpenCtx(ctx context.Context, cfg core.Config, opts Options) (*Manager, erro
 		if n > 0 {
 			logf("lifecycle: replayed %d/%d journaled absorbs", replayed, n)
 		}
+		replayedTotal.Add(int64(replayed))
 		jrnl, err = wal.Open(walDir)
 		if err != nil {
 			return nil, err
@@ -419,7 +421,9 @@ func (m *Manager) ClassifyRouted(ctx context.Context, rec *dataset.Record, opts 
 		defer m.mu.RUnlock()
 		routed, err := m.p.ClassifyRouted(ctx, rec, opts...)
 		if err == nil {
+			spanDone := obs.StartSpan(ctx, "journal")
 			err = m.journal(wal.Record{Building: routed.Building, Scan: *rec})
+			spanDone()
 		}
 		return routed, err
 	}()
@@ -518,6 +522,7 @@ func (m *Manager) journal(rec wal.Record) error {
 		m.logf("lifecycle: WAL append failed, %s applied in memory but not durable: %v", what, err)
 		return fmt.Errorf("lifecycle: journal: %w", err)
 	}
+	journaledWritesTotal.Inc()
 	return nil
 }
 
@@ -558,6 +563,8 @@ func (m *Manager) snapshotLocked() error {
 	m.snapshots++
 	m.lastSnapshot = m.now()
 	m.stmu.Unlock()
+	snapshotsTotal.Inc()
+	lastSnapshotUnix.SetInt(m.now().Unix())
 	m.logf("lifecycle: snapshot of %d buildings written to %s in %v",
 		len(m.p.Buildings()), m.stateDir, m.now().Sub(start).Round(time.Millisecond))
 	return nil
@@ -593,6 +600,12 @@ func (m *Manager) staleness(name string, bs *buildingState) string {
 // maybeRefit starts a background refit of name if the policy says so and
 // none is already running.
 func (m *Manager) maybeRefit(name string) {
+	// Refresh the staleness gauge on every absorb (and every age tick)
+	// regardless of policy: lag between crowd growth and the last fit is
+	// worth watching even when automatic refits are off.
+	if sys, err := m.p.System(name); err == nil {
+		absorbedSinceFit.With(name).SetInt(int64(sys.AbsorbedRecords()))
+	}
 	if !m.policy.enabled() {
 		return
 	}
@@ -618,6 +631,7 @@ func (m *Manager) startRefit(name string, bs *buildingState, why string) bool {
 	bs.refitStarted = m.now()
 	m.wg.Add(1)
 	m.stmu.Unlock()
+	refitsRunning.Add(1)
 	m.logf("lifecycle: refit of %q starting (%s)", name, why)
 	go m.refit(name, bs)
 	return true
@@ -667,6 +681,17 @@ func (m *Manager) refit(name string, bs *buildingState) {
 		bs.lastFit = m.now()
 	}
 	m.stmu.Unlock()
+	refitsRunning.Add(-1)
+	refitSeconds.Observe(m.now().Sub(start).Seconds())
+	switch {
+	case err == nil:
+		refitsTotal.With("ok").Inc()
+		absorbedSinceFit.With(name).Set(0) // the swapped-in model is fresh
+	case errors.Is(err, context.Canceled):
+		refitsTotal.With("canceled").Inc()
+	default:
+		refitsTotal.With("err").Inc()
+	}
 	if err != nil {
 		m.logf("lifecycle: refit of %q failed after %v: %v", name, m.now().Sub(start).Round(time.Millisecond), err)
 		return
@@ -739,6 +764,7 @@ func (m *Manager) refitOnce(ctx context.Context, name string) error {
 	if err := m.p.ReplaceSystem(name, next); err != nil {
 		return fmt.Errorf("refit %q: %w", name, err)
 	}
+	hotSwapsTotal.Inc()
 	// Persist the new fit. Failure is not fatal to the swap: the model is
 	// live, the WAL still holds the absorbs, and the next snapshot
 	// retries.

@@ -2,7 +2,6 @@ package metrics
 
 import (
 	"math"
-	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -148,32 +147,5 @@ func TestMeanStd(t *testing.T) {
 	}
 	if m, s := MeanStd(nil); m != 0 || s != 0 {
 		t.Errorf("MeanStd(nil) = (%v,%v), want (0,0)", m, s)
-	}
-}
-
-func TestCounter(t *testing.T) {
-	var c Counter
-	if c.Load() != 0 {
-		t.Fatalf("zero counter = %d", c.Load())
-	}
-	c.Inc()
-	c.Add(4)
-	c.Add(-10) // ignored: counters only climb
-	if got := c.Load(); got != 5 {
-		t.Errorf("counter = %d, want 5", got)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 1000; i++ {
-				c.Inc()
-			}
-		}()
-	}
-	wg.Wait()
-	if got := c.Load(); got != 8005 {
-		t.Errorf("counter = %d, want 8005", got)
 	}
 }

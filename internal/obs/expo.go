@@ -1,0 +1,120 @@
+// Prometheus text exposition (format version 0.0.4): every registered
+// family renders as a # HELP line, a # TYPE line, and its samples.
+// Histograms expose cumulative _bucket series (le-labeled, +Inf last),
+// _sum, and _count; cumulative counts and the total are derived from the
+// per-bucket counters in one pass, so buckets are monotone even when the
+// scrape races observations.
+
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// escapers for the two escaping contexts of the text format.
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+// WritePrometheus renders every registered family to w in text
+// exposition format, families sorted by name and children by label
+// tuple. A family with no children yet (a vec nobody touched) still
+// contributes its HELP/TYPE header so dashboards can discover it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		helpEscaper.WriteString(bw, f.help)
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, ch := range f.snapshot() {
+			writeChild(bw, f, ch)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeChild renders one labeled child's samples.
+func writeChild(bw *bufio.Writer, f *family, ch *child) {
+	switch f.typ {
+	case typeCounter:
+		writeSample(bw, f.name, "", f.labels, ch.vals, "", "", strconv.FormatInt(ch.c.Load(), 10))
+	case typeGauge:
+		writeSample(bw, f.name, "", f.labels, ch.vals, "", "", formatFloat(ch.g.Load()))
+	case typeHistogram:
+		var cum uint64
+		for i := range ch.h.counts {
+			cum += ch.h.counts[i].Load()
+			le := "+Inf"
+			if i < len(ch.h.upper) {
+				le = formatFloat(ch.h.upper[i])
+			}
+			writeSample(bw, f.name, "_bucket", f.labels, ch.vals, "le", le, strconv.FormatUint(cum, 10))
+		}
+		writeSample(bw, f.name, "_sum", f.labels, ch.vals, "", "", formatFloat(ch.h.Sum()))
+		writeSample(bw, f.name, "_count", f.labels, ch.vals, "", "", strconv.FormatUint(cum, 10))
+	}
+}
+
+// writeSample renders one line: name[suffix]{labels...[,extraK="extraV"]} value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels, vals []string, extraK, extraV, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || extraK != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			labelEscaper.WriteString(bw, vals[i])
+			bw.WriteByte('"')
+		}
+		if extraK != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraK)
+			bw.WriteString(`="`)
+			bw.WriteString(extraV)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// round-trip representation, scientific notation where shorter.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns the scrape endpoint for the registry, mounted by the
+// server at GET /v2/metrics. The reply is buffered so a slow scraper
+// never holds the family locks.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, "obs: render metrics: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+}

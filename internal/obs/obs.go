@@ -1,0 +1,380 @@
+// Package obs is the zero-dependency observability layer of the fleet:
+// a metrics registry (atomic counters, gauges, fixed-bucket histograms)
+// exposed in Prometheus text exposition format, lightweight per-request
+// tracing propagated across fleet hops via the X-Grafics-Trace header,
+// and structured request logging over log/slog.
+//
+// Instruments are cheap enough for hot paths: a Counter is one atomic
+// add, a Histogram observation is one atomic add plus a CAS loop on the
+// sum — no allocation, no lock. Subsystems register their instruments as
+// package-level variables against Default() at init time and the server
+// scrapes everything at GET /v2/metrics; see the README's metric catalog.
+//
+// The registry is deliberately minimal compared to a real Prometheus
+// client: metric types are counter/gauge/histogram only, label sets are
+// fixed at registration, histograms have fixed buckets, and registration
+// errors (bad names, duplicates) panic — they are programmer errors, all
+// reachable at init time.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically non-decreasing counter. The zero value is
+// ready to use; standalone counters (not registered with a Registry) are
+// valid — per-model instances that come and go with hot swaps use them
+// and surface through JSON stats instead of the scrape.
+type Counter struct{ n atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.n.Add(delta)
+	}
+}
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt replaces the gauge value with an integer.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are upper
+// bounds in ascending order; observations beyond the last bound land in
+// an implicit +Inf bucket. The exposition derives cumulative bucket
+// counts and the total count from the per-bucket counters, so a scrape
+// concurrent with observations is always internally monotone.
+type Histogram struct {
+	upper   []float64
+	counts  []atomic.Uint64 // len(upper)+1, last is the +Inf bucket
+	sumBits atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+// Observe records one value. It is allocation-free and safe for
+// concurrent use.
+//
+//grafics:hotpath
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ExpBuckets returns n exponentially growing bucket upper bounds
+// starting at start and multiplying by factor. It panics on a
+// non-positive start, a factor at or below 1, or n < 1 — registration
+// inputs, all reachable at init.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets requires start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// TimeBuckets is the default latency bucket layout, spanning 50µs to
+// roughly 75s — wide enough to cover a sub-millisecond classify, a
+// several-ms fsync, and a multi-second refit in one shape.
+var TimeBuckets = ExpBuckets(50e-6, 2.5, 16)
+
+// Metric type names used in the TYPE exposition line.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// labelSep joins label values into a child key; it cannot appear in
+// UTF-8 text, so distinct value tuples never collide.
+const labelSep = "\xff"
+
+// child is one labeled instance of a family: exactly one of c/g/h is
+// non-nil, matching the family type.
+type child struct {
+	vals []string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// family is one registered metric name: its metadata and the labeled
+// children that carry samples. A scalar (label-less) metric is a family
+// with a single child keyed by the empty label tuple.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu sync.Mutex
+	// grafics:guardedby mu
+	children map[string]*child
+}
+
+// with returns the child for the given label values, creating it on
+// first use.
+func (f *family) with(vals ...string) *child {
+	if len(vals) != len(f.labels) {
+		panic("obs: metric " + f.name + " wants " + strconv.Itoa(len(f.labels)) + " label values, got " + strconv.Itoa(len(vals)))
+	}
+	key := strings.Join(vals, labelSep)
+	f.mu.Lock()
+	ch := f.children[key]
+	if ch == nil {
+		ch = f.newChild(vals)
+		f.children[key] = ch
+	}
+	f.mu.Unlock()
+	return ch
+}
+
+// newChild builds a child of the family's type with its own copy of the
+// label values.
+func (f *family) newChild(vals []string) *child {
+	ch := &child{vals: append([]string(nil), vals...)}
+	switch f.typ {
+	case typeCounter:
+		ch.c = &Counter{}
+	case typeGauge:
+		ch.g = &Gauge{}
+	case typeHistogram:
+		ch.h = &Histogram{
+			upper:  f.buckets,
+			counts: make([]atomic.Uint64, len(f.buckets)+1),
+		}
+	}
+	return ch
+}
+
+// snapshot returns the children sorted by label tuple, for a stable
+// scrape order.
+func (f *family) snapshot() []*child {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*child, len(keys))
+	for i, k := range keys {
+		out[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (created on first
+// use). Hot paths should resolve their children once and keep them.
+func (v *CounterVec) With(vals ...string) *Counter { return v.f.with(vals...).c }
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(vals ...string) *Gauge { return v.f.with(vals...).g }
+
+// HistogramVec is a histogram family partitioned by labels; every child
+// shares the family's bucket layout.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(vals ...string) *Histogram { return v.f.with(vals...).h }
+
+// Registry holds registered metric families and renders them in
+// Prometheus text exposition format. Use Default() for the process-wide
+// registry the server scrapes; NewRegistry exists for tests.
+type Registry struct {
+	mu sync.Mutex
+	// grafics:guardedby mu
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// def is the process-wide registry.
+var def = NewRegistry()
+
+// Default returns the process-wide registry. Subsystems register their
+// instruments here at package init and the HTTP surface exposes it at
+// GET /v2/metrics.
+func Default() *Registry { return def }
+
+// register validates and installs a new family, panicking on invalid
+// names or a duplicate registration — both are init-time programmer
+// errors, never data-dependent.
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	if !validMetricName(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic("obs: invalid label name " + l + " on metric " + name)
+		}
+	}
+	if typ == typeHistogram {
+		if len(buckets) == 0 {
+			panic("obs: histogram " + name + " needs at least one bucket")
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic("obs: histogram " + name + " buckets must be strictly ascending")
+			}
+		}
+		buckets = append([]float64(nil), buckets...)
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  buckets,
+		children: make(map[string]*child),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[name]; dup {
+		panic("obs: duplicate metric registration " + name)
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers a label-less counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, typeCounter, nil, nil).with().c
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, typeCounter, labels, nil)}
+}
+
+// Gauge registers a label-less gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, typeGauge, nil, nil).with().g
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, typeGauge, labels, nil)}
+}
+
+// Histogram registers a label-less histogram with the given bucket
+// upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, typeHistogram, nil, buckets).with().h
+}
+
+// HistogramVec registers a histogram family with the given buckets and
+// label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, typeHistogram, labels, buckets)}
+}
+
+// families returns the registered families sorted by name.
+func (r *Registry) families() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" || name == "le" { // le is reserved for histogram buckets
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

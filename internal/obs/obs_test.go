@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// buildTestRegistry assembles one registry exercising every metric
+// shape: scalar and labeled counters, gauges (including negative and
+// fractional values), histograms with and without labels, label values
+// that need every escape, and a registered-but-untouched vec.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+
+	c := r.Counter("test_requests_total", "Requests served.")
+	c.Add(41)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotone
+
+	cv := r.CounterVec("test_errors_total", "Errors by kind.", "kind", "route")
+	cv.With("decode", "POST /v2/classify").Add(3)
+	cv.With("timeout", "POST /v2/classify").Inc()
+
+	g := r.Gauge("test_temperature", "A gauge that goes down.")
+	g.Set(36.6)
+	g.Add(-40)
+
+	gv := r.GaugeVec("test_staleness", "Absorbed since fit, per building.", "building")
+	gv.With("mall-A").SetInt(17)
+	gv.With(`office "HQ"\north` + "\nwing").SetInt(3) // every label escape at once
+
+	h := r.Histogram("test_latency_seconds", "Latency.\nSpans two lines.", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.0005, 0.002, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	hv := r.HistogramVec("test_stage_seconds", "Stage timings.", []float64{0.25, 0.5}, "stage")
+	hv.With("overlay").Observe(0.3)
+	hv.With("embed").Observe(0.1)
+	hv.With("embed").Observe(0.9)
+
+	// Registered but never touched: must still expose HELP/TYPE.
+	r.CounterVec("test_untouched_total", "No samples yet.", "label")
+
+	return r
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "x", "l").With("a\\b\"c\nd").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `esc_total{l="a\\b\"c\nd"} 1` + "\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaped sample %q missing from:\n%s", want, buf.String())
+	}
+	if strings.Count(buf.String(), "\n") != 3 { // HELP + TYPE + one sample
+		t.Errorf("raw newline leaked into exposition:\n%q", buf.String())
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("help_total", "line one\nline \\two")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if !strings.Contains(buf.String(), `# HELP help_total line one\nline \\two`) {
+		t.Errorf("help not escaped:\n%s", buf.String())
+	}
+}
+
+// TestHistogramBucketMonotonicity checks the cumulative-bucket invariant
+// on the rendered output: every _bucket count is >= the previous one and
+// the +Inf bucket equals _count.
+func TestHistogramBucketMonotonicity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mono_seconds", "x", ExpBuckets(0.001, 2, 10))
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) * 0.0017)
+	}
+	assertHistogramInvariants(t, r, "mono_seconds")
+}
+
+// assertHistogramInvariants parses the exposition and checks cumulative
+// monotonicity and bucket/count agreement for the named histogram.
+func assertHistogramInvariants(t *testing.T, r *Registry, name string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	prev := int64(-1)
+	var inf, count int64
+	var sawInf, sawCount bool
+	for _, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, name+"_bucket"):
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("parse bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Errorf("bucket counts not monotone: %d after %d in %q", v, prev, line)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf, sawInf = v, true
+			}
+		case strings.HasPrefix(line, name+"_count"):
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("parse count line %q: %v", line, err)
+			}
+			count, sawCount = v, true
+		}
+	}
+	if !sawInf || !sawCount {
+		t.Fatalf("missing +Inf bucket or _count for %s:\n%s", name, buf.String())
+	}
+	if inf != count {
+		t.Errorf("+Inf bucket %d != _count %d", inf, count)
+	}
+}
+
+func TestHistogramObservePlacement(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("place_seconds", "x", []float64{1, 2, 4})
+	h.Observe(1)   // on the bound: belongs to le="1"
+	h.Observe(1.5) // le="2"
+	h.Observe(100) // +Inf
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if got, want := h.Sum(), 102.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket le=1 holds %d, want 1 (bound is inclusive)", got)
+	}
+	if got := h.counts[3].Load(); got != 1 {
+		t.Errorf("+Inf bucket holds %d, want 1", got)
+	}
+}
+
+func TestGaugeAndCounterBasics(t *testing.T) {
+	var c Counter // standalone zero value must work (core uses one per System)
+	c.Inc()
+	c.Add(4)
+	c.Add(-100)
+	if got := c.Load(); got != 5 {
+		t.Errorf("Counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-3)
+	if got := g.Load(); got != -0.5 {
+		t.Errorf("Gauge = %v, want -0.5", got)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := map[string]func(r *Registry){
+		"invalid name":       func(r *Registry) { r.Counter("9bad", "x") },
+		"invalid label":      func(r *Registry) { r.CounterVec("ok_total", "x", "0bad") },
+		"reserved le label":  func(r *Registry) { r.HistogramVec("h_seconds", "x", []float64{1}, "le") },
+		"duplicate":          func(r *Registry) { r.Counter("dup_total", "x"); r.Gauge("dup_total", "x") },
+		"no buckets":         func(r *Registry) { r.Histogram("h_seconds", "x", nil) },
+		"unsorted buckets":   func(r *Registry) { r.Histogram("h_seconds", "x", []float64{2, 1}) },
+		"wrong label arity":  func(r *Registry) { r.CounterVec("v_total", "x", "a", "b").With("only-one") },
+		"negative expbucket": func(r *Registry) { ExpBuckets(-1, 2, 3) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn(NewRegistry())
+		})
+	}
+}
+
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("id_total", "x", "a")
+	if v.With("x") != v.With("x") {
+		t.Error("same label values must resolve to the same child")
+	}
+	if v.With("x") == v.With("y") {
+		t.Error("distinct label values must resolve to distinct children")
+	}
+}
+
+func TestVersion(t *testing.T) {
+	v := Version()
+	if v.GoVersion == "" {
+		t.Error("GoVersion empty: ReadBuildInfo should always work under go test")
+	}
+	if v.Module != "repro" {
+		t.Errorf("Module = %q, want repro", v.Module)
+	}
+	if v.String() == "" {
+		t.Error("String() empty")
+	}
+}

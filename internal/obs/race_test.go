@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestHistogramConcurrentHammer drives one histogram from many
+// goroutines — with scrapes racing the observations — and checks the
+// final totals are exact. Run under -race this doubles as the data-race
+// proof for the atomic bucket/sum design.
+func TestHistogramConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hammer_seconds", "x", ExpBuckets(0.001, 2, 8))
+	const (
+		goroutines = 8
+		perG       = 20000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Value 1.0 exactly: float64 sums of ones are exact far
+				// beyond this count, so the final Sum check is equality.
+				h.Observe(1)
+				if i%1000 == 0 {
+					// Scrapes race the writers; the writer must never see a
+					// non-monotone cumulative sequence.
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("concurrent scrape: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	const total = goroutines * perG
+	if got := h.Count(); got != total {
+		t.Errorf("Count = %d, want %d (lost observations)", got, total)
+	}
+	if got := h.Sum(); got != total {
+		t.Errorf("Sum = %v, want %d", got, total)
+	}
+	assertHistogramInvariants(t, r, "hammer_seconds")
+}
+
+// TestGaugeConcurrentAdd checks the CAS float accumulation loses no
+// updates.
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10000; j++ {
+				g.Add(1)
+				g.Add(-1)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != 80000 {
+		t.Errorf("Gauge = %v, want 80000", got)
+	}
+}
+
+// TestVecConcurrentWith hammers child creation from many goroutines.
+func TestVecConcurrentWith(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("vec_total", "x", "k")
+	keys := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 5000; j++ {
+				v.With(keys[(i+j)%len(keys)]).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total int64
+	for _, k := range keys {
+		total += v.With(k).Load()
+	}
+	if total != 40000 {
+		t.Errorf("total = %d, want 40000", total)
+	}
+}

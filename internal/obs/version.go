@@ -1,0 +1,79 @@
+// Build identity via runtime/debug.ReadBuildInfo, so fleet nodes are
+// identifiable during rolling upgrades: GET /v2/version and
+// `graficsd -version` both report it.
+
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// VersionInfo identifies the running build.
+type VersionInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Module is the main module path.
+	Module string `json:"module,omitempty"`
+	// Version is the main module version ("(devel)" for a source build).
+	Version string `json:"version,omitempty"`
+	// Revision and BuildTime come from the VCS stamp, when present;
+	// Dirty marks a build from a modified working tree.
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// versionOnce caches the build info; it cannot change while the process
+// runs.
+var versionOnce = sync.OnceValue(func() VersionInfo {
+	info := VersionInfo{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.BuildTime = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+})
+
+// Version returns the running build's identity.
+func Version() VersionInfo { return versionOnce() }
+
+// String renders the build identity as a single human-readable line,
+// the `graficsd -version` output.
+func (v VersionInfo) String() string {
+	s := v.Module
+	if s == "" {
+		s = "unknown module"
+	}
+	if v.Version != "" {
+		s += " " + v.Version
+	}
+	if v.Revision != "" {
+		rev := v.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " (" + rev
+		if v.Dirty {
+			s += "-dirty"
+		}
+		s += ")"
+	}
+	if v.GoVersion != "" {
+		s += " built with " + v.GoVersion
+	}
+	return s
+}

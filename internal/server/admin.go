@@ -33,7 +33,7 @@ type RefitResponse struct {
 
 // registerAdmin mounts the lifecycle admin routes.
 func registerAdmin(mux *http.ServeMux, m *lifecycle.Manager) {
-	mux.HandleFunc("POST /v2/admin/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "POST /v2/admin/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		if err := m.Snapshot(); err != nil {
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("snapshot: %w", err))
@@ -47,7 +47,7 @@ func registerAdmin(mux *http.ServeMux, m *lifecycle.Manager) {
 			DurationMS: float64(time.Since(start).Microseconds()) / 1000,
 		})
 	})
-	mux.HandleFunc("POST /v2/admin/refit", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "POST /v2/admin/refit", func(w http.ResponseWriter, r *http.Request) {
 		building := r.URL.Query().Get("building")
 		started, err := m.ForceRefit(building)
 		if err != nil {
@@ -65,7 +65,7 @@ func registerAdmin(mux *http.ServeMux, m *lifecycle.Manager) {
 		}
 		writeJSON(w, http.StatusAccepted, RefitResponse{Started: started})
 	})
-	mux.HandleFunc("GET /v2/admin/lifecycle", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "GET /v2/admin/lifecycle", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Status())
 	})
 }

@@ -1,0 +1,35 @@
+// The observability surface of the HTTP server: the route-registration
+// helper that wraps every handler in the obs HTTP instruments (per-route
+// latency histograms, status counters, in-flight gauge, trace
+// adoption/minting, debug request log), the Prometheus scrape endpoint,
+// and the build-identity endpoint.
+//
+//	GET /v2/metrics   Prometheus text exposition of the process registry
+//	GET /v2/version   build identity via runtime/debug.ReadBuildInfo
+
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// handle registers h on mux wrapped with the obs HTTP instruments; the
+// mux pattern doubles as the bounded-cardinality route label.
+func handle(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, obs.InstrumentHandler(pattern, h))
+}
+
+// registerObs mounts the scrape and version endpoints. The scrape itself
+// goes through the instruments too, so scrape latency and frequency are
+// visible in the very data it serves.
+func registerObs(mux *http.ServeMux) {
+	scrape := obs.Default().Handler()
+	handle(mux, "GET /v2/metrics", func(w http.ResponseWriter, r *http.Request) {
+		scrape.ServeHTTP(w, r)
+	})
+	handle(mux, "GET /v2/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, obs.Version())
+	})
+}

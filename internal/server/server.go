@@ -19,6 +19,14 @@
 //	POST   /v2/absorb             classify and keep the scan in the graph
 //	DELETE /v2/macs/{mac}         retire an access point fleet-wide
 //	GET    /v2/stats              per-building graph statistics
+//	GET    /v2/metrics            Prometheus scrape of the process metrics registry
+//	GET    /v2/version            build identity (module, VCS revision, Go version)
+//
+// Every route is wrapped in the obs HTTP instruments (metrics.go): the
+// request carries an X-Grafics-Trace ID — adopted from the caller or
+// minted here — through its context and response headers, per-route
+// latency/status/in-flight metrics feed /v2/metrics, and a debug-level
+// slog line records each request with its span timings.
 //
 // With a lifecycle manager attached (HandlerWithLifecycle), absorbs are
 // journaled to the write-ahead log before the response is sent, and the
@@ -206,11 +214,11 @@ func NewHandler(p *portfolio.Portfolio, rt Router, opts Options) http.Handler {
 // reads) and the router (classification, absorbs).
 func buildHandler(p *portfolio.Portfolio, rt Router, opts Options) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", healthz(p, opts.Repl))
-	mux.HandleFunc("GET /v1/buildings", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "GET /v1/healthz", healthz(p, opts.Repl))
+	handle(mux, "GET /v1/buildings", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, p.Buildings())
 	})
-	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
 		rec, ok := decodeScan(w, r)
 		if !ok {
 			return
@@ -222,7 +230,7 @@ func buildHandler(p *portfolio.Portfolio, rt Router, opts Options) http.Handler 
 		}
 		writeJSON(w, http.StatusOK, toPredictResponse(rec.ID, &routed))
 	})
-	mux.HandleFunc("POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
 		var recs []dataset.Record
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes))
 		dec.DisallowUnknownFields()
@@ -264,7 +272,7 @@ func buildHandler(p *portfolio.Portfolio, rt Router, opts Options) http.Handler 
 		}
 		writeJSON(w, http.StatusOK, BatchResponse{Results: items})
 	})
-	mux.HandleFunc("POST /v1/predict/{building}", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "POST /v1/predict/{building}", func(w http.ResponseWriter, r *http.Request) {
 		rec, ok := decodeScan(w, r)
 		if !ok {
 			return
@@ -286,6 +294,7 @@ func buildHandler(p *portfolio.Portfolio, rt Router, opts Options) http.Handler 
 		}))
 	})
 	registerV2(mux, p, rt, opts.Repl)
+	registerObs(mux)
 	if opts.Lifecycle != nil {
 		registerAdmin(mux, opts.Lifecycle)
 	}

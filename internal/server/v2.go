@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 )
 
@@ -108,11 +109,11 @@ const ndjsonChunkSize = 64
 // so an attached lifecycle manager sees (and journals) every absorb;
 // fleet-level reads and MAC retirement address the portfolio directly.
 func registerV2(mux *http.ServeMux, p *portfolio.Portfolio, rt Router, repl func() ReplInfo) {
-	mux.HandleFunc("GET /v2/healthz", healthz(p, repl))
-	mux.HandleFunc("POST /v2/classify", classifyV2(rt, false))
-	mux.HandleFunc("POST /v2/absorb", classifyV2(rt, true))
-	mux.HandleFunc("POST /v2/classify/batch", classifyBatchV2(rt))
-	mux.HandleFunc("DELETE /v2/macs/{mac}", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "GET /v2/healthz", healthz(p, repl))
+	handle(mux, "POST /v2/classify", classifyV2(rt, false))
+	handle(mux, "POST /v2/absorb", classifyV2(rt, true))
+	handle(mux, "POST /v2/classify/batch", classifyBatchV2(rt))
+	handle(mux, "DELETE /v2/macs/{mac}", func(w http.ResponseWriter, r *http.Request) {
 		mac := r.PathValue("mac")
 		n, err := rt.RemoveMAC(mac)
 		if err != nil {
@@ -125,7 +126,7 @@ func registerV2(mux *http.ServeMux, p *portfolio.Portfolio, rt Router, repl func
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"mac": mac, "buildings": n})
 	})
-	mux.HandleFunc("GET /v2/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle(mux, "GET /v2/stats", func(w http.ResponseWriter, r *http.Request) {
 		per := p.Stats()
 		resp := StatsResponse{Buildings: len(per), PerBuilding: make([]BuildingStatsItem, len(per))}
 		for i, b := range per {
@@ -145,6 +146,14 @@ func registerV2(mux *http.ServeMux, p *portfolio.Portfolio, rt Router, repl func
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+}
+
+// spanName labels the classification span by write intent.
+func spanName(absorb bool) string {
+	if absorb {
+		return "absorb"
+	}
+	return "classify"
 }
 
 // optionsOf translates wire options to core options.
@@ -196,7 +205,9 @@ func classifyV2(rt Router, forceAbsorb bool) http.HandlerFunc {
 		}
 		absorb := req.Absorb || forceAbsorb
 		rec := &dataset.Record{ID: req.ID, Readings: req.Readings}
+		spanDone := obs.StartSpan(r.Context(), spanName(absorb))
 		routed, err := rt.ClassifyRouted(r.Context(), rec, optionsOf(req.TopK, absorb)...)
+		spanDone()
 		if err != nil {
 			writeError(w, predictStatus(err), err)
 			return

@@ -1,0 +1,23 @@
+// WAL observability instruments. Append and fsync latency are the two
+// numbers that explain a slow absorb ack: the journal write happens
+// before every acknowledgment, and a stalling fsync (shared disk, cgroup
+// throttle) shows up here long before it shows up as request timeouts.
+
+package wal
+
+import "repro/internal/obs"
+
+var (
+	appendsTotal = obs.Default().Counter("grafics_wal_appends_total",
+		"Records appended to the WAL.")
+	appendedBytesTotal = obs.Default().Counter("grafics_wal_appended_bytes_total",
+		"Frame bytes appended to the WAL (headers included).")
+	appendSeconds = obs.Default().Histogram("grafics_wal_append_seconds",
+		"Append latency: encode, frame build, write, and any policy-triggered fsync.", obs.TimeBuckets)
+	fsyncsTotal = obs.Default().Counter("grafics_wal_fsyncs_total",
+		"fsync calls issued by the WAL (appends, seals, explicit Sync).")
+	fsyncSeconds = obs.Default().Histogram("grafics_wal_fsync_seconds",
+		"fsync latency.", obs.TimeBuckets)
+	rotationsTotal = obs.Default().Counter("grafics_wal_rotations_total",
+		"Segment rotations (size-triggered and recovery-triggered).")
+)

@@ -265,6 +265,7 @@ func (l *Log) rotateLocked() error {
 	}
 	l.f = f
 	l.segSize = 0
+	rotationsTotal.Inc()
 	return nil
 }
 
@@ -311,9 +312,12 @@ func (l *Log) syncLocked() error {
 		return nil
 	}
 	l.unsynced = 0
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
+	fsyncsTotal.Inc()
+	fsyncSeconds.Observe(time.Since(start).Seconds())
 	return nil
 }
 
@@ -321,6 +325,17 @@ func (l *Log) syncLocked() error {
 // call so a crash leaves at worst one torn frame at the tail of the final
 // segment, which Replay skips cleanly.
 func (l *Log) Append(rec Record) error {
+	start := time.Now()
+	if err := l.append(rec); err != nil {
+		return err
+	}
+	appendsTotal.Inc()
+	appendSeconds.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// append is Append without the instrumentation.
+func (l *Log) append(rec Record) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
 		return fmt.Errorf("wal: encode record: %w", err)
@@ -356,6 +371,7 @@ func (l *Log) Append(rec Record) error {
 	if _, err := l.f.Write(frame); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	appendedBytesTotal.Add(int64(len(frame)))
 	l.segSize += int64(len(frame))
 	l.appended++
 	l.unsynced++
