@@ -9,13 +9,19 @@
 //
 // Each layer runs closed-loop at every -concurrency level (and open-loop
 // at -rate, when set), reporting p50/p95/p99 latency, throughput,
-// and allocations per request. With -baseline the run is gated against a
-// committed BENCH.json: >-max-p95-regress percent p95 growth (or
-// >-max-allocs-regress percent allocs/op growth) on any shared scenario
-// exits non-zero, which is how CI fails a regressing PR.
+// and allocations per request. The fit mode measures the offline
+// training pipeline instead, under the embedding strategy selected by
+// -fit-mode (fast Hogwild by default, parity for deterministic runs; see
+// docs/determinism.md). With -baseline the run is gated against a
+// committed BENCH.json: >-max-p95-regress percent p95 growth,
+// >-max-allocs-regress percent allocs/op growth, or a fit scenario
+// regressing on wall-clock, peak heap, or records/s throughput
+// (-max-fit-*-regress) exits non-zero, which is how CI fails a
+// regressing PR.
 //
 //	graficsbench -out BENCH.json
 //	graficsbench -mode http -concurrency 8 -rate 500 -requests 2000
+//	graficsbench -mode fit -fit-mode parity
 //	graficsbench -baseline ci/bench-baseline.json -max-p95-regress 20
 package main
 
@@ -37,6 +43,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/embed"
 	"repro/internal/portfolio"
 	"repro/internal/server"
 )
@@ -57,12 +64,15 @@ type config struct {
 	rate           float64
 	fitSizes       []int
 	fitClusterSize []int
+	coreCfg        core.Config
+	fitMode        embed.Strategy
 	out            string
 	baseline       string
 	maxP95Pct      float64
 	maxAllocPct    float64
 	maxFitWallPct  float64
 	maxFitPeakPct  float64
+	maxFitTputPct  float64
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -79,12 +89,15 @@ func parseFlags(args []string) (*config, error) {
 	rate := fs.Float64("rate", 0, "open-loop arrival rate in requests/sec (0 = closed loop only)")
 	fitSizes := fs.String("fit-sizes", "600,1200,2400", "comma list of corpus sizes for full-pipeline fit scenarios (fit mode)")
 	fitCluster := fs.String("fit-cluster-sizes", "5000", "comma list of item counts for clustering-only fit scenarios (fit mode; empty disables)")
+	fitMode := fs.String("fit-mode", "fast", "embedding training strategy for fleet bring-up and fit scenarios: fast (Hogwild) or parity (deterministic)")
+	fitWorkers := fs.Int("fit-workers", 0, "Hogwild SGD goroutines per fit under -fit-mode=fast (0 = GOMAXPROCS)")
 	out := fs.String("out", "BENCH.json", "output path for the machine-readable report")
 	baseline := fs.String("baseline", "", "BENCH.json to gate against (empty = no gate)")
 	maxP95 := fs.Float64("max-p95-regress", 20, "fail when p95 grows more than this percent vs the baseline (<=0 disables)")
 	maxAllocs := fs.Float64("max-allocs-regress", 25, "fail when allocs/op grows more than this percent vs the baseline (<=0 disables)")
 	maxFitWall := fs.Float64("max-fit-wall-regress", 50, "fail when a fit scenario's wall-clock grows more than this percent vs the baseline (<=0 disables)")
 	maxFitPeak := fs.Float64("max-fit-peak-regress", 30, "fail when a fit scenario's peak-heap estimate grows more than this percent vs the baseline (<=0 disables)")
+	maxFitTput := fs.Float64("max-fit-tput-regress", 40, "fail when a fit scenario's records/s drops more than this percent vs the baseline (<=0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -105,7 +118,22 @@ func parseFlags(args []string) (*config, error) {
 		maxAllocPct:   *maxAllocs,
 		maxFitWallPct: *maxFitWall,
 		maxFitPeakPct: *maxFitPeak,
+		maxFitTputPct: *maxFitTput,
 	}
+	strategy, err := embed.ParseStrategy(*fitMode)
+	if err != nil {
+		return nil, fmt.Errorf("fit-mode: %w", err)
+	}
+	if *fitWorkers < 0 {
+		return nil, fmt.Errorf("fit-workers %d must be non-negative", *fitWorkers)
+	}
+	cfg.fitMode = strategy
+	// One core.Config drives both fleet bring-up and every fit scenario,
+	// so the benchmarked training path matches what the flags selected.
+	ecfg := embed.DefaultConfig()
+	ecfg.Strategy = strategy
+	ecfg.Workers = *fitWorkers
+	cfg.coreCfg = core.Config{Embed: ecfg}
 	want := strings.Split(*mode, ",")
 	if *mode == "all" {
 		want = []string{"core", "portfolio", "http", "fit"}
@@ -126,7 +154,6 @@ func parseFlags(args []string) (*config, error) {
 		}
 		cfg.levels = append(cfg.levels, n)
 	}
-	var err error
 	if cfg.fitSizes, err = parseSizes(*fitSizes); err != nil {
 		return nil, fmt.Errorf("fit-sizes: %w", err)
 	}
@@ -176,7 +203,7 @@ func run(args []string, w io.Writer) error {
 			serving = true
 		}
 	}
-	fleet := portfolio.New(core.Config{})
+	fleet := portfolio.New(cfg.coreCfg)
 	if serving {
 		trainStart := time.Now()
 		// Per-building fits run in parallel over a bounded pool — the
@@ -192,6 +219,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	file := bench.NewFile(workload.Spec)
+	file.FitMode = cfg.fitMode.String()
 	failed := 0
 	for _, mode := range cfg.modes {
 		if mode == "fit" {
@@ -246,14 +274,15 @@ func run(args []string, w io.Writer) error {
 		}
 		regressions := bench.Compare(base, file, cfg.maxP95Pct, cfg.maxAllocPct)
 		regressions = append(regressions, bench.CompareFits(base, file, cfg.maxFitWallPct, cfg.maxFitPeakPct)...)
+		regressions = append(regressions, bench.CompareFitThroughput(base, file, cfg.maxFitTputPct)...)
 		if len(regressions) > 0 {
 			for _, r := range regressions {
 				fmt.Fprintln(w, "REGRESSION:", r)
 			}
 			return fmt.Errorf("%d regression(s) vs %s", len(regressions), cfg.baseline)
 		}
-		fmt.Fprintf(w, "gate passed vs %s (p95 +%.0f%%, allocs +%.0f%%, fit wall +%.0f%%, fit peak +%.0f%%)\n",
-			cfg.baseline, cfg.maxP95Pct, cfg.maxAllocPct, cfg.maxFitWallPct, cfg.maxFitPeakPct)
+		fmt.Fprintf(w, "gate passed vs %s (p95 +%.0f%%, allocs +%.0f%%, fit wall +%.0f%%, fit peak +%.0f%%, fit tput -%.0f%%)\n",
+			cfg.baseline, cfg.maxP95Pct, cfg.maxAllocPct, cfg.maxFitWallPct, cfg.maxFitPeakPct, cfg.maxFitTputPct)
 	}
 	return nil
 }
@@ -276,7 +305,7 @@ func runFitScenarios(ctx context.Context, cfg *config, w io.Writer) ([]bench.Fit
 		}
 		n := len(wl.Train)
 		rep, err := bench.RunFit(ctx, fmt.Sprintf("fit/system/n%d", n), n, func(ctx context.Context) error {
-			sys := core.New(core.Config{})
+			sys := core.New(cfg.coreCfg)
 			if err := sys.AddTraining(wl.Train); err != nil {
 				return err
 			}
@@ -296,7 +325,7 @@ func runFitScenarios(ctx context.Context, cfg *config, w io.Writer) ([]bench.Fit
 		if err != nil {
 			return nil, err
 		}
-		sys := core.New(core.Config{})
+		sys := core.New(cfg.coreCfg)
 		if err := sys.AddTraining(wl.Train); err != nil {
 			return nil, err
 		}

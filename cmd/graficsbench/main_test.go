@@ -89,9 +89,13 @@ func TestGatePassesAgainstOwnRun(t *testing.T) {
 		t.Fatalf("baseline run: %v", err)
 	}
 	// A second identical run must pass a generous gate against the first.
+	// The thresholds here are deliberately huge: this exercises the gate
+	// plumbing, not measurement stability — at 30 requests under -race
+	// the allocs/op estimate alone wobbles by >2× from background
+	// allocations, so tight margins would test scheduler noise.
 	second := filepath.Join(dir, "BENCH.json")
 	buf.Reset()
-	if err := run(tinyArgs(second, "-baseline", first, "-max-p95-regress", "400", "-max-allocs-regress", "50"), &buf); err != nil {
+	if err := run(tinyArgs(second, "-baseline", first, "-max-p95-regress", "400", "-max-allocs-regress", "1000"), &buf); err != nil {
 		t.Fatalf("gated run: %v\noutput:\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "gate passed") {

@@ -165,6 +165,8 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 	seed := fs.Int64("seed", 1, "label-selection seed")
 	addr := fs.String("addr", ":8080", "listen address")
 	samples := fs.Int("samples-per-edge", 0, "E-LINE sample budget override")
+	fitMode := fs.String("fit-mode", "fast", "offline training strategy: fast (Hogwild parallel) or parity (deterministic single-goroutine); see docs/determinism.md")
+	fitWorkers := fs.Int("fit-workers", 0, "Hogwild SGD goroutines per fit under -fit-mode=fast (0 = GOMAXPROCS)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	stateDir := fs.String("state-dir", "", "durable state directory (snapshots + absorb WAL); empty keeps models in memory only")
@@ -196,6 +198,18 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 	if *samples > 0 {
 		cfg.Embed.SamplesPerEdge = *samples
 	}
+	strategy, err := embed.ParseStrategy(*fitMode)
+	if err != nil {
+		return nil, fmt.Errorf("-fit-mode: %w", err)
+	}
+	if *fitWorkers < 0 {
+		return nil, fmt.Errorf("-fit-workers %d must be non-negative", *fitWorkers)
+	}
+	// The strategy rides core.Config through every fit the daemon ever
+	// runs: initial bring-up, portfolio AddBuilding, and lifecycle refits
+	// (which rebuild from sys.Config()).
+	cfg.Embed.Strategy = strategy
+	cfg.Embed.Workers = *fitWorkers
 	lopts := lifecycle.Options{
 		StateDir: *stateDir,
 		WAL:      walOptions(*walSync),

@@ -1,0 +1,112 @@
+package grafics_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocLinksResolve walks the repo's markdown set and verifies every
+// relative link target exists and every intra-repo anchor points at a
+// real heading, so ARCHITECTURE.md, README.md, and docs/ cannot silently
+// rot as files move. External (http/https/mailto) links are out of
+// scope — CI must not depend on the network.
+func TestDocLinksResolve(t *testing.T) {
+	docs := []string{"README.md", "ARCHITECTURE.md", "CONTRIBUTING.md", "ROADMAP.md"}
+	extra, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = append(docs, extra...)
+
+	headings := map[string]map[string]bool{} // doc path -> anchor set
+	for _, doc := range docs {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("read %s: %v", doc, err)
+		}
+		headings[doc] = headingAnchors(string(raw))
+	}
+
+	linkRE := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, doc := range docs {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("read %s: %v", doc, err)
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, anchor, _ := strings.Cut(target, "#")
+			resolved := doc // self-link
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(doc), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: link target %q does not exist", doc, target)
+					continue
+				}
+			}
+			if anchor == "" || !strings.HasSuffix(resolved, ".md") {
+				continue
+			}
+			set, known := headings[resolved]
+			if !known {
+				// Anchored link into a markdown file outside the checked
+				// set: parse it on demand.
+				raw, err := os.ReadFile(resolved)
+				if err != nil {
+					t.Errorf("%s: cannot read %q for anchor check: %v", doc, target, err)
+					continue
+				}
+				set = headingAnchors(string(raw))
+				headings[resolved] = set
+			}
+			if !set[anchor] {
+				t.Errorf("%s: anchor %q not found in %s", doc, "#"+anchor, resolved)
+			}
+		}
+	}
+}
+
+// headingAnchors extracts GitHub-style anchors from markdown ATX
+// headings: lowercase, punctuation stripped, spaces to hyphens, with
+// -1/-2 suffixes for duplicates.
+func headingAnchors(md string) map[string]bool {
+	anchors := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		text = strings.ReplaceAll(text, "`", "")
+		var b strings.Builder
+		for _, r := range strings.ToLower(text) {
+			switch {
+			case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+				b.WriteRune(r)
+			case r == ' ':
+				b.WriteByte('-')
+			}
+		}
+		slug := b.String()
+		if n := seen[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		seen[slug]++
+	}
+	return anchors
+}

@@ -391,6 +391,36 @@ func TestClusterItemsShape(t *testing.T) {
 	}
 }
 
+// TestCompareFitThroughput: the records/s floor catches a fit falling
+// back to serial-speed training, skips scenarios the baseline lacks, and
+// honors the disable convention.
+func TestCompareFitThroughput(t *testing.T) {
+	base := NewFile(DefaultWorkloadSpec())
+	base.Fits = []FitReport{
+		{Scenario: "fit/system/n960", Records: 960, RecordsPerSec: 3000},
+		{Scenario: "fit/cluster/n5000", Records: 5000, RecordsPerSec: 6500},
+	}
+	cur := NewFile(DefaultWorkloadSpec())
+	cur.Fits = []FitReport{
+		{Scenario: "fit/system/n960", Records: 960, RecordsPerSec: 2200},
+		{Scenario: "fit/system/n480", Records: 480, RecordsPerSec: 100}, // baseline lacks it
+	}
+	if regs := CompareFitThroughput(base, cur, 40); len(regs) != 0 {
+		t.Errorf("27%% drop under a 40%% floor flagged: %v", regs)
+	}
+	cur.Fits[0].RecordsPerSec = 900 // 70% drop: serial-speed fallback
+	regs := CompareFitThroughput(base, cur, 40)
+	if len(regs) != 1 || regs[0].Metric != "records_per_sec" || regs[0].Scenario != "fit/system/n960" {
+		t.Fatalf("throughput collapse not caught: %v", regs)
+	}
+	if regs[0].Pct < 69 || regs[0].Pct > 71 {
+		t.Errorf("drop pct = %.1f, want ~70", regs[0].Pct)
+	}
+	if regs := CompareFitThroughput(base, cur, 0); len(regs) != 0 {
+		t.Errorf("disabled gate still fired: %v", regs)
+	}
+}
+
 // TestCompareFitsZeroPeakBaseline: a scenario whose baseline never saw
 // heap growth must still gate through the absolute grace — not be
 // exempted from the memory check.

@@ -62,6 +62,10 @@ type File struct {
 	// records/sec, and peak-heap estimates for Fit/refit at several
 	// corpus sizes.
 	Fits []FitReport `json:"fits,omitempty"`
+	// FitMode records which embedding training strategy ("fast" or
+	// "parity", see docs/determinism.md) the fit scenarios ran under.
+	// Additive within schema 2: absent in older documents.
+	FitMode string `json:"fit_mode,omitempty"`
 }
 
 // NewFile returns a File stamped with the current environment.
@@ -223,6 +227,43 @@ func CompareFits(baseline, current *File, maxWallPct, maxPeakPct float64) []Regr
 					Pct:      pct,
 				})
 			}
+		}
+	}
+	return out
+}
+
+// CompareFitThroughput gates fit scenarios on records/s: a drop of more
+// than maxDropPct percent below the baseline fails. This is the floor
+// that keeps parallel training honest — with the committed baseline
+// recorded under fast Hogwild mode, a change that silently falls back to
+// serial-speed training regresses far past any realistic threshold and
+// is caught even when wall-clock growth alone would squeak under the
+// CompareFits grace. A non-positive threshold disables the check;
+// scenarios present in only one file are skipped, like Compare. Reported
+// Pct is the relative drop in percent.
+func CompareFitThroughput(baseline, current *File, maxDropPct float64) []Regression {
+	if maxDropPct <= 0 {
+		return nil
+	}
+	base := make(map[string]FitReport, len(baseline.Fits))
+	for _, r := range baseline.Fits {
+		base[r.Scenario] = r
+	}
+	var out []Regression
+	for _, cur := range current.Fits {
+		b, ok := base[cur.Scenario]
+		if !ok || b.RecordsPerSec <= 0 {
+			continue
+		}
+		floor := b.RecordsPerSec * (1 - maxDropPct/100)
+		if cur.RecordsPerSec < floor {
+			out = append(out, Regression{
+				Scenario: cur.Scenario,
+				Metric:   "records_per_sec",
+				Baseline: b.RecordsPerSec,
+				Current:  cur.RecordsPerSec,
+				Pct:      (1 - cur.RecordsPerSec/b.RecordsPerSec) * 100,
+			})
 		}
 	}
 	return out

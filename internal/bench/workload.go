@@ -1,9 +1,15 @@
-// Package bench is the reproducible load/latency harness for the GRAFICS
-// serving hot path. It generates deterministic synthetic workloads over
-// dataset.Records, drives a classification target in open- or closed-loop
-// mode while recording per-request latency, and emits machine-readable
-// reports (BENCH.json) so the performance trajectory is tracked PR over PR
-// and CI can gate regressions against a committed baseline.
+// Package bench is the reproducible benchmark harness for both sides of
+// the GRAFICS pipeline: the serving hot path (open-/closed-loop
+// classification load with per-request latency recording) and the
+// offline fit path (RunFit: end-to-end model builds with wall clock,
+// records/s throughput, and peak-heap estimates). It generates
+// deterministic synthetic workloads over dataset.Records and emits
+// machine-readable reports (BENCH.json, including the training strategy
+// in fit_mode) so the performance trajectory is tracked PR over PR and
+// CI can gate regressions — latency, allocations, fit wall clock and
+// memory, and a fit-throughput floor (CompareFitThroughput) that keeps
+// parallel training from silently degrading to serial speed — against a
+// committed baseline.
 package bench
 
 import (

@@ -3,11 +3,37 @@
 // contribution E-LINE (§IV-B), which augments second-order LINE with the
 // symmetric ego-given-context objective so that multi-hop local
 // neighborhoods — not just shared one-hop neighbors — pull nodes together
-// in the embedding space. Training uses alias-sampled edge SGD with
-// negative sampling (Pr(z) ∝ deg(z)^{3/4}) and supports Hogwild-style
-// parallel workers. The package also provides the paper's online-inference
-// step: embedding a newly inserted node while all other embeddings stay
-// fixed (§V-A).
+// in the embedding space.
+//
+// # Training pipeline
+//
+// Train/TrainCtx run alias-sampled edge SGD with negative sampling
+// (Pr(z) ∝ deg(z)^{3/4}). The sample stream is split into fixed-size
+// chunks; chunk i draws every random decision (dropout coin flips, edge
+// picks, negative picks) from its own sampling.Fast stream whose seed is
+// a pure function of (Config.Seed, i), so the stream a chunk processes
+// does not depend on which goroutine runs it or when. Two execution
+// strategies share that stream:
+//
+//   - StrategyParity: chunks run sequentially in index order on one
+//     goroutine. Bit-identical for a fixed seed across runs, machines
+//     (same architecture), worker counts, and GOMAXPROCS.
+//   - StrategyFast: Hogwild — Config.Workers goroutines claim chunks over
+//     the internal/par pool and update the shared embedding matrix with
+//     benign data races, one batch of negative draws serving every
+//     direction of a positive sample. Statistically equivalent to parity
+//     and several times faster; not bit-reproducible with more than one
+//     effective worker.
+//
+// The written contract between the two — what is reproducible, what CI
+// pins, how the race detector is handled — lives in docs/determinism.md.
+// The innermost update reuses the dim-8 unrolled kernels that power the
+// online path, so the paper's 8-dimensional configuration takes a fused
+// allocation-free fast path (see sgdUpdate8).
+//
+// The package also provides the paper's online-inference step: embedding
+// a newly inserted node while all other embeddings stay fixed (§V-A), and
+// an Objective diagnostic for experiment harnesses.
 package embed
 
 import (
@@ -16,8 +42,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 
+	"repro/internal/par"
 	"repro/internal/rfgraph"
 	"repro/internal/sampling"
 )
@@ -60,6 +88,47 @@ func (m Mode) String() string {
 	}
 }
 
+// Strategy selects how the chunked SGD sample stream is executed. The
+// full parity-vs-fast contract is written down in docs/determinism.md.
+type Strategy int
+
+const (
+	// StrategyParity (the zero value) runs chunks sequentially in index
+	// order on a single goroutine. For a fixed Seed the result is
+	// bit-identical across runs, worker counts, and GOMAXPROCS; tests and
+	// experiment harnesses rely on it.
+	StrategyParity Strategy = iota
+	// StrategyFast executes the same chunk stream Hogwild-style: up to
+	// Config.Workers goroutines claim chunks and update the shared
+	// embedding matrix without locks. Statistically equivalent to parity
+	// and several times faster on multi-core hosts; not bit-reproducible
+	// with more than one effective worker.
+	StrategyFast
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyParity:
+		return "parity"
+	case StrategyFast:
+		return "fast"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy maps the CLI spellings "parity" and "fast" to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "parity":
+		return StrategyParity, nil
+	case "fast":
+		return StrategyFast, nil
+	default:
+		return 0, fmt.Errorf("embed: unknown strategy %q (want parity or fast)", s)
+	}
+}
+
 // Config holds training hyperparameters. The defaults mirror §VI-A of the
 // paper: 8-dimensional embeddings, learning rate 0.001, dropout 0.1.
 type Config struct {
@@ -79,8 +148,14 @@ type Config struct {
 	// Dropout is the probability of skipping a sampled edge update; the
 	// paper trains E-LINE with dropout 0.1 as a regularizer.
 	Dropout float64
-	// Workers is the number of Hogwild SGD goroutines. 0 or 1 trains
-	// serially (deterministic for a fixed seed).
+	// Strategy selects parity (deterministic, single-goroutine) or fast
+	// (Hogwild parallel) execution of the same sample stream. Zero value
+	// is StrategyParity.
+	Strategy Strategy
+	// Workers caps the Hogwild goroutines under StrategyFast; 0 means
+	// GOMAXPROCS. StrategyParity always runs one goroutine and ignores
+	// Workers. Fast with a single effective worker is bit-identical to
+	// parity.
 	Workers int
 	// Seed roots all randomness.
 	Seed int64
@@ -95,7 +170,6 @@ func DefaultConfig() Config {
 		NegativeSamples: 5,
 		SamplesPerEdge:  120,
 		Dropout:         0.1,
-		Workers:         1,
 		Seed:            1,
 	}
 }
@@ -121,7 +195,20 @@ func (c *Config) Validate() error {
 	default:
 		return fmt.Errorf("embed: unknown mode %v", c.Mode)
 	}
+	switch c.Strategy {
+	case StrategyParity, StrategyFast:
+	default:
+		return fmt.Errorf("embed: unknown strategy %v", c.Strategy)
+	}
 	return nil
+}
+
+// hogwildWorkers resolves Config.Workers for StrategyFast.
+func (c *Config) hogwildWorkers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 func (c *Config) mode() Mode {
@@ -142,12 +229,22 @@ type Embedding struct {
 
 // newEmbedding allocates vectors for n nodes, initializing ego vectors
 // uniformly in [-0.5/dim, 0.5/dim] (the word2vec/LINE convention) and
-// context vectors to zero.
+// context vectors to zero. Rows are carved out of two flat backing
+// arrays so a training pass walks contiguous memory; capacity-clamped
+// subslices keep a later append on one row from clobbering its neighbor.
+// The RNG draw order matches per-row allocation, so fixed-seed results
+// are unchanged by the layout.
 func newEmbedding(n, dim int, rng *rand.Rand) *Embedding {
 	e := &Embedding{Dim: dim, Ego: make([][]float64, n), Ctx: make([][]float64, n)}
+	egoBack := make([]float64, n*dim)
+	ctxBack := make([]float64, n*dim)
 	for i := 0; i < n; i++ {
-		e.Ego[i] = randomVector(dim, rng)
-		e.Ctx[i] = make([]float64, dim)
+		ego := egoBack[i*dim : (i+1)*dim : (i+1)*dim]
+		for d := range ego {
+			ego[d] = (rng.Float64() - 0.5) / float64(dim)
+		}
+		e.Ego[i] = ego
+		e.Ctx[i] = ctxBack[i*dim : (i+1)*dim : (i+1)*dim]
 	}
 	return e
 }
@@ -261,12 +358,21 @@ func Train(g *rfgraph.Graph, cfg Config) (*Embedding, error) {
 	return TrainCtx(context.Background(), g, cfg)
 }
 
-// TrainCtx is Train with cancellation: SGD workers poll ctx at every
-// decay-batch boundary (256 samples), so a cancelled context — a server
-// shutting down mid-refit — aborts training within microseconds instead
-// of grinding through the remaining samples. A cancelled run returns
-// ctx.Err() and no embedding. When ctx is never cancelled the sample
-// stream is untouched, so results stay bit-identical to Train.
+// chunkSamples is the unit of both scheduling and determinism: the SGD
+// sample stream is cut into fixed chunks, and chunk i derives every
+// random decision from its own RNG stream keyed by (Seed, i), so any
+// execution order of chunks draws exactly the same samples. 1024 samples
+// is a fraction of a millisecond of training — it bounds cancellation
+// latency and amortizes the per-chunk scheduling cost (an atomic claim
+// and a scratch-pool round trip) to noise.
+const chunkSamples = 1024
+
+// TrainCtx is Train with cancellation: workers poll ctx at every chunk
+// boundary (1024 samples), so a cancelled context — a server shutting
+// down mid-refit — aborts training within a fraction of a millisecond
+// instead of grinding through the remaining samples. A cancelled run
+// returns ctx.Err() and no embedding. When ctx is never cancelled the
+// sample stream is untouched, so results stay bit-identical to Train.
 func TrainCtx(ctx context.Context, g *rfgraph.Graph, cfg Config) (*Embedding, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -280,144 +386,234 @@ func TrainCtx(ctx context.Context, g *rfgraph.Graph, cfg Config) (*Embedding, er
 	}
 	seeder := sampling.NewSeeder(cfg.Seed)
 	emb := newEmbedding(g.NumNodes(), cfg.Dim, seeder.NextRand())
-	total := cfg.SamplesPerEdge * len(tc.edges)
-	workers := cfg.Workers
-	if workers <= 1 {
-		trainWorker(ctx, tc, emb, cfg, total, total, seeder.NextRand(), nil)
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		return emb, nil
+	t := &trainer{
+		tc:        tc,
+		emb:       emb,
+		cfg:       cfg,
+		mode:      cfg.mode(),
+		total:     cfg.SamplesPerEdge * len(tc.edges),
+		chunkBase: seeder.Next(),
 	}
-	var wg sync.WaitGroup
-	var progress progressCounter
-	per := total / workers
-	for w := 0; w < workers; w++ {
-		n := per
-		if w == workers-1 {
-			n = total - per*(workers-1)
-		}
-		rng := seeder.NextRand()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			trainWorker(ctx, tc, emb, cfg, n, total, rng, &progress)
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	t.chunks = (t.total + chunkSamples - 1) / chunkSamples
+	if err := t.run(ctx); err != nil {
 		return nil, err
 	}
 	return emb, nil
 }
 
-// progressCounter tracks the global sample count for learning-rate decay
-// across Hogwild workers. Benign races on the embedding vectors are part of
-// the Hogwild contract; the counter itself is mutex-guarded in coarse
-// batches to stay cheap.
-type progressCounter struct {
-	mu   sync.Mutex
-	done int
+// trainer bundles the shared state of one training run. The embedding
+// matrix is the only mutable shared state; under StrategyFast it is
+// updated Hogwild-style with benign word-level races (the contract is
+// written down in docs/determinism.md).
+type trainer struct {
+	tc        *trainContext
+	emb       *Embedding
+	cfg       Config
+	mode      Mode
+	total     int   // SGD samples across all chunks
+	chunks    int   // ceil(total / chunkSamples)
+	chunkBase int64 // seed root for per-chunk RNG streams
+	raceMu    sync.Mutex
 }
 
-func (p *progressCounter) add(n int) int {
-	p.mu.Lock()
-	p.done += n
-	d := p.done
-	p.mu.Unlock()
-	return d
-}
-
-// trainWorker runs n SGD samples. When progress is nil the worker is the
-// only one and tracks decay locally. ctx is polled once per decay batch;
-// a cancelled worker stops mid-stream (the caller discards the embedding).
-func trainWorker(ctx context.Context, tc *trainContext, emb *Embedding, cfg Config, n, total int, rng *rand.Rand, progress *progressCounter) {
-	const batch = 256
-	mode := cfg.mode()
-	lr := cfg.LearningRate
-	minLR := cfg.LearningRate * 1e-4
-	gradI := make([]float64, cfg.Dim)
-	done := 0
-	for s := 0; s < n; s++ {
-		if s%batch == 0 {
-			if ctx.Err() != nil {
-				return
-			}
-			var globalDone int
-			if progress != nil {
-				globalDone = progress.add(done)
-				done = 0
-			} else {
-				globalDone = s
-			}
-			frac := float64(globalDone) / float64(total)
-			lr = cfg.LearningRate * (1 - frac)
-			if lr < minLR {
-				lr = minLR
-			}
+// run executes every chunk over the internal/par pool. StrategyParity
+// pins the pool to one worker, which par runs sequentially in index
+// order on the calling goroutine — that ordering is the serial
+// reference the parity tests pin. StrategyFast lets up to
+// Config.Workers goroutines claim chunks; each chunk still draws its
+// own deterministic sample stream, only the matrix updates race.
+func (t *trainer) run(ctx context.Context) error {
+	workers := 1
+	if t.cfg.Strategy == StrategyFast {
+		workers = t.cfg.hogwildWorkers()
+	}
+	pool := sync.Pool{New: func() any { return newTrainScratch(t.cfg) }}
+	return par.ForEachCtxBounded(ctx, t.chunks, workers, func(c int) {
+		ws := pool.Get().(*trainScratch)
+		if raceDetectorEnabled && workers > 1 {
+			// Under the race detector the benign Hogwild races would
+			// (correctly) be reported, so chunk application serializes —
+			// a legal fast-mode schedule that keeps the chunk claiming,
+			// per-chunk seeding, and cancellation machinery exercised.
+			t.raceMu.Lock()
+			t.runChunk(c, ws)
+			t.raceMu.Unlock()
+		} else {
+			t.runChunk(c, ws)
 		}
-		done++
-		if cfg.Dropout > 0 && rng.Float64() < cfg.Dropout {
+		pool.Put(ws)
+	})
+}
+
+// lrAt returns the learning rate for chunk c: linear decay by stream
+// position, floored at LearningRate/10⁴ as in the original LINE. Decaying
+// by chunk start index (instead of the old shared progress counter) makes
+// the schedule a pure function of the chunk index, identical under any
+// execution order, and drops the last piece of cross-worker coordination
+// from the hot loop.
+func (t *trainer) lrAt(c int) float64 {
+	lr := t.cfg.LearningRate * (1 - float64(c*chunkSamples)/float64(t.total))
+	if min := t.cfg.LearningRate * 1e-4; lr < min {
+		return min
+	}
+	return lr
+}
+
+// trainScratch is per-worker state: an RNG reseeded for each chunk plus
+// the buffers the update kernels stage into. Workers take one from a
+// pool per chunk, so the hot loop allocates nothing.
+type trainScratch struct {
+	rng  sampling.Fast
+	zbuf []rfgraph.NodeID // negative draws, shared by both E-LINE directions
+	gs   []float64        // per-row step coefficients
+	rows [][]float64      // table rows touched by the current update
+	grad []float64        // source-gradient accumulator (generic dims)
+}
+
+func newTrainScratch(cfg Config) *trainScratch {
+	return &trainScratch{
+		zbuf: make([]rfgraph.NodeID, cfg.NegativeSamples),
+		gs:   make([]float64, cfg.NegativeSamples+1),
+		rows: make([][]float64, cfg.NegativeSamples+1),
+		grad: make([]float64, cfg.Dim),
+	}
+}
+
+// runChunk draws and applies chunk c's slice of the sample stream. Every
+// random decision — dropout coin flips, edge picks, negative picks —
+// comes from a Fast RNG seeded by (chunkBase, c), so the chunk's stream
+// is identical whether it runs in order on one goroutine (parity) or
+// interleaved across many (fast). One batch of negatives serves every
+// direction of a positive sample (common random numbers): half the alias
+// draws of the old per-direction scheme, statistically equivalent for
+// negative-sampling SGD.
+//
+//grafics:hotpath
+func (t *trainer) runChunk(c int, ws *trainScratch) {
+	ws.rng.Reseed(sampling.SeedAt(t.chunkBase, c))
+	rng := &ws.rng
+	lo := c * chunkSamples
+	hi := lo + chunkSamples
+	if hi > t.total {
+		hi = t.total
+	}
+	lr := t.lrAt(c)
+	for s := lo; s < hi; s++ {
+		if t.cfg.Dropout > 0 && rng.Float64() < t.cfg.Dropout {
 			continue
 		}
-		e := tc.edges[tc.edgeDist.Draw(rng)]
+		e := t.tc.edges[t.tc.edgeDist.DrawFast(rng)]
 		i, j := e.Src, e.Dst
-		switch mode {
-		case ModeLINEFirst:
-			updateFirstOrder(tc, emb, cfg, i, j, lr, rng, gradI)
-		case ModeLINESecond:
-			updatePair(tc, emb, cfg, emb.Ego[i], emb.Ctx, j, lr, rng, gradI)
-		default: // ModeELINE: O1 + O2
-			updatePair(tc, emb, cfg, emb.Ego[i], emb.Ctx, j, lr, rng, gradI)
-			updatePair(tc, emb, cfg, emb.Ctx[i], emb.Ego, j, lr, rng, gradI)
+		for k := range ws.zbuf {
+			ws.zbuf[k] = t.tc.negNodes[t.tc.negDist.DrawFast(rng)]
 		}
-	}
-	if progress != nil && done > 0 {
-		progress.add(done)
+		switch t.mode {
+		case ModeLINEFirst:
+			sgdUpdate(t.emb.Ego[i], t.emb.Ego, j, lr, ws)
+		case ModeLINESecond:
+			sgdUpdate(t.emb.Ego[i], t.emb.Ctx, j, lr, ws)
+		default: // ModeELINE: O1 + O2
+			sgdUpdate(t.emb.Ego[i], t.emb.Ctx, j, lr, ws)
+			sgdUpdate(t.emb.Ctx[i], t.emb.Ego, j, lr, ws)
+		}
 	}
 }
 
-// updatePair performs one negative-sampled update of the skip-gram style
+// sgdUpdate performs one negative-sampled update of the skip-gram style
 // objective log σ(table[j]·source) + Σ_z log σ(-table[z]·source), updating
-// both the source vector and the sampled table rows. It implements both
+// both the source vector and the touched table rows. It implements both
 // halves of E-LINE: with source = ego_i and table = Ctx it is the classic
 // second-order update (Eq. 5); with source = ctx_i and table = Ego it is
-// the symmetric term (Eq. 8).
-func updatePair(tc *trainContext, emb *Embedding, cfg Config, source []float64, table [][]float64, j rfgraph.NodeID, lr float64, rng *rand.Rand, gradSource []float64) {
-	for d := range gradSource {
-		gradSource[d] = 0
+// the symmetric term (Eq. 8). Dim-8 runs — the paper's configuration —
+// take the fused unrolled kernel.
+//
+//grafics:hotpath
+func sgdUpdate(source []float64, table [][]float64, j rfgraph.NodeID, lr float64, ws *trainScratch) {
+	if len(source) == 8 {
+		sgdUpdate8(source, table, j, lr, ws)
+		return
 	}
-	// Positive sample.
+	// Coefficient pass against the unchanged source, then apply — the
+	// same gs/rows staging as frozenUpdate in incremental.go, so both
+	// training paths share one floating-point shape.
+	gs, rows := ws.gs, ws.rows
 	target := table[j]
-	g := sigmoid(dot(source, target)) - 1
-	step := -lr * g
-	for d := range target {
-		gradSource[d] += step * target[d]
-		target[d] += step * source[d]
-	}
-	// Negative samples.
-	for k := 0; k < cfg.NegativeSamples; k++ {
-		z := tc.negNodes[tc.negDist.Draw(rng)]
+	gs[0] = -lr * (sigmoid(dotU(source, target)) - 1)
+	rows[0] = target
+	n := 1
+	for _, z := range ws.zbuf {
 		if z == j {
 			continue
 		}
-		neg := table[z]
-		g := sigmoid(dot(source, neg)) // label 0
-		step := -lr * g
-		for d := range neg {
-			gradSource[d] += step * neg[d]
-			neg[d] += step * source[d]
-		}
+		row := table[z]
+		gs[n] = -lr * sigmoid(dotU(source, row))
+		rows[n] = row
+		n++
 	}
-	for d := range source {
-		source[d] += gradSource[d]
+	grad := ws.grad[:len(source)]
+	for d := range grad {
+		grad[d] = 0
 	}
+	for k := 0; k < n; k++ {
+		axpy(gs[k], rows[k], grad)   // grad += g·row, before the row moves
+		axpy(gs[k], source, rows[k]) // row += g·source
+	}
+	axpy(1, grad, source)
 }
 
-// updateFirstOrder performs the LINE first-order update: make ego
-// embeddings of edge endpoints similar, with negative samples pushed away.
-func updateFirstOrder(tc *trainContext, emb *Embedding, cfg Config, i, j rfgraph.NodeID, lr float64, rng *rand.Rand, gradI []float64) {
-	updatePair(tc, emb, cfg, emb.Ego[i], emb.Ego, j, lr, rng, gradI)
+// sgdUpdate8 is sgdUpdate's dim-8 fast path: the unrolled dot8 kernel
+// from the online-inference path for the coefficient pass, with the
+// gradient accumulation fused into the row update so each row crosses
+// the cache exactly once. Per element it performs the generic path's
+// operations on the same values in the same order, so the two paths are
+// bit-identical — the parity tests pin that equivalence.
+//
+//grafics:hotpath
+func sgdUpdate8(source []float64, table [][]float64, j rfgraph.NodeID, lr float64, ws *trainScratch) {
+	src := (*[8]float64)(source)
+	gs, rows := ws.gs, ws.rows
+	target := table[j]
+	gs[0] = -lr * (sigmoid(dot8(src, (*[8]float64)(target))) - 1)
+	rows[0] = target
+	n := 1
+	for _, z := range ws.zbuf {
+		if z == j {
+			continue
+		}
+		row := table[z]
+		gs[n] = -lr * sigmoid(dot8(src, (*[8]float64)(row)))
+		rows[n] = row
+		n++
+	}
+	var grad [8]float64
+	for k := 0; k < n; k++ {
+		g := gs[k]
+		row := (*[8]float64)(rows[k])
+		grad[0] += g * row[0]
+		row[0] += g * src[0]
+		grad[1] += g * row[1]
+		row[1] += g * src[1]
+		grad[2] += g * row[2]
+		row[2] += g * src[2]
+		grad[3] += g * row[3]
+		row[3] += g * src[3]
+		grad[4] += g * row[4]
+		row[4] += g * src[4]
+		grad[5] += g * row[5]
+		row[5] += g * src[5]
+		grad[6] += g * row[6]
+		row[6] += g * src[6]
+		grad[7] += g * row[7]
+		row[7] += g * src[7]
+	}
+	src[0] += grad[0]
+	src[1] += grad[1]
+	src[2] += grad[2]
+	src[3] += grad[3]
+	src[4] += grad[4]
+	src[5] += grad[5]
+	src[6] += grad[6]
+	src[7] += grad[7]
 }
 
 // trainConcat implements ModeLINEBoth: independent first- and second-order

@@ -1,0 +1,76 @@
+package embed
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// The Hogwild (StrategyFast) tests run with NO -race build exclusion:
+// race builds serialize chunk application behind trainer.raceMu (see
+// race_on.go), so `go test -race ./...` exercises chunk claiming,
+// per-chunk RNG seeding, and cancellation of the fast path, while
+// normal builds take the true lock-free schedule. Quality — not byte
+// determinism — is the assertable property with more than one worker.
+
+func TestTrainFastParallelQuality(t *testing.T) {
+	g, f0, f1 := twoFloorGraph(t, 20, 3, 3)
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyFast
+	cfg.Workers = 4
+	emb, err := Train(g, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if sep := separation(emb, f0, f1); sep > 0.7 {
+		t.Errorf("fast separation ratio %v too weak", sep)
+	}
+}
+
+// TestHogwildStress hammers the lock-free path with more workers than
+// cores and verifies the result is structurally sound: every vector
+// finite (no torn update can smuggle in a NaN from half-applied math —
+// each float64 store is atomic at the ISA level, but this guards the
+// claim), and the embedding trained enough to separate the two floors.
+func TestHogwildStress(t *testing.T) {
+	g, f0, f1 := twoFloorGraph(t, 25, 4, 11)
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyFast
+	cfg.Workers = 8
+	cfg.SamplesPerEdge = 60
+	for round := 0; round < 3; round++ {
+		cfg.Seed = int64(round + 1)
+		emb, err := Train(g, cfg)
+		if err != nil {
+			t.Fatalf("round %d: Train: %v", round, err)
+		}
+		for i := range emb.Ego {
+			for d := range emb.Ego[i] {
+				if math.IsNaN(emb.Ego[i][d]) || math.IsInf(emb.Ego[i][d], 0) {
+					t.Fatalf("round %d: ego[%d][%d] not finite: %v", round, i, d, emb.Ego[i][d])
+				}
+			}
+		}
+		if sep := separation(emb, f0, f1); sep > 0.7 {
+			t.Errorf("round %d: separation ratio %v too weak", round, sep)
+		}
+	}
+}
+
+func TestTrainFastCancellation(t *testing.T) {
+	g, _, _ := twoFloorGraph(t, 20, 3, 3)
+	for _, strategy := range []Strategy{StrategyParity, StrategyFast} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		cfg := DefaultConfig()
+		cfg.Strategy = strategy
+		cfg.Workers = 4
+		emb, err := TrainCtx(ctx, g, cfg)
+		if err != context.Canceled {
+			t.Errorf("%v: TrainCtx on cancelled ctx: err = %v, want context.Canceled", strategy, err)
+		}
+		if emb != nil {
+			t.Errorf("%v: cancelled TrainCtx returned an embedding", strategy)
+		}
+	}
+}

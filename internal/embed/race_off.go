@@ -1,0 +1,9 @@
+//go:build !race
+
+package embed
+
+// raceDetectorEnabled mirrors whether this binary was built with -race.
+// Normal builds run StrategyFast with true Hogwild races; see race_on.go
+// for what changes under the detector. Branching on a constant lets the
+// compiler delete the serialized path entirely from production builds.
+const raceDetectorEnabled = false

@@ -1,0 +1,14 @@
+//go:build race
+
+package embed
+
+// raceDetectorEnabled mirrors whether this binary was built with -race.
+// Hogwild's data races on the embedding matrix are intentional (benign
+// word-level races are the algorithm), but the race detector would —
+// correctly — report them and fail `go test -race ./...`. Race builds
+// therefore serialize chunk application behind a mutex: a legal
+// fast-mode schedule (equivalent to running on one core) that still
+// exercises chunk claiming, per-chunk RNG seeding, and cancellation, so
+// the -race stress test covers everything except the racing stores
+// themselves. docs/determinism.md spells out the contract.
+const raceDetectorEnabled = true

@@ -30,6 +30,18 @@ func (s *Seeder) Next() int64 {
 	return int64(splitMix64(&s.state))
 }
 
+// SeedAt returns the i-th seed (0-based) of the stream a Seeder rooted at
+// seed would produce, without materializing the intervening draws:
+// SeedAt(seed, i) == NewSeeder(seed).Next() called i+1 times. SplitMix64's
+// state advances by a fixed increment per draw, so random access is a
+// single multiply. This is what lets chunked SGD give chunk i its own
+// decorrelated RNG stream from any worker, in any order, with no shared
+// counter.
+func SeedAt(seed int64, i int) int64 {
+	state := uint64(seed) + uint64(i)*0x9e3779b97f4a7c15
+	return int64(splitMix64(&state))
+}
+
 // NextRand returns a fresh *rand.Rand seeded with the next derived seed.
 func (s *Seeder) NextRand() *rand.Rand {
 	return rand.New(rand.NewSource(s.Next()))
@@ -48,6 +60,15 @@ type Fast struct {
 // NewFast returns a Fast RNG rooted at seed.
 func NewFast(seed int64) *Fast {
 	return &Fast{state: uint64(seed)}
+}
+
+// Reseed resets the stream to seed, as if freshly constructed with
+// NewFast. It lets a pooled scratch RNG start a new deterministic stream
+// without allocating.
+//
+//grafics:hotpath
+func (f *Fast) Reseed(seed int64) {
+	f.state = uint64(seed)
 }
 
 // Uint64 returns the next pseudo-random 64-bit value.

@@ -1,0 +1,56 @@
+package sampling
+
+import "testing"
+
+// TestSeedAtMatchesSeederStream pins the random-access identity chunked
+// SGD depends on: SeedAt(seed, i) must equal the (i+1)-th value of a
+// Seeder rooted at the same seed, for arbitrary roots including negative
+// and zero.
+func TestSeedAtMatchesSeederStream(t *testing.T) {
+	for _, seed := range []int64{0, 1, -1, 42, -987654321, 1 << 40} {
+		s := NewSeeder(seed)
+		for i := 0; i < 100; i++ {
+			want := s.Next()
+			if got := SeedAt(seed, i); got != want {
+				t.Fatalf("SeedAt(%d, %d) = %d, want %d", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestSeedAtDecorrelated sanity-checks that adjacent chunk seeds do not
+// collide (SplitMix64's whole point).
+func TestSeedAtDecorrelated(t *testing.T) {
+	seen := make(map[int64]int, 4096)
+	for i := 0; i < 4096; i++ {
+		s := SeedAt(7, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SeedAt(7, %d) collides with index %d", i, prev)
+		}
+		seen[s] = i
+	}
+}
+
+func TestFastReseed(t *testing.T) {
+	f := NewFast(123)
+	var first [8]uint64
+	for i := range first {
+		first[i] = f.Uint64()
+	}
+	f.Reseed(123)
+	for i := range first {
+		if got := f.Uint64(); got != first[i] {
+			t.Fatalf("draw %d after Reseed = %d, want %d", i, got, first[i])
+		}
+	}
+	f.Reseed(124)
+	diff := false
+	for i := range first {
+		if f.Uint64() != first[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("Reseed(124) reproduced the seed-123 stream")
+	}
+}
