@@ -154,6 +154,33 @@ func validateTopology(role, primary, peers, corpusPath, stateDir string) error {
 	return nil
 }
 
+// validateHardening rejects contradictory robustness-knob combinations,
+// in the same fail-fast spirit as validateTopology: each knob only
+// exists for specific roles, and setting one where it cannot act is a
+// deployment mistake worth naming, not silently ignoring. Zero means
+// "unset" for all three (the built-in defaults apply).
+func validateHardening(role string, retryBudget, breakerThreshold, maxInflightAbsorbs int) error {
+	if retryBudget < 0 {
+		return fmt.Errorf("-retry-budget %d must be non-negative", retryBudget)
+	}
+	if breakerThreshold < 0 {
+		return fmt.Errorf("-breaker-threshold %d must be non-negative", breakerThreshold)
+	}
+	if maxInflightAbsorbs < 0 {
+		return fmt.Errorf("-max-inflight-absorbs %d must be non-negative", maxInflightAbsorbs)
+	}
+	if retryBudget != 0 && role != "follower" && role != "router" {
+		return fmt.Errorf("-retry-budget is only meaningful for -role follower or router, not %q: primaries are pulled from, they do not retry", role)
+	}
+	if breakerThreshold != 0 && role != "router" {
+		return fmt.Errorf("-breaker-threshold is only meaningful for -role router, not %q: only the routing tier keeps per-peer breakers", role)
+	}
+	if maxInflightAbsorbs != 0 && (role == "router" || role == "follower") {
+		return fmt.Errorf("-max-inflight-absorbs is only meaningful where absorbs are served (-role single or primary), not %q", role)
+	}
+	return nil
+}
+
 // newApp parses flags, restores or trains the fleet, and wires the
 // lifecycle-managed handler. ctx cancels the boot sequence — WAL replay
 // and initial training both honor it, so a SIGTERM during a slow restore
@@ -181,6 +208,9 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 	ackTimeout := fs.Duration("ack-timeout", 5*time.Second, "semi-sync replication wait bound (role=primary)")
 	replPoll := fs.Duration("repl-poll", 250*time.Millisecond, "WAL tail poll interval (role=follower)")
 	lagBound := fs.Int64("lag-bound", 1<<20, "byte lag within which a follower reports ready (role=follower)")
+	retryBudget := fs.Int("retry-budget", 0, "exponential-backoff budget for replication and routing retries: backoff caps at 2^n, routed writes retry at most n times (role=follower or router; 0 = built-in default)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive peer failures before the router opens that peer's circuit breaker (role=router; 0 = built-in default)")
+	maxInflightAbsorbs := fs.Int("max-inflight-absorbs", 0, "bound on concurrently admitted absorbing requests; excess waits briefly, then is shed with 429 (role=single or primary; 0 = unbounded)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; profiling is not free)")
 	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
@@ -190,6 +220,9 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 		return nil, errVersion
 	}
 	if err := validateTopology(*role, *primaryURL, *peers, *corpusPath, *stateDir); err != nil {
+		return nil, err
+	}
+	if err := validateHardening(*role, *retryBudget, *breakerThreshold, *maxInflightAbsorbs); err != nil {
 		return nil, err
 	}
 
@@ -227,7 +260,12 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 		if err != nil {
 			return nil, fmt.Errorf("-peers: %w", err)
 		}
-		rt, err := fleet.NewRouter(fleet.RouterOptions{Groups: groups, Logf: logf})
+		rt, err := fleet.NewRouter(fleet.RouterOptions{
+			Groups:           groups,
+			RetryBudget:      *retryBudget,
+			BreakerThreshold: *breakerThreshold,
+			Logf:             logf,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -249,6 +287,7 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 				Config:       cfg,
 				PollInterval: *replPoll,
 				LagBound:     *lagBound,
+				RetryBudget:  *retryBudget,
 			},
 			Logf: logf,
 		})
@@ -329,10 +368,11 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 	}
 	if *role == "primary" {
 		node, err := fleet.NewPrimaryNode(ctx, m, fleet.NodeOptions{
-			StateDir:  *stateDir,
-			Lifecycle: lopts,
-			Primary:   fleet.PrimaryOptions{MinSyncAcks: *minSyncAcks, AckTimeout: *ackTimeout},
-			Logf:      logf,
+			StateDir:           *stateDir,
+			Lifecycle:          lopts,
+			Primary:            fleet.PrimaryOptions{MinSyncAcks: *minSyncAcks, AckTimeout: *ackTimeout},
+			MaxInflightAbsorbs: *maxInflightAbsorbs,
+			Logf:               logf,
 		})
 		if err != nil {
 			m.Close()
@@ -341,7 +381,10 @@ func newApp(ctx context.Context, args []string, logf func(string, ...any)) (*app
 		a.node = node
 		a.handler = fleetHandler(*reqTimeout, node)
 	} else {
-		a.handler = withRequestTimeout(*reqTimeout, server.HandlerWithLifecycle(m))
+		a.handler = withRequestTimeout(*reqTimeout, server.NewHandler(p, m, server.Options{
+			Lifecycle:          m,
+			MaxInflightAbsorbs: *maxInflightAbsorbs,
+		}))
 	}
 	a.handler = withPprof(*pprofOn, a.handler)
 	return a, nil

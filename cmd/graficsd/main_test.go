@@ -283,6 +283,56 @@ func TestValidateTopology(t *testing.T) {
 	}
 }
 
+// TestValidateHardening is the contradictory-flag table for the
+// robustness knobs: each one only acts in specific roles, and setting
+// it elsewhere fails fast with a named conflict.
+func TestValidateHardening(t *testing.T) {
+	cases := []struct {
+		name                             string
+		role                             string
+		retryBudget, breaker, maxAbsorbs int
+		wantErr                          string // substring; empty = valid
+	}{
+		{name: "single defaults", role: "single"},
+		{name: "single bounded absorbs", role: "single", maxAbsorbs: 64},
+		{name: "primary bounded absorbs", role: "primary", maxAbsorbs: 128},
+		{name: "follower retry budget", role: "follower", retryBudget: 4},
+		{name: "router retry budget", role: "router", retryBudget: 2},
+		{name: "router breaker", role: "router", breaker: 3},
+		{name: "router full", role: "router", retryBudget: 2, breaker: 3},
+
+		{name: "negative retry budget", role: "router", retryBudget: -1, wantErr: "must be non-negative"},
+		{name: "negative breaker", role: "router", breaker: -2, wantErr: "must be non-negative"},
+		{name: "negative max absorbs", role: "single", maxAbsorbs: -1, wantErr: "must be non-negative"},
+		{name: "single with retry budget", role: "single", retryBudget: 3, wantErr: "-retry-budget is only meaningful"},
+		{name: "primary with retry budget", role: "primary", retryBudget: 3, wantErr: "-retry-budget is only meaningful"},
+		{name: "single with breaker", role: "single", breaker: 5, wantErr: "-breaker-threshold is only meaningful"},
+		{name: "follower with breaker", role: "follower", breaker: 5, wantErr: "-breaker-threshold is only meaningful"},
+		{name: "primary with breaker", role: "primary", breaker: 5, wantErr: "-breaker-threshold is only meaningful"},
+		{name: "router with max absorbs", role: "router", maxAbsorbs: 64, wantErr: "-max-inflight-absorbs is only meaningful"},
+		{name: "follower with max absorbs", role: "follower", maxAbsorbs: 64, wantErr: "-max-inflight-absorbs is only meaningful"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateHardening(tc.role, tc.retryBudget, tc.breaker, tc.maxAbsorbs)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid combo rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// The same validation is reachable through flag parsing.
+	if _, err := newApp(context.Background(), []string{"-role", "single", "-corpus", "c.json", "-breaker-threshold", "5"}, t.Logf); err == nil || !strings.Contains(err.Error(), "-breaker-threshold is only meaningful") {
+		t.Fatalf("newApp single with -breaker-threshold: %v", err)
+	}
+}
+
 // TestRoleBootPrimaryFollowerRouter boots a primary, a follower, and a
 // router through the daemon flag surface and checks replication plus
 // routed serving work end to end.

@@ -92,6 +92,15 @@ func TestMetricsEndpoint(t *testing.T) {
 		"grafics_fleet_wal_shipped_bytes_total",
 		"grafics_fleet_repl_lag_bytes",
 		"grafics_fleet_scatter_seconds_count",
+		// Robustness instrumentation: circuit breakers, write-path
+		// admission control, WAL poisoning, and degraded read-only mode
+		// all expose plain series even while everything is healthy.
+		"grafics_fleet_breaker_opens_total",
+		"grafics_server_absorb_inflight",
+		"grafics_server_absorb_shed_total",
+		"grafics_wal_poisoned_segments_total",
+		"grafics_lifecycle_degraded",
+		"grafics_lifecycle_degraded_rejects_total",
 	} {
 		if !samples[name] {
 			t.Errorf("scrape is missing series %s", name)

@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the base error for injected write and sync failures,
+// so tests can assert a failure came from the harness rather than the
+// real disk.
+var ErrInjected = errors.New("fault: injected")
+
+// Disk injects write-path faults into every file opened through it. A
+// test arms faults on the Disk; the wrapped files consult it on each
+// Write/WriteAt/Sync. All methods are safe for concurrent use, and all
+// fault schedules are counter-based (deterministic), never random.
+//
+// The zero state injects nothing: a freshly-made Disk behaves exactly
+// like os.OpenFile until a fault is armed.
+type Disk struct {
+	mu sync.Mutex
+	// grafics:guardedby mu
+	writeBudget int64 // successful writes remaining before writeErr fires; -1 = unlimited
+	// grafics:guardedby mu
+	writeErr error // error for exhausted writeBudget; nil disables the fault
+	// grafics:guardedby mu
+	tornIn int64 // the tornIn-th write from now persists half and fails; 0 = disabled
+	// grafics:guardedby mu
+	byteBudget int64 // bytes accepted before ENOSPC; -1 = unlimited
+	// grafics:guardedby mu
+	syncDelay time.Duration // every Sync sleeps this long first
+	// grafics:guardedby mu
+	syncErr error // every Sync fails with this; nil = healthy
+}
+
+// NewDisk returns a healthy Disk with no faults armed.
+func NewDisk() *Disk {
+	return &Disk{writeBudget: -1, byteBudget: -1}
+}
+
+// FailWritesAfter lets the next n writes succeed, then fails every
+// subsequent write with err (ErrInjected when err is nil) without
+// persisting any bytes. Heal or a fresh arm clears it.
+func (d *Disk) FailWritesAfter(n int, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	d.mu.Lock()
+	d.writeBudget, d.writeErr = int64(n), err
+	d.mu.Unlock()
+}
+
+// TearWriteAfter arms a one-shot torn write: the (n+1)-th write from
+// now persists only the first half of its bytes and then fails — the
+// on-disk signature of a crash mid-append.
+func (d *Disk) TearWriteAfter(n int) {
+	d.mu.Lock()
+	d.tornIn = int64(n) + 1
+	d.mu.Unlock()
+}
+
+// LimitBytes accepts up to n more written bytes, then fails with
+// ENOSPC. Like a real full disk, the write that crosses the limit may
+// persist a prefix. Pass a negative n to lift the limit.
+func (d *Disk) LimitBytes(n int64) {
+	d.mu.Lock()
+	d.byteBudget = n
+	d.mu.Unlock()
+}
+
+// SlowSync makes every Sync sleep for delay before touching the disk,
+// modeling a saturated or failing device. Zero heals.
+func (d *Disk) SlowSync(delay time.Duration) {
+	d.mu.Lock()
+	d.syncDelay = delay
+	d.mu.Unlock()
+}
+
+// FailSyncs makes every Sync fail with err (ErrInjected when nil would
+// otherwise disarm — pass nil to heal).
+func (d *Disk) FailSyncs(err error) {
+	d.mu.Lock()
+	d.syncErr = err
+	d.mu.Unlock()
+}
+
+// Heal clears every armed fault; subsequent I/O is passed through
+// untouched.
+func (d *Disk) Heal() {
+	d.mu.Lock()
+	d.writeBudget, d.writeErr = -1, nil
+	d.tornIn = 0
+	d.byteBudget = -1
+	d.syncDelay = 0
+	d.syncErr = nil
+	d.mu.Unlock()
+}
+
+// OpenFile opens name like os.OpenFile and wraps it so writes and syncs
+// consult this Disk. It matches the open-file hook signatures exposed
+// by wal.Options and fleet.FollowerOptions.
+func (d *Disk) OpenFile(name string, flag int, perm os.FileMode) (*File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &File{d: d, f: f}, nil
+}
+
+// admitWrite decides the fate of an n-byte write: how many bytes may
+// reach the file and the error to report afterwards (nil = clean).
+func (d *Disk) admitWrite(n int) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.writeErr != nil {
+		if d.writeBudget <= 0 {
+			injected(KindWriteErr)
+			return 0, d.writeErr
+		}
+		d.writeBudget--
+	}
+	if d.tornIn > 0 {
+		d.tornIn--
+		if d.tornIn == 0 {
+			injected(KindTornWrite)
+			return n / 2, ErrInjected
+		}
+	}
+	if d.byteBudget >= 0 {
+		if int64(n) > d.byteBudget {
+			k := int(d.byteBudget)
+			d.byteBudget = 0
+			injected(KindENOSPC)
+			return k, &fs.PathError{Op: "write", Path: "fault", Err: syscall.ENOSPC}
+		}
+		d.byteBudget -= int64(n)
+	}
+	return n, nil
+}
+
+// admitSync returns the delay to impose and the error to report for one
+// Sync call.
+func (d *Disk) admitSync() (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.syncDelay > 0 {
+		injected(KindSlowSync)
+	}
+	if d.syncErr != nil {
+		injected(KindSyncErr)
+	}
+	return d.syncDelay, d.syncErr
+}
+
+// File is an *os.File whose write path is subject to its Disk's armed
+// faults. Reads are never faulted: the chaos suite injures the durable
+// path and asserts recovery reads back clean.
+type File struct {
+	d *Disk
+	f *os.File
+}
+
+// Write persists p, subject to the Disk's armed write faults.
+func (f *File) Write(p []byte) (int, error) {
+	k, ferr := f.d.admitWrite(len(p))
+	if ferr == nil {
+		return f.f.Write(p)
+	}
+	n := 0
+	if k > 0 {
+		var werr error
+		n, werr = f.f.Write(p[:k])
+		if werr != nil {
+			return n, werr
+		}
+	}
+	return n, ferr
+}
+
+// WriteAt persists p at off, subject to the same faults as Write.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	k, ferr := f.d.admitWrite(len(p))
+	if ferr == nil {
+		return f.f.WriteAt(p, off)
+	}
+	n := 0
+	if k > 0 {
+		var werr error
+		n, werr = f.f.WriteAt(p[:k], off)
+		if werr != nil {
+			return n, werr
+		}
+	}
+	return n, ferr
+}
+
+// Sync flushes the file, subject to the Disk's sync delay and error.
+func (f *File) Sync() error {
+	delay, ferr := f.d.admitSync()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return f.f.Sync()
+}
+
+// Close closes the underlying file. Close is never faulted.
+func (f *File) Close() error { return f.f.Close() }
+
+// Name returns the underlying file's name.
+func (f *File) Name() string { return f.f.Name() }

@@ -1,0 +1,164 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// partMode is what happens to a request aimed at a partitioned host.
+type partMode int
+
+const (
+	partCut  partMode = iota // fail fast, like a refused connection
+	partHang                 // blackhole until the request context expires
+)
+
+// Transport is an http.RoundTripper that injects network faults in
+// front of a real transport. Hosts are matched on URL.Host (host:port).
+// Fault schedules are counter-based; the only randomness is latency
+// jitter, drawn from a seeded generator so a given seed replays the
+// same delays. Safe for concurrent use.
+//
+// The zero-fault state forwards every request untouched.
+type Transport struct {
+	base http.RoundTripper
+
+	mu sync.Mutex
+	// grafics:guardedby mu
+	rng *rand.Rand
+	// grafics:guardedby mu
+	parts map[string]partMode
+	// grafics:guardedby mu
+	latency time.Duration
+	// grafics:guardedby mu
+	jitter time.Duration
+	// grafics:guardedby mu
+	failN int // requests remaining in the current 5xx burst
+	// grafics:guardedby mu
+	failStatus int
+}
+
+// NewTransport wraps base (http.DefaultTransport when nil) with a fault
+// injector whose latency jitter is driven by seed.
+func NewTransport(base http.RoundTripper, seed uint64) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		base:  base,
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		parts: make(map[string]partMode),
+	}
+}
+
+// Partition makes every request to the given hosts fail immediately, as
+// a severed link would.
+func (t *Transport) Partition(hosts ...string) { t.setPart(partCut, hosts) }
+
+// Blackhole makes every request to the given hosts hang until the
+// request's context expires — the shape of a timeout, not a refusal.
+func (t *Transport) Blackhole(hosts ...string) { t.setPart(partHang, hosts) }
+
+func (t *Transport) setPart(mode partMode, hosts []string) {
+	t.mu.Lock()
+	for _, h := range hosts {
+		t.parts[h] = mode
+	}
+	t.mu.Unlock()
+}
+
+// HealPartition reconnects the given hosts (all of them when none are
+// named).
+func (t *Transport) HealPartition(hosts ...string) {
+	t.mu.Lock()
+	if len(hosts) == 0 {
+		t.parts = make(map[string]partMode)
+	}
+	for _, h := range hosts {
+		delete(t.parts, h)
+	}
+	t.mu.Unlock()
+}
+
+// SetLatency delays every forwarded request by base plus a uniformly
+// drawn jitter. Zero/zero heals.
+func (t *Transport) SetLatency(base, jitter time.Duration) {
+	t.mu.Lock()
+	t.latency, t.jitter = base, jitter
+	t.mu.Unlock()
+}
+
+// FailNext answers the next n requests with the given 5xx status
+// instead of forwarding them — a server-side error burst.
+func (t *Transport) FailNext(n, status int) {
+	t.mu.Lock()
+	t.failN, t.failStatus = n, status
+	t.mu.Unlock()
+}
+
+// admit decides one request's fate under the armed faults.
+func (t *Transport) admit(host string) (mode partMode, cut bool, delay time.Duration, status int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.latency > 0 || t.jitter > 0 {
+		delay = t.latency
+		if t.jitter > 0 {
+			delay += time.Duration(t.rng.Int64N(int64(t.jitter)))
+		}
+	}
+	if m, ok := t.parts[host]; ok {
+		return m, true, delay, 0
+	}
+	if t.failN > 0 {
+		t.failN--
+		return 0, false, delay, t.failStatus
+	}
+	return 0, false, delay, 0
+}
+
+// RoundTrip applies the armed faults to req, forwarding it when it
+// survives them.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	mode, cut, delay, status := t.admit(req.URL.Host)
+	if delay > 0 {
+		injected(KindHTTPSlow)
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if cut {
+		switch mode {
+		case partHang:
+			injected(KindHTTPHang)
+			<-req.Context().Done()
+			return nil, fmt.Errorf("fault: blackholed %s: %w", req.URL.Host, req.Context().Err())
+		default:
+			injected(KindHTTPCut)
+			return nil, fmt.Errorf("%w: partitioned from %s", ErrInjected, req.URL.Host)
+		}
+	}
+	if status != 0 {
+		injected(KindHTTP5xx)
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			StatusCode:    status,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:          io.NopCloser(strings.NewReader("fault: injected error\n")),
+			ContentLength: -1,
+			Request:       req,
+		}, nil
+	}
+	return t.base.RoundTrip(req)
+}

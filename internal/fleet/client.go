@@ -18,34 +18,73 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	// reqTimeout bounds each individual request — headers and body —
+	// independently of the caller's context. A follower's sync loop runs
+	// under a context that lives for the whole process; without a
+	// per-request deadline one blackholed FetchWAL would stall that loop
+	// forever instead of failing into the retry/backoff path.
+	reqTimeout time.Duration
 }
 
 // NewClient targets a node's base URL (scheme://host:port, no trailing
-// slash required).
+// slash required). timeout bounds each request end to end (0 means
+// defaultHTTPTimeout).
 func NewClient(base string, timeout time.Duration) *Client {
+	return NewClientWith(base, timeout, nil)
+}
+
+// NewClientWith is NewClient with an explicit transport — the
+// fault-injection seam (internal/fault.Transport) and the hook for
+// custom dialers. A nil transport means http.DefaultTransport.
+func NewClientWith(base string, timeout time.Duration, rt http.RoundTripper) *Client {
 	return &Client{
-		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Timeout: nonZero(timeout, defaultHTTPTimeout)},
+		base:       strings.TrimRight(base, "/"),
+		hc:         &http.Client{Transport: rt},
+		reqTimeout: nonZero(timeout, defaultHTTPTimeout),
 	}
 }
 
 // Base returns the node URL this client targets.
 func (c *Client) Base() string { return c.base }
 
-func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+// do issues one request under the client's per-request deadline. The
+// deadline covers the body too: the returned response's Close releases
+// the timer, and a stalled body read is cancelled with the request.
+func (c *Client) do(ctx context.Context, method, path string) (*http.Response, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+	req, err := http.NewRequestWithContext(rctx, method, c.base+path, nil)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
-	return c.hc.Do(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelOnClose ties a response body to its request's timeout context,
+// so closing the body releases the deadline timer.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelOnClose) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	return c.do(ctx, http.MethodGet, path)
 }
 
 func (c *Client) post(ctx context.Context, path string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, nil)
-	if err != nil {
-		return nil, err
-	}
-	return c.hc.Do(req)
+	return c.do(ctx, http.MethodPost, path)
 }
 
 // drainError turns a non-2xx response into an error carrying the body.

@@ -40,8 +40,10 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"time"
 
 	"repro/internal/server"
@@ -107,7 +109,34 @@ const (
 	defaultLagBound       = int64(1 << 20)
 	defaultFailThreshold  = 3
 	defaultVirtualNodes   = 64
+	// defaultRetryBudget caps exponential backoff at base×2^budget and
+	// bounds the retry attempts a routed write spends before giving up.
+	defaultRetryBudget = 3
+	// defaultBreakerThreshold opens a peer's circuit breaker after this
+	// many consecutive failures.
+	defaultBreakerThreshold = 5
 )
+
+// jitteredBackoff returns the pause before the next attempt after
+// `fails` consecutive failures: base when healthy, doubling per failure
+// up to base×2^budget, always with ±10% uniform jitter so loops that
+// share an upstream never synchronize into a thundering herd.
+func jitteredBackoff(base time.Duration, fails, budget int) time.Duration {
+	if base <= 0 {
+		base = defaultPollInterval
+	}
+	if budget <= 0 {
+		budget = defaultRetryBudget
+	}
+	if fails > budget {
+		fails = budget
+	}
+	d := base << uint(fails)
+	if j := int64(d / 5); j > 0 {
+		d += time.Duration(rand.Int64N(j)) - time.Duration(j/2)
+	}
+	return d
+}
 
 // lagBetween approximates how many bytes separate applied from source.
 // Within one segment the distance is exact; across segments the true
@@ -125,6 +154,18 @@ func lagBetween(applied, source wal.Position) int64 {
 		return 0
 	}
 	return int64(source.Seg-applied.Seg)*wal.DefaultSegmentMaxBytes + source.Off
+}
+
+// sleepCtx pauses for d, returning false if ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 func nonZero(d, fallback time.Duration) time.Duration {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
@@ -40,7 +42,29 @@ type FollowerOptions struct {
 	StaleAfter time.Duration
 	// HTTPTimeout bounds each upstream request.
 	HTTPTimeout time.Duration
-	Logf        func(string, ...any)
+	// RetryBudget caps the exponential backoff after consecutive sync
+	// failures at PollInterval×2^RetryBudget (default
+	// defaultRetryBudget). The follower never gives up — a replica that
+	// stops tailing is useless — it just polls less aggressively while
+	// the upstream is sick.
+	RetryBudget int
+	// Transport substitutes the HTTP transport used to reach the
+	// primary. Nil means http.DefaultTransport; chaos tests inject
+	// fault.Transport here.
+	Transport http.RoundTripper
+	// OpenMirror opens mirror segment files for writing. Nil means
+	// os.OpenFile. Chaos tests inject a fault.Disk here to model a slow
+	// or failing replica disk.
+	OpenMirror func(name string, flag int, perm os.FileMode) (MirrorFile, error)
+	Logf       func(string, ...any)
+}
+
+// MirrorFile is the slice of *os.File the follower needs to mirror
+// shipped WAL bytes: positioned writes plus durability.
+type MirrorFile interface {
+	io.WriterAt
+	Sync() error
+	Close() error
 }
 
 // Follower mirrors a primary's WAL and applies it to a local portfolio
@@ -109,6 +133,14 @@ func NewFollower(opts FollowerOptions) (*Follower, error) {
 	if logf == nil {
 		logf = nopLogf
 	}
+	if opts.RetryBudget <= 0 {
+		opts.RetryBudget = defaultRetryBudget
+	}
+	if opts.OpenMirror == nil {
+		opts.OpenMirror = func(name string, flag int, perm os.FileMode) (MirrorFile, error) {
+			return os.OpenFile(name, flag, perm)
+		}
+	}
 	f := &Follower{
 		opts:      opts,
 		p:         portfolio.New(opts.Config),
@@ -117,7 +149,7 @@ func NewFollower(opts FollowerOptions) (*Follower, error) {
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
-	f.client.Store(NewClient(opts.Primary, opts.HTTPTimeout))
+	f.client.Store(NewClientWith(opts.Primary, opts.HTTPTimeout, opts.Transport))
 	return f, nil
 }
 
@@ -132,7 +164,7 @@ func (f *Follower) Primary() string { return f.client.Load().Base() }
 // epoch) and re-bootstraps; reads keep flowing from the current image in
 // the meantime.
 func (f *Follower) Follow(primary string) {
-	f.client.Store(NewClient(primary, f.opts.HTTPTimeout))
+	f.client.Store(NewClientWith(primary, f.opts.HTTPTimeout, f.opts.Transport))
 	f.mu.Lock()
 	f.st.lastErr = ""
 	f.mu.Unlock()
@@ -155,16 +187,24 @@ func (f *Follower) Stop() {
 
 func (f *Follower) loop(ctx context.Context) {
 	defer close(f.done)
-	t := time.NewTicker(f.opts.PollInterval)
-	defer t.Stop()
+	fails := 0
 	for {
 		if err := f.syncOnce(ctx); err != nil && ctx.Err() == nil {
 			f.noteError(err)
+			fails++
+		} else {
+			fails = 0
 		}
+		// Jitter keeps a herd of followers sharing one primary from
+		// synchronizing their fetches; backoff keeps a sick upstream from
+		// being hammered at full poll rate while it recovers.
+		t := time.NewTimer(jitteredBackoff(f.opts.PollInterval, fails, f.opts.RetryBudget))
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return
 		case <-f.stop:
+			t.Stop()
 			return
 		case <-t.C:
 		}
@@ -296,16 +336,21 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 // segment file and syncs it — the ack sent on the next fetch promises
 // durability.
 func (f *Follower) mirrorAppend(at wal.Position, data []byte) error {
-	mf, err := os.OpenFile(wal.SegmentPath(f.mirrorDir, at.Seg), os.O_CREATE|os.O_WRONLY, 0o644)
+	path := wal.SegmentPath(f.mirrorDir, at.Seg)
+	var size int64
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if size != at.Off {
+		return fmt.Errorf("mirror segment %d is %d bytes, expected %d", at.Seg, size, at.Off)
+	}
+	mf, err := f.opts.OpenMirror(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
 	defer mf.Close()
-	if fi, err := mf.Stat(); err != nil {
-		return err
-	} else if fi.Size() != at.Off {
-		return fmt.Errorf("mirror segment %d is %d bytes, expected %d", at.Seg, fi.Size(), at.Off)
-	}
 	if _, err := mf.WriteAt(data, at.Off); err != nil {
 		return err
 	}

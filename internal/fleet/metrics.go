@@ -30,6 +30,12 @@ var (
 	// Router tier.
 	scatterSeconds = obs.Default().Histogram("grafics_fleet_scatter_seconds",
 		"Wall time of one read scatter across all groups.", obs.TimeBuckets)
+	breakerStateGauge = obs.Default().GaugeVec("grafics_fleet_breaker_state",
+		"Per-peer circuit breaker state: 0 closed, 1 half-open, 2 open.", "peer")
+	breakerOpensTotal = obs.Default().Counter("grafics_fleet_breaker_opens_total",
+		"Circuit breaker transitions into the open state.")
+	retriesTotal = obs.Default().CounterVec("grafics_fleet_retries_total",
+		"Retry attempts by operation: scatter read failovers and forwarded write retries.", "op")
 	forwardedWritesTotal = obs.Default().Counter("grafics_fleet_forwarded_writes_total",
 		"Absorbs forwarded to an owning group's primary.")
 	failoversTotal = obs.Default().Counter("grafics_fleet_failovers_total",

@@ -29,7 +29,11 @@ type NodeOptions struct {
 	Primary PrimaryOptions
 	// Follower replication knobs (Primary URL, poll, lag bound, ...).
 	Follower FollowerOptions
-	Logf     func(string, ...any)
+	// MaxInflightAbsorbs bounds concurrently admitted absorbing requests
+	// on the primary's serving surface (see server.Options). 0 disables
+	// admission control.
+	MaxInflightAbsorbs int
+	Logf               func(string, ...any)
 }
 
 // PromoteResult reports what a promotion verified and adopted.
@@ -145,6 +149,7 @@ func (n *Node) buildRoleHandler(role Role, pr *Primary, f *Follower) http.Handle
 	case RolePrimary:
 		rt = pr
 		opts.Lifecycle = pr.Manager()
+		opts.MaxInflightAbsorbs = n.opts.MaxInflightAbsorbs
 	default:
 		rt = f
 	}

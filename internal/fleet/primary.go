@@ -113,5 +113,8 @@ func (pr *Primary) replInfo() server.ReplInfo {
 		ri.Mirrored = pos
 		ri.Source = pos
 	}
+	if degraded, _ := pr.m.Degraded(); degraded {
+		ri.Degraded = true
+	}
 	return ri
 }

@@ -39,7 +39,20 @@ type RouterOptions struct {
 	VirtualNodes int
 	// HTTPTimeout bounds each forwarded or health request.
 	HTTPTimeout time.Duration
-	Logf        func(string, ...any)
+	// RetryBudget bounds the retry attempts (with jittered exponential
+	// backoff) a forwarded write spends on retryable failures, and the
+	// extra replicas a scatter read fails over to. Default
+	// defaultRetryBudget.
+	RetryBudget int
+	// BreakerThreshold opens a member's circuit breaker after this many
+	// consecutive failures; an open member serves no reads until a
+	// half-open probe succeeds. Default defaultBreakerThreshold.
+	BreakerThreshold int
+	// Transport substitutes the HTTP transport for every outbound call
+	// (forwards, scatters, health polls). Nil means
+	// http.DefaultTransport; chaos tests inject fault.Transport here.
+	Transport http.RoundTripper
+	Logf      func(string, ...any)
 }
 
 // MemberState is one node's last observed replication state, as reported
@@ -56,6 +69,7 @@ type MemberState struct {
 	Ready     bool         `json:"ready"`
 	Healthy   bool         `json:"healthy"`
 	Drained   bool         `json:"drained,omitempty"`
+	Breaker   string       `json:"breaker,omitempty"`
 	Failures  int          `json:"failures,omitempty"`
 	Buildings []string     `json:"buildings,omitempty"`
 	Error     string       `json:"error,omitempty"`
@@ -96,6 +110,11 @@ const routerBatchWorkers = 16
 // in health intervals.
 const failoverCooldownTicks = 5
 
+// forwardRetryBase is the first backoff step for a retried write
+// forward; subsequent attempts double it (with jitter) up to the retry
+// budget.
+const forwardRetryBase = 100 * time.Millisecond
+
 // Router is the fleet's front door: it spreads reads over caught-up
 // followers, forwards writes to the owning group's primary, aggregates
 // stats, health-checks every member, and promotes the freshest follower
@@ -116,6 +135,8 @@ type Router struct {
 	drained map[string]bool
 	// grafics:guardedby mu
 	lastFailover map[int]time.Time
+	// grafics:guardedby mu
+	breakers map[string]*breaker
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -170,6 +191,12 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	if opts.FailThreshold <= 0 {
 		opts.FailThreshold = defaultFailThreshold
 	}
+	if opts.RetryBudget <= 0 {
+		opts.RetryBudget = defaultRetryBudget
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = defaultBreakerThreshold
+	}
 	opts.HealthInterval = nonZero(opts.HealthInterval, defaultHealthInterval)
 	opts.HTTPTimeout = nonZero(opts.HTTPTimeout, defaultHTTPTimeout)
 	logf := opts.Logf
@@ -184,11 +211,12 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		opts:         opts,
 		groups:       opts.Groups,
 		ring:         NewRing(keys, opts.VirtualNodes),
-		hc:           &http.Client{Timeout: opts.HTTPTimeout},
+		hc:           &http.Client{Timeout: opts.HTTPTimeout, Transport: opts.Transport},
 		logf:         logf,
 		state:        make(map[string]MemberState),
 		drained:      make(map[string]bool),
 		lastFailover: make(map[int]time.Time),
+		breakers:     make(map[string]*breaker),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
 	}
@@ -232,13 +260,16 @@ func (rt *Router) Stop() {
 
 func (rt *Router) loop(ctx context.Context) {
 	defer close(rt.done)
-	t := time.NewTicker(rt.opts.HealthInterval)
-	defer t.Stop()
 	for {
+		// Jittered interval: routers sharing a fleet must not synchronize
+		// their polls into periodic bursts against the same members.
+		t := time.NewTimer(jitteredBackoff(rt.opts.HealthInterval, 0, 1))
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return
 		case <-rt.stop:
+			t.Stop()
 			return
 		case <-t.C:
 		}
@@ -246,6 +277,36 @@ func (rt *Router) loop(ctx context.Context) {
 		if !rt.opts.DisableFailover {
 			rt.checkFailover(ctx)
 		}
+	}
+}
+
+// breakerFor returns (lazily creating) the circuit breaker for url. The
+// cooldown tracks the health interval so an open circuit half-opens
+// after a couple of missed polls, with the poll itself as the probe.
+func (rt *Router) breakerFor(url string) *breaker {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b, ok := rt.breakers[url]
+	if !ok {
+		b = newBreaker(rt.opts.BreakerThreshold, 2*rt.opts.HealthInterval)
+		rt.breakers[url] = b
+	}
+	return b
+}
+
+// noteOutcome feeds one request or poll outcome into url's breaker and
+// keeps the exported gauge and transition counter in step.
+func (rt *Router) noteOutcome(url string, ok bool) {
+	b := rt.breakerFor(url)
+	prev := b.current()
+	st := b.record(ok)
+	breakerStateGauge.With(url).SetInt(int64(st))
+	if st == breakerOpen && prev != breakerOpen {
+		breakerOpensTotal.Inc()
+		rt.logf("fleet: router: circuit for %s opened after %d consecutive failures", url, rt.opts.BreakerThreshold)
+	}
+	if st == breakerClosed && prev != breakerClosed {
+		rt.logf("fleet: router: circuit for %s closed", url)
 	}
 }
 
@@ -279,7 +340,14 @@ func (rt *Router) pollAll(ctx context.Context) {
 func (rt *Router) pollMember(ctx context.Context, url string, group int) MemberState {
 	prev, _ := rt.member(url)
 	ms := MemberState{URL: url, Group: group, LastSeen: time.Now()}
-	st, err := NewClient(url, rt.opts.HTTPTimeout).Status(ctx)
+	// Polls bypass allow() — they are how an open circuit gets probed —
+	// but allow() is still called to advance open→half-open once the
+	// cooldown has elapsed, so this poll is the half-open probe.
+	rt.breakerFor(url).allow()
+	st, err := NewClientWith(url, rt.opts.HTTPTimeout, rt.opts.Transport).Status(ctx)
+	if ctx.Err() == nil {
+		rt.noteOutcome(url, err == nil)
+	}
 	if err != nil {
 		healthPollFailuresTotal.Inc()
 		ms.Role = prev.Role
@@ -324,6 +392,9 @@ func (rt *Router) groupStates(gi int) []MemberState {
 			ms = MemberState{URL: u, Group: gi}
 		}
 		ms.Drained = rt.drained[u]
+		if b, ok := rt.breakers[u]; ok {
+			ms.Breaker = b.current().String()
+		}
 		out = append(out, ms)
 	}
 	return out
@@ -387,7 +458,7 @@ func (rt *Router) promoteGroup(ctx context.Context, gi int, candidates []MemberS
 		return "", fmt.Errorf("fleet: no promotion candidate in group %d", gi)
 	}
 	rt.logf("fleet: router: promoting %s in group %d", target, gi)
-	res, err := NewClient(target, 2*time.Minute).Promote(ctx)
+	res, err := NewClientWith(target, 2*time.Minute, rt.opts.Transport).Promote(ctx)
 	if err != nil {
 		rt.logf("fleet: router: promote %s: %v", target, err)
 		return "", err
@@ -411,7 +482,7 @@ func (rt *Router) promoteGroup(ctx context.Context, gi int, candidates []MemberS
 		if !ok || ms.Role != string(RoleFollower) || !ms.Healthy {
 			continue
 		}
-		if err := NewClient(u, rt.opts.HTTPTimeout).Follow(ctx, target); err != nil {
+		if err := NewClientWith(u, rt.opts.HTTPTimeout, rt.opts.Transport).Follow(ctx, target); err != nil {
 			rt.logf("fleet: router: re-point %s at %s: %v", u, target, err)
 		}
 	}
@@ -421,12 +492,20 @@ func (rt *Router) promoteGroup(ctx context.Context, gi int, candidates []MemberS
 // pickRead selects the member of group gi to serve a read: ready,
 // undrained followers round-robin first (spreading load off the
 // primary), then a healthy primary, then any healthy member (stale reads
-// beat no reads during a failover window).
+// beat no reads during a failover window). Members whose circuit
+// breaker is not closed are shed from every pool — their recovery is
+// probed by health polls, not client traffic.
 func (rt *Router) pickRead(gi int) (string, bool) {
+	return rt.pickReadExcluding(gi, nil)
+}
+
+// pickReadExcluding is pickRead minus the members a scatter already
+// tried and failed this request.
+func (rt *Router) pickReadExcluding(gi int, tried map[string]bool) (string, bool) {
 	states := rt.groupStates(gi)
 	var followers, primaries, healthy []string
 	for _, ms := range states {
-		if ms.Drained {
+		if ms.Drained || tried[ms.URL] || rt.breakerFor(ms.URL).current() != breakerClosed {
 			continue
 		}
 		switch {
@@ -443,10 +522,11 @@ func (rt *Router) pickRead(gi int) (string, bool) {
 			return pool[rt.rr.Add(1)%uint64(len(pool))], true
 		}
 	}
-	// Nothing confirmed healthy; try anything undrained rather than
-	// failing outright (the member may be back before the next poll).
+	// Nothing confirmed healthy; try anything undrained and untried
+	// rather than failing outright (the member may be back before the
+	// next poll, and an open breaker beats zero candidates).
 	for _, ms := range states {
-		if !ms.Drained {
+		if !ms.Drained && !tried[ms.URL] {
 			return ms.URL, true
 		}
 	}
@@ -519,28 +599,60 @@ func (rt *Router) scatterClassify(ctx context.Context, body []byte) []scatterOut
 	defer func() { scatterSeconds.Observe(time.Since(start).Seconds()) }()
 	out := make([]scatterOutcome, len(rt.groups))
 	_ = par.ForEachCtx(ctx, len(rt.groups), func(gi int) {
-		out[gi].group = gi
-		url, ok := rt.pickRead(gi)
+		out[gi] = rt.scatterGroup(ctx, gi, body)
+	})
+	return out
+}
+
+// scatterGroup asks one member of group gi to classify, failing over to
+// the next replica (up to the retry budget) when the chosen member
+// errors or answers 5xx — a read should survive any single replica
+// dying between health polls.
+func (rt *Router) scatterGroup(ctx context.Context, gi int, body []byte) scatterOutcome {
+	o := scatterOutcome{group: gi}
+	tried := make(map[string]bool)
+	attempts := rt.opts.RetryBudget + 1
+	if n := len(rt.groups[gi]); attempts > n {
+		attempts = n
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		url, ok := rt.pickReadExcluding(gi, tried)
 		if !ok {
-			out[gi].err = fmt.Errorf("fleet: group %d has no serving member", gi)
-			return
+			break
 		}
-		out[gi].url = url
+		tried[url] = true
+		o.url = url
+		if attempt > 0 {
+			retriesTotal.With("scatter").Inc()
+		}
 		status, data, err := rt.forward(ctx, http.MethodPost, url, "/v2/classify", body)
-		if err != nil {
-			out[gi].err = err
-			return
+		if ctx.Err() == nil {
+			rt.noteOutcome(url, err == nil && status < http.StatusInternalServerError)
 		}
-		out[gi].status = status
-		out[gi].body = data
+		if err != nil {
+			o.err = err
+			if ctx.Err() != nil {
+				return o
+			}
+			continue
+		}
+		o.status, o.body, o.err = status, data, nil
+		if status >= http.StatusInternalServerError {
+			// The replica answered but can't serve; another may.
+			continue
+		}
 		if status == http.StatusOK {
 			var cr server.ClassifyResponse
 			if err := json.Unmarshal(data, &cr); err == nil {
-				out[gi].parsed = &cr
+				o.parsed = &cr
 			}
 		}
-	})
-	return out
+		return o
+	}
+	if o.status == 0 && o.err == nil {
+		o.err = fmt.Errorf("fleet: group %d has no serving member", gi)
+	}
+	return o
 }
 
 // bestOutcome picks the attribution winner: the 200 with the highest
@@ -601,21 +713,79 @@ func (rt *Router) routeClassify(ctx context.Context, w http.ResponseWriter, req 
 		rt.writeOutcome(w, nil, outcome)
 		return
 	}
-	primary, ok := rt.pickPrimary(gi)
-	if !ok {
-		writeJSONError(w, http.StatusServiceUnavailable, fmt.Errorf("fleet: group %d has no primary", gi))
-		return
-	}
 	body, _ := json.Marshal(req)
 	spanDone := obs.StartSpan(ctx, "forward")
-	status, data, err := rt.forward(ctx, http.MethodPost, primary, "/v2/classify", body)
+	status, data, err := rt.forwardWrite(ctx, gi, "/v2/classify", body)
 	spanDone()
 	if err != nil {
-		writeJSONError(w, http.StatusBadGateway, fmt.Errorf("fleet: forward absorb to %s: %w", primary, err))
+		writeJSONError(w, http.StatusBadGateway, fmt.Errorf("fleet: forward absorb: %w", err))
 		return
 	}
 	forwardedWritesTotal.Inc()
 	relay(w, status, data)
+}
+
+// forwardWrite relays a write to group gi's primary, retrying with
+// jittered exponential backoff — within the retry budget — on transport
+// errors and on answers that explicitly mean "not applied, try again"
+// (429 shed, 503 degraded/lagging, 502/504 from a dying hop). The
+// primary is re-picked each attempt so a retry lands on a freshly
+// promoted node rather than the corpse that failed. Anything else
+// (including a success or a 4xx) returns immediately: only statuses
+// that guarantee the write was not applied are retried, keeping the
+// at-least-once window as small as a lost response.
+func (rt *Router) forwardWrite(ctx context.Context, gi int, path string, body []byte) (int, []byte, error) {
+	var (
+		status  int
+		data    []byte
+		lastErr error
+	)
+	for attempt := 0; attempt <= rt.opts.RetryBudget; attempt++ {
+		if attempt > 0 {
+			retriesTotal.With("forward").Inc()
+			if !sleepCtx(ctx, jitteredBackoff(forwardRetryBase, attempt-1, rt.opts.RetryBudget)) {
+				break
+			}
+		}
+		primary, ok := rt.pickPrimary(gi)
+		if !ok {
+			lastErr = fmt.Errorf("fleet: group %d has no primary", gi)
+			continue
+		}
+		var err error
+		status, data, err = rt.forward(ctx, http.MethodPost, primary, path, body)
+		if ctx.Err() == nil {
+			rt.noteOutcome(primary, err == nil && status < http.StatusInternalServerError)
+		}
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		if !retryableWriteStatus(status) {
+			return status, data, nil
+		}
+		lastErr = fmt.Errorf("fleet: %s answered %d", primary, status)
+	}
+	if status != 0 {
+		// Out of budget with a definitive (retryable) status: relay it so
+		// the client sees the upstream's own Retry-After semantics.
+		return status, data, nil
+	}
+	return 0, nil, lastErr
+}
+
+// retryableWriteStatus reports whether a forwarded write's response
+// means "not applied, safe to retry".
+func retryableWriteStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
 // locateOwner attributes a scan via read-only scatter and returns the

@@ -1,0 +1,102 @@
+package lifecycle
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrDegraded reports that the manager is in degraded read-only mode:
+// the journal has failed persistently, so absorbs are refused — the
+// durability contract is journal-before-ack and there is no journal to
+// ack against — while read-only classifications keep flowing from the
+// in-memory models. The server maps this to 503 with a Retry-After.
+var ErrDegraded = errors.New("lifecycle: journal degraded, absorbs temporarily disabled")
+
+// DegradedError is the concrete rejection admitAbsorb returns. It
+// unwraps to ErrDegraded (so errors.Is keeps working everywhere) and
+// carries the retry hint the HTTP layer turns into a Retry-After
+// header.
+type DegradedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *DegradedError) Error() string { return ErrDegraded.Error() }
+func (e *DegradedError) Unwrap() error { return ErrDegraded }
+
+const (
+	// defaultDegradedThreshold is how many consecutive journal failures
+	// flip the manager into degraded read-only mode. One failure is a
+	// blip (the WAL already rotates past a poisoned segment); a run of
+	// them is a sick disk.
+	defaultDegradedThreshold = 3
+	// defaultDegradedProbe is how often a degraded manager lets one
+	// absorb through to probe the journal, and the Retry-After hint
+	// given to shed clients.
+	defaultDegradedProbe = 5 * time.Second
+)
+
+// admitAbsorb gates absorbing writes on journal health. Healthy (or
+// journal-less) managers admit everything. A degraded manager refuses
+// with ErrDegraded, except that once per probe interval a single
+// absorb is admitted as the recovery probe: if its journal append
+// succeeds the manager leaves degraded mode.
+func (m *Manager) admitAbsorb() error {
+	m.degMu.Lock()
+	defer m.degMu.Unlock()
+	if !m.degraded {
+		return nil
+	}
+	now := m.now()
+	if now.Before(m.degProbeAt) {
+		degradedRejectsTotal.Inc()
+		wait := m.degProbeAt.Sub(now)
+		if wait < time.Second {
+			wait = time.Second
+		}
+		return &DegradedError{RetryAfter: wait}
+	}
+	// This request is the probe; push the window so concurrent absorbs
+	// keep shedding until its journal outcome is known.
+	m.degProbeAt = now.Add(m.degProbe)
+	return nil
+}
+
+// noteJournal feeds one journal append outcome into the degradation
+// state machine.
+func (m *Manager) noteJournal(err error) {
+	m.degMu.Lock()
+	defer m.degMu.Unlock()
+	if err == nil {
+		if m.degraded {
+			m.logf("lifecycle: journal recovered, leaving degraded read-only mode")
+			degradedGauge.Set(0)
+		}
+		m.degraded = false
+		m.degFails = 0
+		return
+	}
+	m.degFails++
+	if !m.degraded && m.degFails >= m.degThreshold {
+		m.degraded = true
+		m.degProbeAt = m.now().Add(m.degProbe)
+		m.logf("lifecycle: %d consecutive journal failures, entering degraded read-only mode (probe every %s)",
+			m.degFails, m.degProbe)
+		degradedGauge.Set(1)
+	}
+}
+
+// Degraded reports whether the manager is refusing absorbs because of
+// a sick journal, and how long a shed client should wait before
+// retrying (at least one second, so a Retry-After header is never 0).
+func (m *Manager) Degraded() (bool, time.Duration) {
+	m.degMu.Lock()
+	defer m.degMu.Unlock()
+	if !m.degraded {
+		return false, 0
+	}
+	wait := m.degProbeAt.Sub(m.now())
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return true, wait
+}

@@ -79,6 +79,28 @@ type Options struct {
 	Logf func(format string, args ...any)
 	// Now overrides the clock, for tests. Nil means time.Now.
 	Now func() time.Time
+	// DegradedThreshold is how many consecutive journal failures flip
+	// the manager into degraded read-only mode (absorbs refused with
+	// ErrDegraded, reads unaffected). 0 means defaultDegradedThreshold.
+	DegradedThreshold int
+	// DegradedProbe is how often a degraded manager admits one absorb
+	// to probe the journal for recovery, and the Retry-After hint for
+	// the ones it sheds. 0 means defaultDegradedProbe.
+	DegradedProbe time.Duration
+}
+
+func (o Options) degradedThreshold() int {
+	if o.DegradedThreshold > 0 {
+		return o.DegradedThreshold
+	}
+	return defaultDegradedThreshold
+}
+
+func (o Options) degradedProbe() time.Duration {
+	if o.DegradedProbe > 0 {
+		return o.DegradedProbe
+	}
+	return defaultDegradedProbe
 }
 
 // walSubdir is the WAL directory under StateDir.
@@ -140,6 +162,19 @@ type Manager struct {
 	// training a model nobody will serve. The old model keeps serving.
 	refitCtx    context.Context
 	refitCancel context.CancelFunc
+
+	// Degraded read-only mode: consecutive journal failures trip the
+	// manager into refusing absorbs (ErrDegraded) while reads continue;
+	// a periodic probe absorb clears it once the journal recovers.
+	degThreshold int
+	degProbe     time.Duration
+	degMu        sync.Mutex
+	// grafics:guardedby degMu
+	degraded bool
+	// grafics:guardedby degMu
+	degFails int
+	// grafics:guardedby degMu
+	degProbeAt time.Time
 }
 
 // Open restores (or cold-starts) a managed portfolio. With a StateDir, it
@@ -226,17 +261,19 @@ func OpenCtx(ctx context.Context, cfg core.Config, opts Options) (*Manager, erro
 	// grafics:ctxok manager-lifetime root: refits outlive the open ctx and are cancelled by Close
 	refitCtx, refitCancel := context.WithCancel(context.Background())
 	m := &Manager{
-		p:           p,
-		log:         jrnl,
-		stateDir:    opts.StateDir,
-		policy:      opts.Policy,
-		logf:        logf,
-		now:         now,
-		st:          make(map[string]*buildingState),
-		replayed:    replayed,
-		stop:        make(chan struct{}),
-		refitCtx:    refitCtx,
-		refitCancel: refitCancel,
+		p:            p,
+		log:          jrnl,
+		stateDir:     opts.StateDir,
+		policy:       opts.Policy,
+		logf:         logf,
+		now:          now,
+		st:           make(map[string]*buildingState),
+		replayed:     replayed,
+		stop:         make(chan struct{}),
+		refitCtx:     refitCtx,
+		refitCancel:  refitCancel,
+		degThreshold: opts.degradedThreshold(),
+		degProbe:     opts.degradedProbe(),
 	}
 	// Fold a non-trivial replay into a fresh snapshot right away:
 	// otherwise a crash-looping process re-replays (and re-grows) the WAL
@@ -295,16 +332,18 @@ func Manage(p *portfolio.Portfolio, opts Options) (*Manager, error) {
 	// grafics:ctxok manager-lifetime root: refits are cancelled by Close
 	refitCtx, refitCancel := context.WithCancel(context.Background())
 	m := &Manager{
-		p:           p,
-		log:         jrnl,
-		stateDir:    opts.StateDir,
-		policy:      opts.Policy,
-		logf:        logf,
-		now:         now,
-		st:          make(map[string]*buildingState),
-		stop:        make(chan struct{}),
-		refitCtx:    refitCtx,
-		refitCancel: refitCancel,
+		p:            p,
+		log:          jrnl,
+		stateDir:     opts.StateDir,
+		policy:       opts.Policy,
+		logf:         logf,
+		now:          now,
+		st:           make(map[string]*buildingState),
+		stop:         make(chan struct{}),
+		refitCtx:     refitCtx,
+		refitCancel:  refitCancel,
+		degThreshold: opts.degradedThreshold(),
+		degProbe:     opts.degradedProbe(),
 	}
 	if m.stateDir != "" {
 		if err := m.Snapshot(); err != nil {
@@ -416,6 +455,9 @@ func (m *Manager) ClassifyRouted(ctx context.Context, rec *dataset.Record, opts 
 	if !core.NewRequest(rec, opts...).Absorb() {
 		return m.p.ClassifyRouted(ctx, rec, opts...)
 	}
+	if err := m.admitAbsorb(); err != nil {
+		return portfolio.Routed{}, err
+	}
 	routed, err := func() (portfolio.Routed, error) {
 		m.mu.RLock()
 		defer m.mu.RUnlock()
@@ -450,6 +492,14 @@ func (m *Manager) ClassifyRoutedBatch(ctx context.Context, records []dataset.Rec
 	if !core.NewRequest(nil, opts...).Absorb() {
 		return m.p.ClassifyRoutedBatch(ctx, records, opts...)
 	}
+	if err := m.admitAbsorb(); err != nil {
+		routed := make([]portfolio.Routed, len(records))
+		errs := make([]error, len(records))
+		for i := range errs {
+			errs[i] = err
+		}
+		return routed, errs
+	}
 	touched := make(map[string]struct{})
 	routed, errs := func() ([]portfolio.Routed, []error) {
 		m.mu.RLock()
@@ -474,6 +524,9 @@ func (m *Manager) ClassifyRoutedBatch(ctx context.Context, records []dataset.Rec
 // AbsorbBuilding absorbs a scan into a named building (no attribution),
 // journaled like any other absorb.
 func (m *Manager) AbsorbBuilding(ctx context.Context, building string, rec *dataset.Record, opts ...core.Option) (core.Result, error) {
+	if err := m.admitAbsorb(); err != nil {
+		return core.Result{}, err
+	}
 	res, err := func() (core.Result, error) {
 		m.mu.RLock()
 		defer m.mu.RUnlock()
@@ -494,6 +547,9 @@ func (m *Manager) AbsorbBuilding(ctx context.Context, building string, rec *data
 // restores and refits re-apply it from the per-building retirement sets;
 // the WAL covers the window since the last snapshot).
 func (m *Manager) RemoveMAC(mac string) (int, error) {
+	if err := m.admitAbsorb(); err != nil {
+		return 0, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	n, err := m.p.RemoveMAC(mac)
@@ -514,7 +570,9 @@ func (m *Manager) journal(rec wal.Record) error {
 	if m.log == nil {
 		return nil
 	}
-	if err := m.log.Append(rec); err != nil {
+	err := m.log.Append(rec)
+	m.noteJournal(err)
+	if err != nil {
 		what := "absorb " + rec.Scan.ID
 		if rec.RetireMAC != "" {
 			what = "retirement of " + rec.RetireMAC

@@ -30,4 +30,9 @@ var (
 
 	absorbedSinceFit = obs.Default().GaugeVec("grafics_lifecycle_absorbed_since_fit",
 		"Scans absorbed into a building's graph since its model was last fitted.", "building")
+
+	degradedGauge = obs.Default().Gauge("grafics_lifecycle_degraded",
+		"1 while the journal is sick and absorbs are refused (degraded read-only mode).")
+	degradedRejectsTotal = obs.Default().Counter("grafics_lifecycle_degraded_rejects_total",
+		"Absorbs refused with ErrDegraded while in degraded read-only mode.")
 )

@@ -59,6 +59,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -167,6 +168,10 @@ type ReplInfo struct {
 	// follower is ready only once bootstrapped and caught up within the
 	// lag bound.
 	Ready bool `json:"ready"`
+	// Degraded reports that the node's journal is sick: reads are still
+	// served from memory, but absorbs are refused with 503 until a
+	// recovery probe succeeds.
+	Degraded bool `json:"degraded,omitempty"`
 	// LastSync is when the node last heard from its source.
 	LastSync time.Time `json:"last_sync,omitempty"`
 	// Error is the most recent replication failure, empty while healthy.
@@ -183,6 +188,15 @@ type Options struct {
 	// gates readiness on it (a lagging follower answers 503 so load
 	// balancers stop routing reads to it) and /v2/stats embeds it.
 	Repl func() ReplInfo
+	// MaxInflightAbsorbs bounds concurrently admitted absorbing requests
+	// (absorb, absorbing classify/batch, MAC retirement). Excess writes
+	// wait up to AbsorbQueueWait for a slot and are then shed with 429
+	// and a Retry-After. 0 disables admission control.
+	MaxInflightAbsorbs int
+	// AbsorbQueueWait is how long a write waits for an admission slot
+	// before being shed. 0 means one second. Ignored unless
+	// MaxInflightAbsorbs is set.
+	AbsorbQueueWait time.Duration
 }
 
 // Handler builds the HTTP handler (v1 and v2 surfaces) over a trained
@@ -293,7 +307,7 @@ func buildHandler(p *portfolio.Portfolio, rt Router, opts Options) http.Handler 
 			Result:   res,
 		}))
 	})
-	registerV2(mux, p, rt, opts.Repl)
+	registerV2(mux, p, rt, opts)
 	registerObs(mux)
 	if opts.Lifecycle != nil {
 		registerAdmin(mux, opts.Lifecycle)
@@ -319,6 +333,12 @@ func healthz(p *portfolio.Portfolio, repl func() ReplInfo) http.HandlerFunc {
 			ri := repl()
 			if status == http.StatusOK && !ri.Ready {
 				status, state = http.StatusServiceUnavailable, "lagging"
+			}
+			// Degraded keeps 200: reads still work, and pulling the node
+			// from rotation would shed the traffic it CAN serve. Writers
+			// learn from the 503 + Retry-After on the absorb itself.
+			if status == http.StatusOK && ri.Degraded {
+				state = "degraded"
 			}
 			body["replication"] = ri
 		}
@@ -373,7 +393,8 @@ func predictStatus(err error) int {
 	case errors.Is(err, ErrReadOnly):
 		return http.StatusMisdirectedRequest
 	case errors.Is(err, portfolio.ErrNoBuildings),
-		errors.Is(err, core.ErrNotTrained):
+		errors.Is(err, core.ErrNotTrained),
+		errors.Is(err, lifecycle.ErrDegraded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -393,5 +414,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	// A degraded-journal rejection tells the client exactly when the next
+	// recovery probe runs; well-behaved writers back off instead of
+	// hammering a node that cannot journal.
+	var deg *lifecycle.DegradedError
+	if errors.As(err, &deg) {
+		secs := int((deg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }

@@ -108,13 +108,23 @@ const ndjsonChunkSize = 64
 // registerV2 mounts the v2 routes on mux. Classification goes through rt
 // so an attached lifecycle manager sees (and journals) every absorb;
 // fleet-level reads and MAC retirement address the portfolio directly.
-func registerV2(mux *http.ServeMux, p *portfolio.Portfolio, rt Router, repl func() ReplInfo) {
+// Every write route shares one admission gate (see admission.go), so a
+// burst of absorbs is bounded no matter which route it arrives on.
+func registerV2(mux *http.ServeMux, p *portfolio.Portfolio, rt Router, opts Options) {
+	repl := opts.Repl
+	gate := newAbsorbGate(opts.MaxInflightAbsorbs, opts.AbsorbQueueWait)
 	handle(mux, "GET /v2/healthz", healthz(p, repl))
-	handle(mux, "POST /v2/classify", classifyV2(rt, false))
-	handle(mux, "POST /v2/absorb", classifyV2(rt, true))
-	handle(mux, "POST /v2/classify/batch", classifyBatchV2(rt))
+	handle(mux, "POST /v2/classify", classifyV2(rt, gate, false))
+	handle(mux, "POST /v2/absorb", classifyV2(rt, gate, true))
+	handle(mux, "POST /v2/classify/batch", classifyBatchV2(rt, gate))
 	handle(mux, "DELETE /v2/macs/{mac}", func(w http.ResponseWriter, r *http.Request) {
 		mac := r.PathValue("mac")
+		release, err := gate.acquire(r.Context())
+		if err != nil {
+			writeGateError(w, err)
+			return
+		}
+		defer release()
 		n, err := rt.RemoveMAC(mac)
 		if err != nil {
 			status := http.StatusInternalServerError
@@ -190,7 +200,7 @@ func toClassifyResponse(id string, routed *portfolio.Routed, absorbed bool) Clas
 // classifyV2 serves POST /v2/classify and POST /v2/absorb (the latter
 // forces the absorb option, making the write intent explicit in the
 // route).
-func classifyV2(rt Router, forceAbsorb bool) http.HandlerFunc {
+func classifyV2(rt Router, gate *absorbGate, forceAbsorb bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req ClassifyRequest
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -204,6 +214,14 @@ func classifyV2(rt Router, forceAbsorb bool) http.HandlerFunc {
 			return
 		}
 		absorb := req.Absorb || forceAbsorb
+		if absorb {
+			release, err := gate.acquire(r.Context())
+			if err != nil {
+				writeGateError(w, err)
+				return
+			}
+			defer release()
+		}
 		rec := &dataset.Record{ID: req.ID, Readings: req.Readings}
 		spanDone := obs.StartSpan(r.Context(), spanName(absorb))
 		routed, err := rt.ClassifyRouted(r.Context(), rec, optionsOf(req.TopK, absorb)...)
@@ -226,7 +244,7 @@ func classifyV2(rt Router, forceAbsorb bool) http.HandlerFunc {
 // per chunk, so large batches never buffer a 32 MB response in memory.
 // Once the request context is cancelled (timeout or client disconnect),
 // classification stops claiming scans and the handler stops writing.
-func classifyBatchV2(rt Router) http.HandlerFunc {
+func classifyBatchV2(rt Router, gate *absorbGate) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		topK, err := queryInt(r, "top_k")
 		if err != nil {
@@ -237,6 +255,16 @@ func classifyBatchV2(rt Router) http.HandlerFunc {
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
+		}
+		// One slot covers the whole absorbing batch: the gate bounds
+		// concurrent writers, and a batch is one writer.
+		if absorb {
+			release, err := gate.acquire(r.Context())
+			if err != nil {
+				writeGateError(w, err)
+				return
+			}
+			defer release()
 		}
 		opts := optionsOf(topK, absorb)
 

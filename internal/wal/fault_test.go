@@ -1,0 +1,189 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// faultLog opens a log in dir whose segment files run through disk.
+func faultLog(t *testing.T, dir string, disk *fault.Disk) *Log {
+	t.Helper()
+	l, err := Open(Options{
+		Dir: dir,
+		OpenFile: func(name string, flag int, perm os.FileMode) (File, error) {
+			return disk.OpenFile(name, flag, perm)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// appendN appends records [from, from+n) and fails the test on error.
+func appendN(t *testing.T, l *Log, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+// TestTornWriteMidFrame injures an append halfway through its single
+// frame write. The failed append must surface an error (so the caller
+// never acks), the records before and after it must replay intact and
+// in order, and the torn bytes must be invisible to recovery.
+func TestTornWriteMidFrame(t *testing.T) {
+	dir := t.TempDir()
+	disk := fault.NewDisk()
+	l := faultLog(t, dir, disk)
+
+	appendN(t, l, 0, 5)
+	disk.TearWriteAfter(0)
+	if err := l.Append(testRecord(5)); err == nil {
+		t.Fatal("torn append reported success; a half-written frame was acked")
+	}
+	// The torn segment is poisoned; later appends must land in a fresh
+	// segment and stay recoverable.
+	appendN(t, l, 6, 3)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	got := collect(t, dir)
+	want := []int{0, 1, 2, 3, 4, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for k, i := range want {
+		if got[k].Scan.ID != testRecord(i).Scan.ID {
+			t.Fatalf("record %d: got %s, want %s", k, got[k].Scan.ID, testRecord(i).Scan.ID)
+		}
+	}
+}
+
+// TestENOSPC exhausts the disk-space budget mid-run: the failing append
+// must report ENOSPC (never ack), and once space is freed the log must
+// resume appending with the committed prefix intact.
+func TestENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	disk := fault.NewDisk()
+	l := faultLog(t, dir, disk)
+
+	appendN(t, l, 0, 4)
+	disk.LimitBytes(10) // not enough for any frame
+	err := l.Append(testRecord(4))
+	if err == nil {
+		t.Fatal("append on a full disk reported success")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append error = %v, want ENOSPC", err)
+	}
+	disk.Heal()
+	appendN(t, l, 5, 4)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	got := collect(t, dir)
+	if len(got) != 8 {
+		t.Fatalf("replayed %d records, want 8", len(got))
+	}
+	for _, r := range got {
+		if r.Scan.ID == testRecord(4).Scan.ID {
+			t.Fatal("the ENOSPC-failed record resurfaced at replay")
+		}
+	}
+}
+
+// TestFsyncFailure fails the fsync under an append. The append must
+// return the error — the caller must not ack a record whose durability
+// is unknown — and the log must keep working once the device heals.
+// The failed record may or may not survive replay (its pages may have
+// reached disk); what is asserted is that every *acked* record does.
+func TestFsyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	disk := fault.NewDisk()
+	l := faultLog(t, dir, disk)
+
+	appendN(t, l, 0, 3)
+	disk.FailSyncs(fault.ErrInjected)
+	if err := l.Append(testRecord(3)); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append under failing fsync = %v, want injected error", err)
+	}
+	disk.FailSyncs(nil)
+	appendN(t, l, 4, 3)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	acked := map[string]bool{}
+	for _, i := range []int{0, 1, 2, 4, 5, 6} {
+		acked[testRecord(i).Scan.ID] = false
+	}
+	for _, r := range collect(t, dir) {
+		if _, ok := acked[r.Scan.ID]; ok {
+			acked[r.Scan.ID] = true
+		}
+	}
+	for id, seen := range acked {
+		if !seen {
+			t.Fatalf("acked record %s lost at replay", id)
+		}
+	}
+}
+
+// TestFailWritesAfter drives the log against a device that dies after a
+// fixed number of writes and stays dead: every append must fail cleanly
+// (no panic, no ack) and the committed prefix must replay.
+func TestFailWritesAfter(t *testing.T) {
+	dir := t.TempDir()
+	disk := fault.NewDisk()
+	l := faultLog(t, dir, disk)
+
+	appendN(t, l, 0, 3)
+	disk.FailWritesAfter(0, nil)
+	for i := 3; i < 6; i++ {
+		if err := l.Append(testRecord(i)); err == nil {
+			t.Fatalf("append %d on a dead disk reported success", i)
+		}
+	}
+	disk.Heal()
+	appendN(t, l, 6, 2)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	got := collect(t, dir)
+	if len(got) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(got))
+	}
+}
+
+// TestPositionMonotonicAcrossPoisoning checks that abandoning a torn
+// segment never moves the append position backwards — replication
+// consumers order themselves by Position within an epoch.
+func TestPositionMonotonicAcrossPoisoning(t *testing.T) {
+	dir := t.TempDir()
+	disk := fault.NewDisk()
+	l := faultLog(t, dir, disk)
+
+	appendN(t, l, 0, 2)
+	before := l.Position()
+	disk.TearWriteAfter(0)
+	if err := l.Append(testRecord(2)); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	appendN(t, l, 3, 1)
+	after := l.Position()
+	if !before.Less(after) {
+		t.Fatalf("position went %v -> %v across poisoning", before, after)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -20,4 +20,6 @@ var (
 		"fsync latency.", obs.TimeBuckets)
 	rotationsTotal = obs.Default().Counter("grafics_wal_rotations_total",
 		"Segment rotations (size-triggered and recovery-triggered).")
+	poisonedSegmentsTotal = obs.Default().Counter("grafics_wal_poisoned_segments_total",
+		"Segments abandoned after a failed write or fsync; the next append rotates past them.")
 )

@@ -66,6 +66,21 @@ type Options struct {
 	// loss; larger values amortize the fsync over n appends; negative
 	// disables fsync entirely (the OS flushes on its own schedule).
 	SyncEvery int
+	// OpenFile opens segment files for writing. Nil means os.OpenFile.
+	// This is the write-path fault-injection seam: tests substitute a
+	// wrapper (internal/fault) that fails, tears, or slows writes and
+	// fsyncs; production code leaves it nil.
+	OpenFile func(name string, flag int, perm os.FileMode) (File, error)
+}
+
+// File is the slice of *os.File a Log needs for its live segment.
+// Replay reads finished segments through the real filesystem; only the
+// append path goes through this interface, so only the append path can
+// be fault-injected.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
 }
 
 // DefaultSegmentMaxBytes is the segment rotation threshold (8 MiB).
@@ -143,7 +158,7 @@ type Log struct {
 
 	mu sync.Mutex
 	// grafics:guardedby mu
-	f *os.File
+	f File
 	// grafics:guardedby mu
 	seg int // current segment index
 	// grafics:guardedby mu
@@ -185,6 +200,11 @@ func Open(opts Options) (*Log, error) {
 	}
 	if opts.SyncEvery == 0 {
 		opts.SyncEvery = 1
+	}
+	if opts.OpenFile == nil {
+		opts.OpenFile = func(name string, flag int, perm os.FileMode) (File, error) {
+			return os.OpenFile(name, flag, perm)
+		}
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create dir: %w", err)
@@ -250,7 +270,7 @@ func (l *Log) rotateLocked() error {
 		l.f = nil
 	}
 	l.seg++
-	f, err := os.OpenFile(segPath(l.opts.Dir, l.seg), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.opts.OpenFile(segPath(l.opts.Dir, l.seg), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
@@ -369,6 +389,13 @@ func (l *Log) append(rec Record) error {
 		}
 	}
 	if _, err := l.f.Write(frame); err != nil {
+		// The write may have persisted a torn prefix and moved the file
+		// offset past it; appending more frames after that gap would
+		// strand them beyond a torn frame, where replay never looks.
+		// Poison the segment instead: close it unsealed so the next
+		// append rotates to a fresh one, and replay treats this segment's
+		// tail as crash debris.
+		l.poisonLocked()
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	appendedBytesTotal.Add(int64(len(frame)))
@@ -376,9 +403,32 @@ func (l *Log) append(rec Record) error {
 	l.appended++
 	l.unsynced++
 	if l.opts.SyncEvery > 0 && l.unsynced >= l.opts.SyncEvery {
-		return l.syncLocked()
+		if err := l.syncLocked(); err != nil {
+			// After a failed fsync the kernel may have dropped the dirty
+			// pages, so the frame's durability is unknowable; poison the
+			// segment so no later frame is stacked on an undurable one.
+			l.poisonLocked()
+			return err
+		}
 	}
 	return nil
+}
+
+// poisonLocked abandons the current segment after a failed write or
+// fsync: the file is closed without a seal and the next append rotates
+// to a fresh segment. Replay already handles the result — an unsealed
+// segment with a damaged tail is indistinguishable from crash debris
+// and is skipped cleanly.
+//
+//grafics:locked mu
+func (l *Log) poisonLocked() {
+	if l.f == nil {
+		return
+	}
+	l.f.Close()
+	l.f = nil
+	l.unsynced = 0
+	poisonedSegmentsTotal.Inc()
 }
 
 // Sync forces pending appends to stable storage regardless of policy.
